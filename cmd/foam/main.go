@@ -1,0 +1,119 @@
+// Command foam runs coupled FOAM-Go simulations.
+//
+// Usage:
+//
+//	foam [-config full|reduced] [-days N] [-record sst.csv] [-quiet]
+//
+// With -record, monthly mean SST fields are appended to a CSV (one row per
+// month) for later analysis with foam-analyze.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"foam"
+	"foam/internal/diag"
+)
+
+func main() {
+	configName := flag.String("config", "reduced", "model configuration: full (paper R15+128x128) or reduced")
+	days := flag.Float64("days", 30, "simulated days to run")
+	record := flag.String("record", "", "CSV file to append monthly mean SST rows to")
+	quiet := flag.Bool("quiet", false, "suppress periodic diagnostics")
+	mapOut := flag.Bool("map", true, "print an ASCII SST map at the end")
+	saveChk := flag.String("checkpoint", "", "write a restart checkpoint here at the end")
+	resume := flag.String("resume", "", "resume from a checkpoint file")
+	flag.Parse()
+
+	var cfg foam.Config
+	switch *configName {
+	case "full":
+		cfg = foam.DefaultConfig()
+	case "reduced":
+		cfg = foam.ReducedConfig()
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -config (want full or reduced)")
+		os.Exit(2)
+	}
+	m, err := foam.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "foam:", err)
+		os.Exit(1)
+	}
+	if *resume != "" {
+		chk, err := foam.LoadCheckpointFile(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resume:", err)
+			os.Exit(1)
+		}
+		if err := m.Restore(chk); err != nil {
+			fmt.Fprintln(os.Stderr, "resume:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resumed from %s at step %d (%.1f simulated days)\n",
+			*resume, m.StepCount(), m.SimTime()/86400)
+	}
+	fmt.Printf("FOAM-Go %s: R%d atmosphere %dx%dx%d dt=%.0fs; ocean %dx%dx%d dt=%.0fs; coupling every %d steps\n",
+		*configName, cfg.Atm.Trunc.M, cfg.Atm.NLat, cfg.Atm.NLon, cfg.Atm.NLev, cfg.Atm.Dt,
+		cfg.Ocn.NLat, cfg.Ocn.NLon, cfg.Ocn.NLev, cfg.Ocn.DtTracer, cfg.OceanEvery)
+
+	var rec *os.File
+	if *record != "" {
+		rec, err = os.OpenFile(*record, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "record:", err)
+			os.Exit(1)
+		}
+		defer rec.Close()
+	}
+
+	t0 := time.Now()
+	stepsPerDay := int(86400 / cfg.Atm.Dt)
+	n := len(m.SST())
+	acc := make([]float64, n)
+	daysDone := 0
+	for d := 0; d < int(*days); d++ {
+		for s := 0; s < stepsPerDay; s++ {
+			m.Step()
+		}
+		daysDone++
+		for c, v := range m.SST() {
+			acc[c] += v / 30
+		}
+		if rec != nil && daysDone%30 == 0 {
+			row := make([]string, n)
+			for c, v := range acc {
+				row[c] = fmt.Sprintf("%.4f", v)
+				acc[c] = 0
+			}
+			fmt.Fprintln(rec, strings.Join(row, ","))
+		}
+		if !*quiet && daysDone%10 == 0 {
+			di := m.Diagnostics()
+			fmt.Printf("day %4d: T=%.1fK ps=%.0f wind=%.1f SST=%.2fC ice=%.2e speedup so far %.0fx\n",
+				daysDone, di.Atm.MeanT, di.Atm.MeanPs, di.Atm.MaxWind, di.Ocn.MeanSST,
+				di.Ocn.IceFlux, float64(daysDone)*86400/time.Since(t0).Seconds())
+		}
+	}
+	el := time.Since(t0)
+	fmt.Printf("completed %.0f simulated days in %v => %.0fx real time\n",
+		*days, el.Round(time.Millisecond), *days*86400/el.Seconds())
+	if *saveChk != "" {
+		if err := m.Checkpoint().SaveFile(*saveChk); err != nil {
+			fmt.Fprintln(os.Stderr, "checkpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint written to %s\n", *saveChk)
+	}
+	if *mapOut {
+		mask := make([]bool, n)
+		for c, v := range m.Ocn.Mask() {
+			mask[c] = v > 0
+		}
+		diag.AsciiMap(os.Stdout, m.Ocn.Grid(), m.SST(), mask, 96, "Final SST (deg C)")
+	}
+}

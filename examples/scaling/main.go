@@ -1,0 +1,42 @@
+// Scaling: reproduce the flavor of the paper's Figure 2 and Section 5 —
+// run the coupled model with per-step cost tracing and replay it on
+// simulated machine partitions, printing the per-rank time allocation and
+// the throughput table.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"foam"
+	"foam/internal/diag"
+	"foam/internal/mp"
+)
+
+func main() {
+	cfg := foam.ReducedConfig()
+	fmt.Println("=== Figure 2: time allocation, 8 atmosphere ranks + 1 ocean rank ===")
+	res, _, err := foam.RunTraced(cfg, 1.0, foam.ParallelSpec{AtmRanks: 8, OcnRanks: 1, Link: foam.SPLink})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	diag.Gantt(os.Stdout, res.Comms, 100)
+	diag.PrintSegmentTable(os.Stdout, res.Comms)
+
+	fmt.Println("\n=== Throughput vs machine size ===")
+	fmt.Printf("%8s %8s %12s %12s\n", "atm", "ocn", "speedup", "efficiency")
+	for _, spec := range []foam.ParallelSpec{
+		{AtmRanks: 2, OcnRanks: 1, Link: mp.SPLink},
+		{AtmRanks: 4, OcnRanks: 1, Link: mp.SPLink},
+		{AtmRanks: 8, OcnRanks: 1, Link: mp.SPLink},
+		{AtmRanks: 16, OcnRanks: 2, Link: mp.SPLink},
+	} {
+		r, _, err := foam.RunTraced(cfg, 0.5, spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		fmt.Printf("%8d %8d %11.0fx %11.2f\n", spec.AtmRanks, spec.OcnRanks, r.Speedup, r.Efficiency)
+	}
+}

@@ -1,0 +1,3 @@
+module foam
+
+go 1.22

@@ -1,0 +1,372 @@
+package atmos
+
+import (
+	"math"
+	"time"
+
+	"foam/internal/sphere"
+)
+
+// work holds per-step grid workspace, allocated once.
+type work struct {
+	U, V, zg, dg, tg [][]float64 // per level grid fields
+	nU, nV, tSrc     [][]float64
+	fluxA, fluxB     [][]float64
+	eGrid            []float64
+	vgq              [][]float64 // V·grad(lnps) per level
+	aCol             [][]float64 // D + V·grad(lnps)
+	sdot             [][]float64 // sigma-dot at interior half levels [1..nl-1]
+	cum              [][]float64 // cumulative integral of aCol to full level k
+	omgp             [][]float64 // omega/p
+	psSrc            []float64
+	qs, dqsdl, hqs   []float64
+	nOf              []int // total wavenumber per spectral index
+}
+
+func newWork(nlev, ncell int, m *Model) *work {
+	w := &work{}
+	alloc := func() [][]float64 {
+		a := make([][]float64, nlev)
+		for k := range a {
+			a[k] = make([]float64, ncell)
+		}
+		return a
+	}
+	w.U, w.V, w.zg, w.dg, w.tg = alloc(), alloc(), alloc(), alloc(), alloc()
+	w.nU, w.nV, w.tSrc = alloc(), alloc(), alloc()
+	w.fluxA, w.fluxB = alloc(), alloc()
+	w.vgq, w.aCol, w.cum, w.omgp = alloc(), alloc(), alloc(), alloc()
+	w.sdot = make([][]float64, nlev+1)
+	for k := range w.sdot {
+		w.sdot[k] = make([]float64, ncell)
+	}
+	w.eGrid = make([]float64, ncell)
+	w.psSrc = make([]float64, ncell)
+	t := m.cfg.Trunc
+	w.nOf = make([]int, t.Count())
+	for mm := 0; mm <= t.M; mm++ {
+		for n := mm; n <= mm+t.K; n++ {
+			w.nOf[t.Index(mm, n)] = n
+		}
+	}
+	return w
+}
+
+// Step advances the model one time step: dynamics (semi-implicit leapfrog),
+// semi-Lagrangian moisture transport, column physics, and the
+// Robert-Asselin filter.
+func (m *Model) Step() {
+	dt := m.cfg.Dt
+	si := m.si
+	if m.step == 0 {
+		// Leapfrog startup: a half-interval step from old == cur.
+		dt = m.cfg.Dt / 2
+		si = m.siH
+	}
+	if m.phy.w == nil {
+		m.phy.w = newWork(m.cfg.NLev, m.grid.Size(), m)
+	}
+	var t0 time.Time
+	if m.costEnabled {
+		t0 = time.Now()
+		m.lastCost.SemiImplicit = 0
+		m.lastCost.Boundary = 0
+		for j := range m.lastCost.PhysRows {
+			m.lastCost.PhysRows[j] = 0
+		}
+	}
+	plus := m.dynStep(dt, si)
+	if m.costEnabled {
+		m.lastCost.DynRows = time.Since(t0).Seconds() - m.lastCost.SemiImplicit
+		t0 = time.Now()
+	}
+	if !m.cfg.Adiabatic {
+		m.advectMoisture(plus)
+		if m.costEnabled {
+			m.lastCost.Moisture = time.Since(t0).Seconds()
+		}
+		m.physicsStep(plus)
+	}
+	m.applyHyperdiffusion(plus, dt)
+
+	// Robert-Asselin filter on the center level, then rotate time levels.
+	if m.step > 0 {
+		al := m.cfg.RobertAlpha
+		filter := func(old, cur, new_ [][]complex128) {
+			for k := range cur {
+				for i := range cur[k] {
+					cur[k][i] += complex(al, 0) * (old[k][i] - 2*cur[k][i] + new_[k][i])
+				}
+			}
+		}
+		filter(m.old.vort, m.cur.vort, plus.vort)
+		filter(m.old.div, m.cur.div, plus.div)
+		filter(m.old.temp, m.cur.temp, plus.temp)
+		for i := range m.cur.lnps {
+			m.cur.lnps[i] += complex(al, 0) * (m.old.lnps[i] - 2*m.cur.lnps[i] + plus.lnps[i])
+		}
+	}
+	m.old, m.cur = m.cur, m.old // reuse old's storage for the new center
+	m.cur.copyFrom(plus)
+	m.releasePlus(plus)
+	m.step++
+	m.updateDiagnostics()
+}
+
+// plusPool caches one specState to avoid reallocating every step.
+func (m *Model) takePlus() *specState {
+	if m.phy.plusCache != nil {
+		p := m.phy.plusCache
+		m.phy.plusCache = nil
+		return p
+	}
+	return newSpecState(m.cfg.NLev, m.cfg.Trunc.Count())
+}
+
+func (m *Model) releasePlus(p *specState) { m.phy.plusCache = p }
+
+// dynStep performs the adiabatic semi-implicit leapfrog update and returns
+// the provisional t+dt state.
+func (m *Model) dynStep(dt float64, si *SemiImplicit) *specState {
+	nlat, nlon, nlev := m.cfg.NLat, m.cfg.NLon, m.cfg.NLev
+	ncell := nlat * nlon
+	tr := m.tr
+	w := m.phy.w
+	vg := m.vg
+	a := sphere.Radius
+
+	// --- Synthesize current state on the grid.
+	for k := 0; k < nlev; k++ {
+		uk, vk := tr.SynthesizeUV(m.cur.vort[k], m.cur.div[k])
+		copy(w.U[k], uk)
+		copy(w.V[k], vk)
+		tr.SynthesizeInto(w.zg[k], m.cur.vort[k])
+		tr.SynthesizeInto(w.dg[k], m.cur.div[k])
+		tr.SynthesizeInto(w.tg[k], m.cur.temp[k])
+	}
+	w.qs, w.dqsdl, w.hqs = tr.SynthesizeWithDerivs(m.cur.lnps)
+
+	// --- Column mass/velocity diagnostics.
+	for k := 0; k < nlev; k++ {
+		for j := 0; j < nlat; j++ {
+			inv := 1 / (a * m.geom.oneMu2[j])
+			for i := 0; i < nlon; i++ {
+				c := j*nlon + i
+				w.vgq[k][c] = (w.U[k][c]*w.dqsdl[c] + w.V[k][c]*w.hqs[c]) * inv
+				w.aCol[k][c] = w.dg[k][c] + w.vgq[k][c]
+			}
+		}
+	}
+	// total integral of A, sigma-dot at half levels, cumulative to full levels.
+	for c := 0; c < ncell; c++ {
+		tot := 0.0
+		for k := 0; k < nlev; k++ {
+			tot += w.aCol[k][c] * vg.DSig[k]
+		}
+		cumHalf := 0.0
+		w.sdot[0][c] = 0
+		for k := 0; k < nlev; k++ {
+			w.cum[k][c] = cumHalf + 0.5*w.aCol[k][c]*vg.DSig[k]
+			cumHalf += w.aCol[k][c] * vg.DSig[k]
+			w.sdot[k+1][c] = -cumHalf + vg.Half[k+1]*tot
+		}
+		w.sdot[nlev][c] = 0
+		w.psSrc[c] = -tot
+		for k := 0; k < nlev; k++ {
+			w.omgp[k][c] = w.vgq[k][c] - w.cum[k][c]/vg.Full[k]
+		}
+	}
+
+	// --- Nonlinear terms.
+	for k := 0; k < nlev; k++ {
+		for j := 0; j < nlat; j++ {
+			for i := 0; i < nlon; i++ {
+				c := j*nlon + i
+				vaU := m.vadv(w.U, k, c)
+				vaV := m.vadv(w.V, k, c)
+				vaT := m.vadv(w.tg, k, c)
+				tdev := w.tg[k][c] - TRef
+				za := w.zg[k][c] + m.fcor[c]
+				w.nU[k][c] = za*w.V[k][c] - vaU - RDry*tdev/a*w.dqsdl[c]
+				w.nV[k][c] = -za*w.U[k][c] - vaV - RDry*tdev/a*w.hqs[c]
+				w.fluxA[k][c] = w.U[k][c] * tdev
+				w.fluxB[k][c] = w.V[k][c] * tdev
+				w.tSrc[k][c] = tdev*w.dg[k][c] - vaT + Kappa*w.tg[k][c]*w.omgp[k][c]
+			}
+		}
+	}
+
+	// --- Spectral tendencies.
+	nz := make([][]complex128, nlev)
+	nd := make([][]complex128, nlev)
+	nt := make([][]complex128, nlev)
+	negNU := make([]float64, ncell)
+	for k := 0; k < nlev; k++ {
+		for c := 0; c < ncell; c++ {
+			negNU[c] = -w.nU[k][c]
+		}
+		nz[k] = tr.AnalyzeDivForm(w.nV[k], negNU)
+		nd[k] = tr.AnalyzeDivForm(w.nU[k], w.nV[k])
+		// Explicit Laplacian part: E + Phi_s.
+		for j := 0; j < nlat; j++ {
+			inv := 1 / (2 * m.geom.oneMu2[j])
+			for i := 0; i < nlon; i++ {
+				c := j*nlon + i
+				w.eGrid[c] = (w.U[k][c]*w.U[k][c]+w.V[k][c]*w.V[k][c])*inv + m.phiS[c]
+			}
+		}
+		lapE := tr.Laplacian(tr.Analyze(w.eGrid))
+		for idx := range nd[k] {
+			nd[k][idx] -= lapE[idx]
+		}
+		// Temperature: flux form advection plus grid sources.
+		adv := tr.AnalyzeDivForm(w.fluxA[k], w.fluxB[k])
+		src := tr.Analyze(w.tSrc[k])
+		nt[k] = src
+		for idx := range nt[k] {
+			nt[k][idx] -= adv[idx]
+		}
+	}
+	np := tr.Analyze(w.psSrc)
+
+	// --- Semi-implicit add-backs (spectral, using the current divergence).
+	ncf := m.cfg.Trunc.Count()
+	for idx := 0; idx < ncf; idx++ {
+		var bD complex128
+		for l := 0; l < nlev; l++ {
+			bD += complex(vg.DSig[l], 0) * m.cur.div[l][idx]
+		}
+		np[idx] += bD
+	}
+	for k := 0; k < nlev; k++ {
+		arow := vg.ThermoRow(k)
+		for idx := 0; idx < ncf; idx++ {
+			var s complex128
+			for l := 0; l < nlev; l++ {
+				s += complex(arow[l], 0) * m.cur.div[l][idx]
+			}
+			nt[k][idx] += s
+		}
+	}
+
+	// --- Assemble and solve the implicit system per coefficient.
+	var tSI time.Time
+	if m.costEnabled {
+		tSI = time.Now()
+	}
+	plus := m.takePlus()
+	a2 := a * a
+	ttil := make([]complex128, nlev)
+	yv := make([]complex128, nlev)
+	rhsRe := make([]float64, nlev)
+	rhsIm := make([]float64, nlev)
+	for idx := 0; idx < ncf; idx++ {
+		n := w.nOf[idx]
+		cn := float64(n*(n+1)) / a2
+		qtil := m.old.lnps[idx] + complex(dt, 0)*np[idx]
+		for k := 0; k < nlev; k++ {
+			ttil[k] = m.old.temp[k][idx] + complex(dt, 0)*nt[k][idx]
+		}
+		for k := 0; k < nlev; k++ {
+			grow := vg.HydroRow(k)
+			var s complex128
+			for l := 0; l < nlev; l++ {
+				s += complex(grow[l], 0) * ttil[l]
+			}
+			yv[k] = s + complex(RDry*TRef, 0)*qtil
+		}
+		for k := 0; k < nlev; k++ {
+			rhs := m.old.div[k][idx] + complex(dt, 0)*nd[k][idx] + complex(dt*cn, 0)*yv[k]
+			rhsRe[k] = real(rhs)
+			rhsIm[k] = imag(rhs)
+		}
+		si.Solve(n, rhsRe)
+		si.Solve(n, rhsIm)
+		// rhsRe/Im now hold Dbar.
+		var bD complex128
+		for k := 0; k < nlev; k++ {
+			dbar := complex(rhsRe[k], rhsIm[k])
+			plus.div[k][idx] = 2*dbar - m.old.div[k][idx]
+			bD += complex(vg.DSig[k], 0) * dbar
+		}
+		plus.lnps[idx] = 2*(qtil-complex(dt, 0)*bD) - m.old.lnps[idx]
+		for k := 0; k < nlev; k++ {
+			arow := vg.ThermoRow(k)
+			var aD complex128
+			for l := 0; l < nlev; l++ {
+				aD += complex(arow[l], 0) * complex(rhsRe[l], rhsIm[l])
+			}
+			plus.temp[k][idx] = 2*(ttil[k]-complex(dt, 0)*aD) - m.old.temp[k][idx]
+			plus.vort[k][idx] = m.old.vort[k][idx] + complex(2*dt, 0)*nz[k][idx]
+		}
+	}
+	if m.costEnabled {
+		m.lastCost.SemiImplicit = time.Since(tSI).Seconds()
+	}
+	return plus
+}
+
+// vadv computes the centered vertical advection (sigma-dot dX/dsigma) at
+// full level k for column c of a per-level field.
+func (m *Model) vadv(x [][]float64, k, c int) float64 {
+	vg := m.vg
+	w := m.phy.w
+	nlev := m.cfg.NLev
+	var lower, upper float64
+	if k > 0 {
+		upper = w.sdot[k][c] * (x[k][c] - x[k-1][c]) / (vg.Full[k] - vg.Full[k-1])
+	}
+	if k < nlev-1 {
+		lower = w.sdot[k+1][c] * (x[k+1][c] - x[k][c]) / (vg.Full[k+1] - vg.Full[k])
+	}
+	return 0.5 * (lower + upper)
+}
+
+// applyHyperdiffusion damps vorticity, divergence and temperature with an
+// implicit del^4 factor, scale-selectively.
+func (m *Model) applyHyperdiffusion(s *specState, dt float64) {
+	k4 := m.cfg.Diff4
+	if k4 <= 0 {
+		return
+	}
+	a2 := sphere.Radius * sphere.Radius
+	w := m.phy.w
+	for idx, n := range w.nOf {
+		cn := float64(n*(n+1)) / a2
+		f := complex(1/(1+2*dt*k4*cn*cn), 0)
+		for k := 0; k < m.cfg.NLev; k++ {
+			s.vort[k][idx] *= f
+			s.div[k][idx] *= f
+			s.temp[k][idx] *= f
+		}
+	}
+}
+
+// updateDiagnostics refreshes the per-step global diagnostics.
+func (m *Model) updateDiagnostics() {
+	ps := m.GridPs()
+	m.diag.MeanPs = m.grid.AreaMean(ps)
+	tsum, wsum := 0.0, 0.0
+	for k := 0; k < m.cfg.NLev; k++ {
+		tg := m.tr.Synthesize(m.cur.temp[k])
+		mean := m.grid.AreaMean(tg)
+		tsum += mean * m.vg.DSig[k]
+		wsum += m.vg.DSig[k]
+	}
+	m.diag.MeanT = tsum / wsum
+	// Wind maximum at a mid-tropospheric level.
+	k := m.cfg.NLev * 3 / 4
+	u, v := m.GridWinds(k)
+	mx, ke := 0.0, 0.0
+	for c := range u {
+		sp := math.Hypot(u[c], v[c])
+		if sp > mx {
+			mx = sp
+		}
+		ke += 0.5 * sp * sp
+	}
+	m.diag.MaxWind = mx
+	m.diag.KineticMean = ke / float64(len(u))
+	m.diag.PrecipMean = m.phy.meanPrecip
+	m.diag.EvapMean = m.phy.meanEvap
+}

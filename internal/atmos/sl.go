@@ -1,0 +1,103 @@
+package atmos
+
+import (
+	"math"
+	"sort"
+
+	"foam/internal/sphere"
+)
+
+// advectMoisture transports the grid specific humidity with a
+// semi-Lagrangian step in the horizontal (the PCCM2 approach the paper
+// cites) and upstream differencing in the vertical, using the winds and
+// sigma velocity computed by the preceding dynamics step.
+func (m *Model) advectMoisture(plus *specState) {
+	w := m.phy.w
+	if w == nil {
+		return
+	}
+	nlat, nlon, nlev := m.cfg.NLat, m.cfg.NLon, m.cfg.NLev
+	dt := m.cfg.Dt
+	a := sphere.Radius
+
+	lats := make([]float64, nlat)
+	for j := 0; j < nlat; j++ {
+		lats[j] = math.Asin(m.geom.mu[j])
+	}
+	dlon := 2 * math.Pi / float64(nlon)
+
+	qNew := make([]float64, nlat*nlon)
+	for k := 0; k < nlev; k++ {
+		q := m.q[k]
+		for j := 0; j < nlat; j++ {
+			om2 := m.geom.oneMu2[j]
+			cosl := math.Sqrt(om2)
+			lat := lats[j]
+			for i := 0; i < nlon; i++ {
+				c := j*nlon + i
+				lam := dlon * float64(i)
+				lamD := lam - w.U[k][c]*dt/(a*om2)
+				latD := lat - w.V[k][c]*dt/(a*cosl)
+				qNew[c] = interpLatLon(q, lats, nlon, latD, lamD)
+			}
+		}
+		copy(q, qNew)
+	}
+
+	// Vertical upstream transport with the diagnosed sigma velocity.
+	colQ := make([]float64, nlev)
+	for c := 0; c < nlat*nlon; c++ {
+		for k := 0; k < nlev; k++ {
+			colQ[k] = m.q[k][c]
+		}
+		for k := 0; k < nlev; k++ {
+			var tend float64
+			if k > 0 {
+				sd := w.sdot[k][c]
+				if sd > 0 { // downward motion brings air from above
+					tend -= sd * (colQ[k] - colQ[k-1]) / (m.vg.Full[k] - m.vg.Full[k-1])
+				}
+			}
+			if k < nlev-1 {
+				sd := w.sdot[k+1][c]
+				if sd < 0 { // upward motion brings air from below
+					tend -= sd * (colQ[k+1] - colQ[k]) / (m.vg.Full[k+1] - m.vg.Full[k])
+				}
+			}
+			m.q[k][c] = math.Max(colQ[k]+tend*dt, 1e-9)
+		}
+	}
+}
+
+// interpLatLon bilinearly interpolates a row-major (lat ascending, lon
+// periodic) field at the given point, clamping latitude to the grid rows.
+func interpLatLon(f, lats []float64, nlon int, lat, lon float64) float64 {
+	nlat := len(lats)
+	// Longitude: periodic.
+	dlon := 2 * math.Pi / float64(nlon)
+	lon = math.Mod(lon, 2*math.Pi)
+	if lon < 0 {
+		lon += 2 * math.Pi
+	}
+	fi := lon / dlon
+	i0 := int(math.Floor(fi)) % nlon
+	i1 := (i0 + 1) % nlon
+	wx := fi - math.Floor(fi)
+
+	// Latitude: clamp to [lats[0], lats[nlat-1]].
+	if lat <= lats[0] {
+		return (1-wx)*f[i0] + wx*f[i1]
+	}
+	if lat >= lats[nlat-1] {
+		base := (nlat - 1) * nlon
+		return (1-wx)*f[base+i0] + wx*f[base+i1]
+	}
+	j1 := sort.SearchFloat64s(lats, lat)
+	j0 := j1 - 1
+	wy := (lat - lats[j0]) / (lats[j1] - lats[j0])
+	b0 := j0 * nlon
+	b1 := j1 * nlon
+	v0 := (1-wx)*f[b0+i0] + wx*f[b0+i1]
+	v1 := (1-wx)*f[b1+i0] + wx*f[b1+i1]
+	return (1-wy)*v0 + wy*v1
+}

@@ -1,0 +1,35 @@
+package baseline
+
+import (
+	"testing"
+
+	"foam/internal/ocean"
+)
+
+func TestOceanSecondsPerDayPositive(t *testing.T) {
+	cfg := ocean.DefaultConfig()
+	cfg.NLat, cfg.NLon, cfg.NLev = 32, 32, 4
+	sec, err := OceanSecondsPerDay(cfg, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 {
+		t.Fatalf("nonpositive cost %v", sec)
+	}
+}
+
+// The headline comparison: the FOAM formulation must beat the conventional
+// unsplit formulation by a wide margin in simulated time per computation
+// (the paper claims roughly tenfold against its contemporaries).
+func TestFOAMBeatsBaseline(t *testing.T) {
+	cfg := ocean.DefaultConfig()
+	cfg.NLat, cfg.NLon, cfg.NLev = 32, 32, 4
+	foamSec, baseSec, ratio, err := SpeedAdvantage(cfg, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 3 {
+		t.Fatalf("FOAM advantage only %.1fx (foam %.3f s/day, baseline %.3f s/day)",
+			ratio, foamSec, baseSec)
+	}
+}

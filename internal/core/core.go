@@ -1,0 +1,176 @@
+// Package core assembles the Fast Ocean-Atmosphere Model: the R15 spectral
+// atmosphere, the 128x128 Mercator ocean, and the coupler, on the paper's
+// multi-rate schedule — a 30-minute atmosphere step, radiation twice per
+// simulated day, and the ocean called four times per simulated day with
+// fluxes averaged over the interval.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"foam/internal/atmos"
+	"foam/internal/coupler"
+	"foam/internal/data"
+	"foam/internal/ocean"
+	"foam/internal/spectral"
+	"foam/internal/sphere"
+)
+
+// Config configures the coupled model.
+type Config struct {
+	Atm atmos.Config
+	Ocn ocean.Config
+
+	// OceanEvery is the number of atmosphere steps per ocean call (12 at
+	// the default steps: 6 h / 30 min).
+	OceanEvery int
+
+	// Flat disables the synthetic orography.
+	Flat bool
+}
+
+// DefaultConfig is the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Atm:        atmos.DefaultConfig(),
+		Ocn:        ocean.DefaultConfig(),
+		OceanEvery: 12,
+	}
+}
+
+// ReducedConfig is a cheap configuration for tests and long-variability
+// runs: an R5 atmosphere on its matched grid with 8 levels and a 48x48
+// ocean with 8 levels. The multi-rate structure (radiation twice daily,
+// ocean four times daily) is preserved.
+func ReducedConfig() Config {
+	c := Config{}
+	c.Atm = atmos.ConfigForTruncation(spectral.Rhomboidal(5), 8)
+	c.Atm.RadiationEvery = int(43200 / c.Atm.Dt)
+	c.Ocn = ocean.DefaultConfig()
+	c.Ocn.NLat, c.Ocn.NLon, c.Ocn.NLev = 48, 48, 8
+	c.OceanEvery = int(21600 / c.Atm.Dt)
+	if c.OceanEvery < 1 {
+		c.OceanEvery = 1
+	}
+	return c
+}
+
+// Validate checks cross-component consistency.
+func (c Config) Validate() error {
+	if err := c.Atm.Validate(); err != nil {
+		return err
+	}
+	if err := c.Ocn.Validate(); err != nil {
+		return err
+	}
+	if c.OceanEvery < 1 {
+		return fmt.Errorf("core: OceanEvery must be >= 1")
+	}
+	if math.Abs(float64(c.OceanEvery)*c.Atm.Dt-c.Ocn.DtTracer) > 1 {
+		return fmt.Errorf("core: ocean call interval %.0f s does not match the ocean tracer step %.0f s",
+			float64(c.OceanEvery)*c.Atm.Dt, c.Ocn.DtTracer)
+	}
+	return nil
+}
+
+// Model is the coupled FOAM model (serial driver; the message-passing
+// driver lives in parallel.go).
+type Model struct {
+	cfg Config
+
+	Atm *atmos.Model
+	Ocn *ocean.Model
+	Cpl *coupler.Coupler
+
+	step int // atmosphere steps completed
+}
+
+// New builds the coupled model on the synthetic Earth.
+func New(cfg Config) (*Model, error) {
+	// Match the ocean tracer step to the coupling interval.
+	cfg.Ocn.DtTracer = float64(cfg.OceanEvery) * cfg.Atm.Dt
+	if cfg.Ocn.DtInternal > cfg.Ocn.DtTracer {
+		cfg.Ocn.DtInternal = cfg.Ocn.DtTracer
+	}
+	if cfg.Ocn.DtBaro > cfg.Ocn.DtInternal {
+		cfg.Ocn.DtBaro = cfg.Ocn.DtInternal
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{cfg: cfg}
+
+	ocnGrid := sphere.NewMercatorGrid(cfg.Ocn.NLat, cfg.Ocn.NLon, cfg.Ocn.LatSouth, cfg.Ocn.LatNorth)
+	kmt := data.OceanKMT(ocnGrid, cfg.Ocn.NLev)
+	oc, err := ocean.New(cfg.Ocn, kmt)
+	if err != nil {
+		return nil, err
+	}
+	m.Ocn = oc
+
+	cp := coupler.New(sphere.NewGaussianGrid(cfg.Atm.NLat, cfg.Atm.NLon), oc.Grid(), oc.Mask())
+	m.Cpl = cp
+
+	at, err := atmos.New(cfg.Atm, cp)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.Flat {
+		at.SetOrography(data.Orography(at.Grid()))
+	}
+	m.Atm = at
+	// Give the coupler the initial ocean state.
+	cp.AbsorbOcean(oc)
+	return m, nil
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// StepCount returns completed atmosphere steps.
+func (m *Model) StepCount() int { return m.step }
+
+// SimTime returns the simulated time in seconds.
+func (m *Model) SimTime() float64 { return float64(m.step) * m.cfg.Atm.Dt }
+
+// Step advances one atmosphere step, calling the ocean on schedule.
+func (m *Model) Step() {
+	m.Atm.Step()
+	m.step++
+	if m.step%m.cfg.OceanEvery == 0 {
+		f := m.Cpl.DrainOceanForcing(m.cfg.Ocn.DtTracer)
+		m.Ocn.Step(f)
+		m.Cpl.AbsorbOcean(m.Ocn)
+		u, v := m.Ocn.SurfaceCurrents()
+		m.Cpl.AdvectIce(u, v, m.cfg.Ocn.DtTracer)
+	}
+}
+
+// StepDays advances whole simulated days.
+func (m *Model) StepDays(days float64) {
+	steps := int(days * sphere.SecondsPerDay / m.cfg.Atm.Dt)
+	for s := 0; s < steps; s++ {
+		m.Step()
+	}
+}
+
+// Diagnostics bundles component diagnostics.
+type Diagnostics struct {
+	Atm atmos.StepDiagnostics
+	Ocn ocean.Diagnostics
+	// MeanSSTModel is the area-mean model SST over wet cells, deg C.
+	MeanSSTModel float64
+}
+
+// Diagnostics returns the latest combined diagnostics.
+func (m *Model) Diagnostics() Diagnostics {
+	return Diagnostics{
+		Atm:          m.Atm.Diagnostics(),
+		Ocn:          m.Ocn.Diagnostics(),
+		MeanSSTModel: m.Ocn.Diagnostics().MeanSST,
+	}
+}
+
+// SST returns the model sea surface temperature (deg C, ocean grid, live).
+func (m *Model) SST() []float64 { return m.Ocn.SST() }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReducedCoupledWeek(t *testing.T) {
+	cfg := ReducedConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StepDays(7)
+	d := m.Diagnostics()
+	if math.IsNaN(d.Atm.MeanT) || d.Atm.MeanT < 180 || d.Atm.MeanT > 330 {
+		t.Fatalf("atmosphere mean T %v out of range", d.Atm.MeanT)
+	}
+	if d.Atm.MeanPs < 9.0e4 || d.Atm.MeanPs > 1.1e5 {
+		t.Fatalf("mean surface pressure %v", d.Atm.MeanPs)
+	}
+	if math.IsNaN(d.Ocn.MeanSST) || d.Ocn.MeanSST < -2 || d.Ocn.MeanSST > 35 {
+		t.Fatalf("ocean mean SST %v out of range", d.Ocn.MeanSST)
+	}
+	if d.Ocn.MaxSpeed > 3.01 {
+		t.Fatalf("ocean speed %v beyond limiter", d.Ocn.MaxSpeed)
+	}
+	if d.Atm.MaxWind > 250 {
+		t.Fatalf("atmosphere wind %v unstable", d.Atm.MaxWind)
+	}
+}
+
+func TestCoupledOceanCalledOnSchedule(t *testing.T) {
+	cfg := ReducedConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Ocn.StepCount()
+	for s := 0; s < cfg.OceanEvery; s++ {
+		m.Step()
+	}
+	if m.Ocn.StepCount() != before+1 {
+		t.Fatalf("ocean stepped %d times, want 1", m.Ocn.StepCount()-before)
+	}
+	if m.SimTime() != float64(cfg.OceanEvery)*cfg.Atm.Dt {
+		t.Fatalf("sim time %v", m.SimTime())
+	}
+}
+
+func TestWaterBudgetClosure(t *testing.T) {
+	cfg := ReducedConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spin two days first so precipitation fields exist.
+	m.StepDays(2)
+	m.Cpl.ResetBudget()
+	riverBefore := m.Cpl.River.TotalStorage() * 1000 // m^3 -> kg
+	// Land stores: bucket + snow, in kg.
+	landStore := func() float64 {
+		g := m.Atm.Grid()
+		tot := 0.0
+		for j := 0; j < g.NLat(); j++ {
+			for i := 0; i < g.NLon(); i++ {
+				c := g.Index(j, i)
+				if m.Cpl.Land.IsLand(c) {
+					lf := m.Cpl.LandFraction()[c]
+					tot += (m.Cpl.Land.SoilWater(c) + m.Cpl.Land.SnowDepth(c)) * 1000 * g.Area(j, i) * lf
+				}
+			}
+		}
+		return tot
+	}
+	lBefore := landStore()
+	m.StepDays(3)
+	b := m.Cpl.Budget()
+	dStore := landStore() - lBefore + m.Cpl.River.TotalStorage()*1000 - riverBefore
+	// Closure: P - E - RiverToOcean = change in (land + river) storage.
+	lhs := b.Precip - b.Evap - b.RiverToOcean
+	scale := math.Max(b.Precip, 1)
+	if rel := math.Abs(lhs-dStore) / scale; rel > 0.05 {
+		t.Fatalf("water budget not closed: P-E-R=%v dStore=%v (rel %.3f, P=%v)",
+			lhs, dStore, rel, b.Precip)
+	}
+	if b.Precip <= 0 {
+		t.Fatal("no precipitation over land")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := cfg
+	bad.OceanEvery = 0
+	if bad.Validate() == nil {
+		t.Fatal("OceanEvery=0 should fail")
+	}
+	bad = cfg
+	bad.OceanEvery = 7 // 3.5 h vs 6 h ocean step
+	if bad.Validate() == nil {
+		t.Fatal("mismatched coupling interval should fail")
+	}
+}

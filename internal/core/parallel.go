@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+
+	"foam/internal/mp"
+)
+
+// ParallelSpec describes the simulated machine partition for a traced run:
+// the paper's production layout is 16 atmosphere ranks + 1 ocean rank (17
+// nodes) or 32 + 2 (34 nodes), with the coupler co-resident on the
+// atmosphere ranks.
+type ParallelSpec struct {
+	AtmRanks int
+	OcnRanks int
+	Link     mp.LinkParams
+}
+
+// DefaultSpec is the 17-node layout of the paper's Figure 2.
+func DefaultSpec() ParallelSpec {
+	return ParallelSpec{AtmRanks: 16, OcnRanks: 1, Link: mp.SPLink}
+}
+
+// TraceResult is the outcome of a trace-driven parallel run.
+type TraceResult struct {
+	Comms       []*mp.Comm // per-rank virtual timelines (atm ranks first)
+	SimSeconds  float64    // simulated model time covered
+	MachineTime float64    // virtual wall time on the simulated machine
+	Speedup     float64    // SimSeconds / MachineTime
+	SerialTime  float64    // total single-rank busy time (for efficiency)
+	Efficiency  float64    // SerialTime / (MachineTime * ranks)
+}
+
+// stepTrace is the recorded cost of one atmosphere step (plus the ocean
+// step when one occurred at its end).
+type stepTrace struct {
+	dynRows   float64
+	si        float64
+	moisture  float64
+	physRows  []float64
+	boundary  float64
+	oceanStep float64 // 0 when the ocean was not called
+}
+
+// atmPartition chooses the 2-D (latitude-pair x longitude) decomposition
+// for p atmosphere ranks, mirroring PCCM2's constraints: latitude pairs are
+// the primary axis (nlat/2 of them) and the longitude axis is limited, so
+// scaling collapses when p exceeds what the pairs can feed — the paper's
+// "constraints on the domain decomposition ... in low resolution
+// applications" that spoiled its 68-node run.
+func atmPartition(p, nlat int) (plat, plon int) {
+	pairs := nlat / 2
+	plon = 1
+	plat = p
+	for plat > pairs {
+		plon++
+		if p%plon != 0 {
+			continue
+		}
+		plat = p / plon
+	}
+	if plat*plon != p {
+		plat = p / plon
+	}
+	return plat, plon
+}
+
+// RunTraced runs the coupled model serially for the given number of days
+// while recording per-step cost traces, then replays the trace on a
+// simulated message-passing machine with the given partition. The replay
+// exchanges real mp messages (correct sizes) so waiting, load imbalance and
+// bandwidth all shape the virtual timelines — the quantities behind the
+// paper's Figure 2 and its Section 5 throughput numbers.
+func RunTraced(cfg Config, days float64, spec ParallelSpec) (*TraceResult, *Model, error) {
+	if spec.AtmRanks < 1 || spec.OcnRanks < 1 {
+		return nil, nil, fmt.Errorf("core: need at least one rank per component")
+	}
+	m, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.Atm.EnableCostTrace()
+
+	steps := int(days * 86400 / cfg.Atm.Dt)
+	traces := make([]stepTrace, 0, steps)
+	for s := 0; s < steps; s++ {
+		m.Atm.Step()
+		m.step++
+		c := m.Atm.LastCost()
+		tr := stepTrace{
+			dynRows:  c.DynRows,
+			si:       c.SemiImplicit,
+			moisture: c.Moisture,
+			boundary: c.Boundary,
+			physRows: append([]float64(nil), c.PhysRows...),
+		}
+		if m.step%cfg.OceanEvery == 0 {
+			f := m.Cpl.DrainOceanForcing(m.cfg.Ocn.DtTracer)
+			m.Ocn.Step(f)
+			m.Cpl.AbsorbOcean(m.Ocn)
+			u, v := m.Ocn.SurfaceCurrents()
+			m.Cpl.AdvectIce(u, v, m.cfg.Ocn.DtTracer)
+			tr.oceanStep = m.Ocn.LastStepSeconds()
+		}
+		traces = append(traces, tr)
+	}
+
+	res := replayTrace(m, traces, spec)
+	res.SimSeconds = float64(steps) * cfg.Atm.Dt
+	res.Speedup = res.SimSeconds / res.MachineTime
+	return res, m, nil
+}
+
+// Message tags for the replay.
+const (
+	tagForcing = 100
+	tagSST     = 200
+	tagHaloLo  = 300
+	tagHaloHi  = 301
+)
+
+// replayTrace replays recorded step costs on an mp world.
+func replayTrace(m *Model, traces []stepTrace, spec ParallelSpec) *TraceResult {
+	nlat := m.cfg.Atm.NLat
+	plat, plon := atmPartition(spec.AtmRanks, nlat)
+	nAtm := spec.AtmRanks
+	nOcn := spec.OcnRanks
+	world := mp.NewWorld(nAtm+nOcn, mp.WithLink(spec.Link), mp.WithComputeScale(1))
+
+	// Pre-compute per-rank row shares: latitude pairs dealt to plat blocks.
+	pairs := nlat / 2
+	pairOwner := make([]int, pairs)
+	for p := 0; p < pairs; p++ {
+		pairOwner[p] = p * plat / pairs
+	}
+	rowsOf := func(latBlock int) []int {
+		var rows []int
+		for p := 0; p < pairs; p++ {
+			if pairOwner[p] == latBlock {
+				rows = append(rows, p, nlat-1-p)
+			}
+		}
+		return rows
+	}
+
+	// Message sizes.
+	ncoef := m.cfg.Atm.Trunc.Count()
+	nlev := m.cfg.Atm.NLev
+	specDoubles := ncoef * 2 * (3*nlev + 1) // vort, div, T per level + lnps
+	ocnN := m.Ocn.Grid().Size()
+
+	atmRanks := make([]int, nAtm)
+	for i := range atmRanks {
+		atmRanks[i] = i
+	}
+
+	comms := world.Run(func(c *mp.Comm) {
+		r := c.WorldRank()
+		if r < nAtm {
+			// Atmosphere + coupler rank.
+			latBlock := r / plon
+			rows := rowsOf(latBlock)
+			atm := c.Split(atmRanks)
+			for _, tr := range traces {
+				// Row-parallel dynamics + moisture, replicated SI solve.
+				rowWork := 0.0
+				for _, j := range rows {
+					rowWork += tr.physRows[j]
+				}
+				rowWork /= float64(plon)
+				uniform := (tr.dynRows + tr.moisture) * float64(len(rows)) / float64(nlat) / float64(plon)
+				c.AdvanceClock("atmosphere", uniform+tr.si+rowWork)
+				// Distributed spectral transform: two transposes per step
+				// (forward and inverse), following the Foster-Worley
+				// transpose algorithm the paper's atmosphere uses. Each
+				// rank exchanges its share of the spectral arrays.
+				chunk := specDoubles/(nAtm*nAtm) + 1
+				atm.Alltoall(make([]float64, chunk*nAtm), chunk)
+				atm.Alltoall(make([]float64, chunk*nAtm), chunk)
+				// Coupler work, split across atmosphere ranks.
+				c.AdvanceClock("coupler", tr.boundary/float64(nAtm))
+				if tr.oceanStep > 0 {
+					// Ship this rank's share of the ocean forcing to every
+					// ocean rank, then wait for the new surface state.
+					for o := 0; o < nOcn; o++ {
+						c.Send(nAtm+o, tagForcing, make([]float64, 4*ocnN/(nAtm*nOcn)+1))
+					}
+					for o := 0; o < nOcn; o++ {
+						c.Recv(nAtm+o, tagSST)
+					}
+				}
+			}
+		} else {
+			// Ocean rank.
+			o := r - nAtm
+			for _, tr := range traces {
+				if tr.oceanStep == 0 {
+					continue
+				}
+				for a := 0; a < nAtm; a++ {
+					c.Recv(a, tagForcing)
+				}
+				// Row-block share of the ocean step plus halo exchange with
+				// neighbouring ocean ranks (two rows each way per subcycle).
+				c.AdvanceClock("ocean", tr.oceanStep/float64(nOcn))
+				if nOcn > 1 {
+					halo := make([]float64, 2*m.cfg.Ocn.NLon*(2*m.cfg.Ocn.NLev+3))
+					sub := m.cfg.Ocn.Subcycles()
+					for s := 0; s < sub; s++ {
+						if o > 0 {
+							c.Sendrecv(r-1, tagHaloLo, halo, r-1, tagHaloHi)
+						}
+						if o < nOcn-1 {
+							c.Sendrecv(r+1, tagHaloHi, halo, r+1, tagHaloLo)
+						}
+					}
+				}
+				for a := 0; a < nAtm; a++ {
+					c.Send(a, tagSST, make([]float64, 2*ocnN/(nAtm*nOcn)+1))
+				}
+			}
+		}
+	})
+
+	res := &TraceResult{Comms: comms}
+	res.MachineTime = mp.MaxClock(comms)
+	res.SerialTime = mp.TotalBusy(comms)
+	res.Efficiency = res.SerialTime / (res.MachineTime * float64(len(comms)))
+	return res
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"foam/internal/atmos"
+	"foam/internal/ocean"
+)
+
+// Checkpoint is the complete restartable state of the coupled model. The
+// long simulations the paper targets (500+ years) run as restart chains;
+// checkpoints are taken at coupling boundaries so no mid-interval flux
+// accumulation needs to be stored.
+type Checkpoint struct {
+	Step int
+	Atm  *atmos.Snapshot
+	Ocn  *ocean.Snapshot
+
+	// Coupler surface state.
+	LandT     [][4]float64
+	LandWater []float64
+	LandSnow  []float64
+	RiverVol  []float64
+	IceThick  []float64
+	IceTSurf  []float64
+}
+
+// Checkpoint captures the model state. Call it right after an ocean step
+// (i.e. when StepCount() is a multiple of OceanEvery) for exact resume.
+func (m *Model) Checkpoint() *Checkpoint {
+	cp := m.Cpl
+	n := len(cp.Land.Water)
+	c := &Checkpoint{
+		Step:      m.step,
+		Atm:       m.Atm.Snapshot(),
+		Ocn:       m.Ocn.Snapshot(),
+		LandT:     append([][4]float64(nil), cp.Land.T...),
+		LandWater: append([]float64(nil), cp.Land.Water...),
+		LandSnow:  append([]float64(nil), cp.Land.Snow...),
+		RiverVol:  append([]float64(nil), cp.River.Volume...),
+		IceThick:  append([]float64(nil), cp.Ice.Thick...),
+		IceTSurf:  append([]float64(nil), cp.Ice.TSurf...),
+	}
+	_ = n
+	return c
+}
+
+// Restore installs a checkpoint onto a freshly constructed model with the
+// same configuration.
+func (m *Model) Restore(c *Checkpoint) error {
+	if c.Atm == nil || c.Ocn == nil {
+		return fmt.Errorf("core: incomplete checkpoint")
+	}
+	m.step = c.Step
+	m.Atm.Restore(c.Atm)
+	m.Ocn.Restore(c.Ocn)
+	copy(m.Cpl.Land.T, c.LandT)
+	copy(m.Cpl.Land.Water, c.LandWater)
+	copy(m.Cpl.Land.Snow, c.LandSnow)
+	copy(m.Cpl.River.Volume, c.RiverVol)
+	copy(m.Cpl.Ice.Thick, c.IceThick)
+	copy(m.Cpl.Ice.TSurf, c.IceTSurf)
+	m.Cpl.AbsorbOcean(m.Ocn)
+	return nil
+}
+
+// Save writes a checkpoint with gob encoding.
+func (c *Checkpoint) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(c)
+}
+
+// LoadCheckpoint reads a gob checkpoint.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// SaveFile and LoadFile are path conveniences.
+func (c *Checkpoint) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.Save(f)
+}
+
+// LoadCheckpointFile reads a checkpoint from a file.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
+}

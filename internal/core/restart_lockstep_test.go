@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRestartLockstep(t *testing.T) {
+	cfg := ReducedConfig()
+	b, _ := New(cfg)
+	b.StepDays(1)
+	chk := b.Checkpoint()
+	c, _ := New(cfg)
+	if err := c.Restore(chk); err != nil {
+		t.Fatal(err)
+	}
+	// Compare immediately.
+	cmpSST := func(step int) bool {
+		sb, sc := b.SST(), c.SST()
+		for i := range sb {
+			if sb[i] != sc[i] {
+				fmt.Printf("step %d: SST diff at %d: %e\n", step, i, sb[i]-sc[i])
+				return true
+			}
+		}
+		return false
+	}
+	cmpAtm := func(step int) bool {
+		db, dc := b.Atm.Diagnostics(), c.Atm.Diagnostics()
+		if db.MeanT != dc.MeanT {
+			fmt.Printf("step %d: atm meanT diff %e\n", step, db.MeanT-dc.MeanT)
+			return true
+		}
+		if db.PrecipMean != dc.PrecipMean {
+			fmt.Printf("step %d: precip diff %e\n", step, db.PrecipMean-dc.PrecipMean)
+			return true
+		}
+		if db.EvapMean != dc.EvapMean {
+			fmt.Printf("step %d: evap diff %e\n", step, db.EvapMean-dc.EvapMean)
+			return true
+		}
+		return false
+	}
+	if cmpSST(0) || cmpAtm(0) {
+		t.Fatal("diverged at restore")
+	}
+	for s := 1; s <= 16; s++ {
+		b.Step()
+		c.Step()
+		if cmpSST(s) || cmpAtm(s) {
+			t.Fatalf("diverged at step %d", s)
+		}
+	}
+	fmt.Println("16 lockstep steps identical")
+}

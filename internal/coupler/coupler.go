@@ -1,0 +1,425 @@
+package coupler
+
+import (
+	"math"
+
+	"foam/internal/atmos"
+	"foam/internal/data"
+	"foam/internal/land"
+	"foam/internal/ocean"
+	"foam/internal/river"
+	"foam/internal/seaice"
+	"foam/internal/sphere"
+)
+
+// Coupler wires the atmosphere to the surface: land model, river routing,
+// sea ice, and the ocean through the overlap grid. It implements
+// atmos.Boundary, accumulates the atmosphere-side forcing for the ocean
+// between the 6-hour ocean calls, and redistributes the ocean's state back.
+type Coupler struct {
+	AtmGrid *sphere.Grid
+	OcnGrid *sphere.Grid
+	Overlap *Overlap
+
+	Land  *land.Model
+	River *river.Model
+	Ice   *seaice.Model
+
+	// landFrac is the land fraction per atmosphere cell (1 = all land).
+	landFrac []float64
+	// wetAtmArea is the wet-ocean overlap area per atmosphere cell, m^2.
+	wetAtmArea []float64
+
+	// Ocean-side state mirrored on the ocean grid (refreshed by AbsorbOcean
+	// or, in the message-passing configuration, by received messages).
+	sstC    []float64 // deg C
+	ocnMask []float64
+	iceForm []float64 // kg/m^2/s freezing flux from the ocean clamp
+
+	// Forcing accumulators on the ocean grid (averaged over the atmosphere
+	// steps between ocean calls).
+	accTauX, accTauY []float64
+	accHeat, accFW   []float64
+	accSteps         int
+
+	// Runoff accumulator on the atmosphere grid.
+	accRunoff []float64
+
+	// Ocean-grid metrics for ice drift (lazy).
+	ocnDx, ocnDy, ocnCos []float64
+
+	// Scratch.
+	exch        *atmos.SurfaceExchange
+	atmOnOcn    lowestOnOcn
+	waterBudget WaterBudget
+}
+
+// lowestOnOcn holds atmosphere lowest-level state remapped to the ocean
+// grid, used to drive the per-ocean-cell sea ice model.
+type lowestOnOcn struct {
+	T, Q, U, V, Ps, Z, SW, LW, Snow []float64
+}
+
+// WaterBudget tracks the global hydrological cycle for closure tests
+// (experiment E9). All terms are kg accumulated since Reset.
+type WaterBudget struct {
+	Precip, Evap float64 // over land
+	Runoff       float64 // land -> rivers
+	RiverToOcean float64 // rivers -> ocean
+}
+
+// New builds a coupler for the given grids using the synthetic Earth for
+// masks, soils and river directions. ocnMask/kmt come from the ocean model.
+func New(atmGrid, ocnGrid *sphere.Grid, ocnMask []float64) *Coupler {
+	cp := &Coupler{AtmGrid: atmGrid, OcnGrid: ocnGrid}
+	cp.Overlap = BuildOverlap(atmGrid, ocnGrid)
+	cp.ocnMask = append([]float64(nil), ocnMask...)
+
+	// Land cells on the atmosphere grid: synthetic-Earth land, plus any
+	// cell with no wet-ocean overlap (polar caps beyond the ocean domain
+	// become ice-type land, standing in for the crude Arctic treatment the
+	// paper acknowledges).
+	oceanFrac := cp.Overlap.OceanFraction(cp.ocnMask)
+	n := atmGrid.Size()
+	mask := make([]bool, n)
+	types := data.SoilTypes(atmGrid)
+	cp.landFrac = make([]float64, n)
+	for j := 0; j < atmGrid.NLat(); j++ {
+		for i := 0; i < atmGrid.NLon(); i++ {
+			c := atmGrid.Index(j, i)
+			cp.landFrac[c] = 1 - oceanFrac[c]
+			isLand := data.IsLand(atmGrid.Lats[j], atmGrid.Lons[i])
+			if isLand {
+				cp.landFrac[c] = math.Max(cp.landFrac[c], 0.5)
+			}
+			if cp.landFrac[c] > 0.01 {
+				mask[c] = true
+				if !isLand && math.Abs(atmGrid.Lats[j]) > 66*sphere.Deg2Rad {
+					types[c] = data.SoilIce // polar cap beyond the ocean grid
+				}
+			}
+		}
+	}
+	cp.Land = land.New(atmGrid, types, mask)
+	cp.River = river.New(data.BuildRivers(atmGrid))
+	cp.Ice = seaice.New(ocnGrid.Size())
+
+	// Wet overlap area per atmosphere cell, for ocean-piece weights.
+	cp.wetAtmArea = make([]float64, n)
+	for _, piece := range cp.Overlap.Cells {
+		if piece.Ocn >= 0 && cp.ocnMask[piece.Ocn] > 0 {
+			cp.wetAtmArea[piece.Atm] += piece.Area
+		}
+	}
+
+	cp.sstC = make([]float64, ocnGrid.Size())
+	for c := range cp.sstC {
+		cp.sstC[c] = 15
+	}
+	cp.iceForm = make([]float64, ocnGrid.Size())
+	cp.accTauX = make([]float64, ocnGrid.Size())
+	cp.accTauY = make([]float64, ocnGrid.Size())
+	cp.accHeat = make([]float64, ocnGrid.Size())
+	cp.accFW = make([]float64, ocnGrid.Size())
+	cp.accRunoff = make([]float64, n)
+	cp.exch = atmos.NewSurfaceExchange(n)
+	m := ocnGrid.Size()
+	cp.atmOnOcn = lowestOnOcn{
+		T: make([]float64, m), Q: make([]float64, m), U: make([]float64, m),
+		V: make([]float64, m), Ps: make([]float64, m), Z: make([]float64, m),
+		SW: make([]float64, m), LW: make([]float64, m), Snow: make([]float64, m),
+	}
+	return cp
+}
+
+// LandFraction returns the per-atm-cell land fraction.
+func (cp *Coupler) LandFraction() []float64 { return cp.landFrac }
+
+// SetSST installs the ocean surface temperature (deg C, ocean grid) used
+// for flux computation until the next update.
+func (cp *Coupler) SetSST(sst []float64) { copy(cp.sstC, sst) }
+
+// SetIceFormation installs the ocean's freezing flux diagnostic.
+func (cp *Coupler) SetIceFormation(fl []float64) { copy(cp.iceForm, fl) }
+
+// AbsorbOcean refreshes the mirrored ocean state from a local ocean model.
+func (cp *Coupler) AbsorbOcean(oc *ocean.Model) {
+	cp.SetSST(oc.SST())
+	cp.SetIceFormation(oc.IceFormation())
+}
+
+// AdvectIce drifts the sea ice with the ocean surface currents over one
+// coupling interval (free drift; the dynamic extension the paper flags as
+// future work).
+func (cp *Coupler) AdvectIce(u, v []float64, dt float64) {
+	g := cp.OcnGrid
+	nlat, nlon := g.NLat(), g.NLon()
+	if cp.ocnDx == nil {
+		cp.ocnDx = make([]float64, nlat)
+		cp.ocnDy = make([]float64, nlat)
+		cp.ocnCos = make([]float64, nlat)
+		dlon := 2 * math.Pi / float64(nlon)
+		for j := 0; j < nlat; j++ {
+			cp.ocnCos[j] = math.Cos(g.Lats[j])
+			cp.ocnDx[j] = sphere.Radius * cp.ocnCos[j] * dlon
+			switch {
+			case j == 0:
+				cp.ocnDy[j] = sphere.Radius * (g.Lats[1] - g.Lats[0])
+			case j == nlat-1:
+				cp.ocnDy[j] = sphere.Radius * (g.Lats[j] - g.Lats[j-1])
+			default:
+				cp.ocnDy[j] = sphere.Radius * 0.5 * (g.Lats[j+1] - g.Lats[j-1])
+			}
+		}
+	}
+	cp.Ice.Advect(u, v, cp.ocnMask, cp.ocnDx, cp.ocnDy, cp.ocnCos, nlat, nlon, dt)
+}
+
+// Budget returns the accumulated water budget terms.
+func (cp *Coupler) Budget() WaterBudget { return cp.waterBudget }
+
+// ResetBudget zeroes the accumulated water budget.
+func (cp *Coupler) ResetBudget() { cp.waterBudget = WaterBudget{} }
+
+// Exchange implements atmos.Boundary: one atmosphere-step surface exchange.
+func (cp *Coupler) Exchange(in *atmos.LowestLevel, dt float64) *atmos.SurfaceExchange {
+	g := cp.AtmGrid
+	ex := cp.exch
+	n := g.Size()
+	// Zero the composite outputs.
+	for c := 0; c < n; c++ {
+		ex.TSurf[c] = 0
+		ex.Albedo[c] = 0
+		ex.TauX[c] = 0
+		ex.TauY[c] = 0
+		ex.Sensible[c] = 0
+		ex.Evap[c] = 0
+	}
+
+	// --- Land fraction of every land-flagged cell.
+	runoffNow := make([]float64, n)
+	for j := 0; j < g.NLat(); j++ {
+		for i := 0; i < g.NLon(); i++ {
+			c := g.Index(j, i)
+			if !cp.Land.IsLand(c) {
+				continue
+			}
+			lin := land.Input{
+				SWDown: in.SWDown[c], LWDown: in.LWDown[c],
+				TAir: in.T[c], QAir: in.Q[c], UAir: in.U[c], VAir: in.V[c],
+				Ps: in.Ps[c], ZRef: in.Z[c],
+				Rain: in.RainRate[c], Snowfall: in.SnowRate[c],
+			}
+			lo := cp.Land.Step(c, lin, dt)
+			w := cp.landFrac[c]
+			ex.TSurf[c] += w * lo.TSurf
+			ex.Albedo[c] += w * lo.Albedo
+			ex.TauX[c] += w * lo.TauX
+			ex.TauY[c] += w * lo.TauY
+			ex.Sensible[c] += w * lo.Sensible
+			ex.Evap[c] += w * lo.Evap
+			runoffNow[c] = (lo.Runoff + lo.SnowShed) * w
+			area := g.Area(j, i)
+			cp.waterBudget.Precip += (in.RainRate[c] + in.SnowRate[c]) * w * area * dt
+			cp.waterBudget.Evap += lo.Evap * w * area * dt
+			cp.waterBudget.Runoff += runoffNow[c] * area * dt
+		}
+	}
+	for c := 0; c < n; c++ {
+		cp.accRunoff[c] += runoffNow[c]
+	}
+
+	// --- Sea ice on the ocean grid: remap the atmospheric state once.
+	cp.remapLowest(in)
+	iceOut := make([]*seaice.Output, cp.OcnGrid.Size())
+	for oc := 0; oc < cp.OcnGrid.Size(); oc++ {
+		if cp.ocnMask[oc] == 0 {
+			continue
+		}
+		if cp.Ice.Present(oc) || cp.iceForm[oc] > 0 {
+			iin := seaice.Input{
+				SWDown: cp.atmOnOcn.SW[oc], LWDown: cp.atmOnOcn.LW[oc],
+				TAir: cp.atmOnOcn.T[oc], QAir: cp.atmOnOcn.Q[oc],
+				UAir: cp.atmOnOcn.U[oc], VAir: cp.atmOnOcn.V[oc],
+				Ps: cp.atmOnOcn.Ps[oc], ZRef: cp.atmOnOcn.Z[oc],
+				Snowfall:    cp.atmOnOcn.Snow[oc],
+				OceanFreeze: cp.iceForm[oc],
+			}
+			out := cp.Ice.Step(oc, iin, dt)
+			melt := cp.Ice.BasalMelt(oc, cp.sstC[oc], dt)
+			out.MeltWater += melt
+			iceOut[oc] = &out
+		}
+	}
+
+	// --- Per-overlap-piece air-sea fluxes (the paper's Figure 1 scheme).
+	for _, piece := range cp.Overlap.Cells {
+		oc := piece.Ocn
+		if oc < 0 || cp.ocnMask[oc] == 0 {
+			continue
+		}
+		a := piece.Atm
+		if cp.wetAtmArea[a] == 0 {
+			continue
+		}
+		wAtm := piece.Area / cp.wetAtmArea[a] * (1 - cp.landFrac[a])
+		wOcn := piece.Area / cp.Overlap.OcnArea[oc]
+		if io := iceOut[oc]; io != nil && cp.Ice.Present(oc) {
+			// Ice-covered piece: the ice model already produced fluxes.
+			ex.TSurf[a] += wAtm * io.TSurf
+			ex.Albedo[a] += wAtm * io.Albedo
+			ex.TauX[a] += wAtm * io.TauXAtm
+			ex.TauY[a] += wAtm * io.TauYAtm
+			ex.Sensible[a] += wAtm * io.Sensible
+			ex.Evap[a] += wAtm * io.Evap
+			// The ocean's freeze clamp already accounted for the latent
+			// heat and brine of formation internally; only melt water and
+			// conduction cross here.
+			cp.accTauX[oc] += wOcn * io.TauXOcean
+			cp.accTauY[oc] += wOcn * io.TauYOcean
+			cp.accHeat[oc] += wOcn * io.OceanHeat
+			cp.accFW[oc] += wOcn * io.MeltWater
+			continue
+		}
+		// Open-water piece: CCM3 bulk formulas with wind-dependent
+		// roughness over the ocean.
+		sstK := cp.sstC[oc] + 273.15
+		wind := math.Hypot(in.U[a], in.V[a])
+		z0 := atmos.OceanRoughness(wind, true)
+		ri := atmos.BulkRichardson(in.Z[a], sstK, in.T[a], in.Q[a], wind)
+		cd, ce := atmos.BulkCoefficients(in.Z[a], z0, ri)
+		rho := in.Ps[a] / (atmos.RDry * in.T[a])
+		wEff := math.Max(wind, 1)
+		tx := rho * cd * wEff * in.U[a]
+		ty := rho * cd * wEff * in.V[a]
+		sh := rho * atmos.Cp * ce * wEff * (sstK - in.T[a])
+		qs := atmos.SatHum(sstK, in.Ps[a])
+		ev := rho * ce * wEff * math.Max(qs-in.Q[a], -in.Q[a])
+
+		ex.TSurf[a] += wAtm * sstK
+		ex.Albedo[a] += wAtm * 0.07
+		ex.TauX[a] += wAtm * tx
+		ex.TauY[a] += wAtm * ty
+		ex.Sensible[a] += wAtm * sh
+		ex.Evap[a] += wAtm * ev
+
+		// Ocean-side accumulation: stress, net heat, fresh water.
+		lwUp := 0.97 * atmos.StefBo * math.Pow(sstK, 4)
+		lat := atmos.LVap * ev
+		netHeat := in.SWDown[a]*(1-0.07) + 0.97*in.LWDown[a] - lwUp - sh - lat
+		// Snow falling on open water melts: mass gain, heat loss.
+		netHeat -= in.SnowRate[a] * atmos.LFus
+		cp.accTauX[oc] += wOcn * clampAbs(tx, 2.0)
+		cp.accTauY[oc] += wOcn * clampAbs(ty, 2.0)
+		cp.accHeat[oc] += wOcn * clampAbs(netHeat, 1500)
+		cp.accFW[oc] += wOcn * (in.RainRate[a] + in.SnowRate[a] - ev)
+	}
+	cp.accSteps++
+
+	// Normalize mixed cells: where land covered only part of the area the
+	// weights already sum to one; ensure surface temperature is sane where
+	// nothing contributed (should not happen).
+	for c := 0; c < n; c++ {
+		if ex.TSurf[c] == 0 {
+			ex.TSurf[c] = 273
+			ex.Albedo[c] = 0.3
+		}
+	}
+	return ex
+}
+
+// clampAbs bounds a flux to a physically plausible magnitude, protecting
+// the ocean from the atmosphere's first-day spin-up shock.
+func clampAbs(x, lim float64) float64 {
+	if x > lim {
+		return lim
+	}
+	if x < -lim {
+		return -lim
+	}
+	return x
+}
+
+// remapLowest refreshes the atmosphere-state mirror on the ocean grid.
+func (cp *Coupler) remapLowest(in *atmos.LowestLevel) {
+	ov := cp.Overlap
+	ov.AtmToOcnInto(cp.atmOnOcn.T, in.T)
+	ov.AtmToOcnInto(cp.atmOnOcn.Q, in.Q)
+	ov.AtmToOcnInto(cp.atmOnOcn.U, in.U)
+	ov.AtmToOcnInto(cp.atmOnOcn.V, in.V)
+	ov.AtmToOcnInto(cp.atmOnOcn.Ps, in.Ps)
+	ov.AtmToOcnInto(cp.atmOnOcn.Z, in.Z)
+	ov.AtmToOcnInto(cp.atmOnOcn.SW, in.SWDown)
+	ov.AtmToOcnInto(cp.atmOnOcn.LW, in.LWDown)
+	ov.AtmToOcnInto(cp.atmOnOcn.Snow, in.SnowRate)
+}
+
+// DrainOceanForcing returns the averaged ocean forcing accumulated since
+// the last call (the 6-hour coupling interval), including routed river
+// water, and resets the accumulators. dt is the ocean step the forcing will
+// drive.
+func (cp *Coupler) DrainOceanForcing(dt float64) *ocean.Forcing {
+	m := cp.OcnGrid.Size()
+	f := ocean.NewForcing(m)
+	steps := float64(cp.accSteps)
+	if steps == 0 {
+		steps = 1
+	}
+	for c := 0; c < m; c++ {
+		f.TauX[c] = cp.accTauX[c] / steps
+		f.TauY[c] = cp.accTauY[c] / steps
+		f.Heat[c] = cp.accHeat[c] / steps
+		f.FreshWater[c] = cp.accFW[c] / steps
+		cp.accTauX[c] = 0
+		cp.accTauY[c] = 0
+		cp.accHeat[c] = 0
+		cp.accFW[c] = 0
+	}
+	// Route the accumulated runoff through the rivers and inject the mouth
+	// outflow (conservatively remapped to the ocean grid).
+	n := cp.AtmGrid.Size()
+	meanRunoff := make([]float64, n)
+	for c := 0; c < n; c++ {
+		meanRunoff[c] = cp.accRunoff[c] / steps
+		cp.accRunoff[c] = 0
+	}
+	mouthFlux := cp.River.Step(meanRunoff, dt)
+	riverOnOcn := cp.Overlap.AtmToOcn(mouthFlux)
+	// Renormalize onto wet cells so no river water is lost on dry overlap.
+	atmIn := cp.River.FluxIntegral(mouthFlux)
+	var ocnIn float64
+	og := cp.OcnGrid
+	for j := 0; j < og.NLat(); j++ {
+		for i := 0; i < og.NLon(); i++ {
+			c := og.Index(j, i)
+			if cp.ocnMask[c] == 0 {
+				riverOnOcn[c] = 0
+				continue
+			}
+			ocnIn += riverOnOcn[c] * og.Area(j, i)
+		}
+	}
+	if ocnIn > 0 {
+		scale := atmIn / ocnIn
+		for c := range riverOnOcn {
+			riverOnOcn[c] *= scale
+		}
+	}
+	for c := 0; c < m; c++ {
+		f.FreshWater[c] += riverOnOcn[c]
+	}
+	cp.waterBudget.RiverToOcean += atmIn * dt
+	cp.accSteps = 0
+	return f
+}
+
+// AccumSnapshot returns copies of the ocean-forcing accumulators (testing
+// and debugging aid).
+func (cp *Coupler) AccumSnapshot() (tauX, tauY, heat, fw, runoff []float64, steps int) {
+	return append([]float64(nil), cp.accTauX...),
+		append([]float64(nil), cp.accTauY...),
+		append([]float64(nil), cp.accHeat...),
+		append([]float64(nil), cp.accFW...),
+		append([]float64(nil), cp.accRunoff...),
+		cp.accSteps
+}

@@ -1,0 +1,175 @@
+package coupler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"foam/internal/sphere"
+)
+
+func grids() (*sphere.Grid, *sphere.Grid) {
+	atm := sphere.NewGaussianGrid(16, 24)
+	ocn := sphere.NewMercatorGrid(32, 32, -72, 72)
+	return atm, ocn
+}
+
+// Every overlap cell must lie inside exactly one atm cell and (when Ocn >= 0)
+// one ocean cell, and the per-cell area sums must reconstruct the cell areas.
+func TestOverlapAreasReconstructCells(t *testing.T) {
+	atm, ocn := grids()
+	ov := BuildOverlap(atm, ocn)
+	// Ocean cells: total overlap area equals the ocean cell area.
+	perOcn := make([]float64, ocn.Size())
+	perAtm := make([]float64, atm.Size())
+	for _, c := range ov.Cells {
+		if c.Area <= 0 {
+			t.Fatalf("nonpositive overlap area %v", c.Area)
+		}
+		perAtm[c.Atm] += c.Area
+		if c.Ocn >= 0 {
+			perOcn[c.Ocn] += c.Area
+		}
+	}
+	for j := 0; j < ocn.NLat(); j++ {
+		for i := 0; i < ocn.NLon(); i++ {
+			c := ocn.Index(j, i)
+			want := ocn.Area(j, i)
+			if math.Abs(perOcn[c]-want)/want > 1e-9 {
+				t.Fatalf("ocean cell %d overlap area %v want %v", c, perOcn[c], want)
+			}
+		}
+	}
+	// Atmosphere cells: overlap pieces (including Ocn = -1 pieces outside
+	// the ocean grid) tile the whole cell.
+	for j := 0; j < atm.NLat(); j++ {
+		for i := 0; i < atm.NLon(); i++ {
+			c := atm.Index(j, i)
+			want := atm.Area(j, i)
+			if math.Abs(perAtm[c]-want)/want > 1e-9 {
+				t.Fatalf("atm cell %d overlap area %v want %v", c, perAtm[c], want)
+			}
+		}
+	}
+}
+
+// Conservative remap: the area integral of a flux is identical on both
+// grids (the paper's central claim for the overlap scheme).
+func TestRemapConservesIntegrals(t *testing.T) {
+	atm, ocn := grids()
+	ov := BuildOverlap(atm, ocn)
+	rng := rand.New(rand.NewSource(4))
+	field := make([]float64, atm.Size())
+	for c := range field {
+		field[c] = rng.NormFloat64()
+	}
+	out := ov.AtmToOcn(field)
+	// Integral over the ocean grid must equal the integral of the source
+	// over the ocean-covered parts of the atm grid.
+	var atmInt, ocnInt float64
+	for _, cell := range ov.Cells {
+		if cell.Ocn >= 0 {
+			atmInt += field[cell.Atm] * cell.Area
+		}
+	}
+	for j := 0; j < ocn.NLat(); j++ {
+		for i := 0; i < ocn.NLon(); i++ {
+			ocnInt += out[ocn.Index(j, i)] * ocn.Area(j, i)
+		}
+	}
+	if math.Abs(atmInt-ocnInt) > 1e-6*math.Abs(atmInt) {
+		t.Fatalf("AtmToOcn not conservative: %v vs %v", atmInt, ocnInt)
+	}
+}
+
+// A constant field remaps to the same constant in both directions.
+func TestRemapPreservesConstants(t *testing.T) {
+	atm, ocn := grids()
+	ov := BuildOverlap(atm, ocn)
+	cf := make([]float64, atm.Size())
+	for i := range cf {
+		cf[i] = 7.25
+	}
+	out := ov.AtmToOcn(cf)
+	for c, v := range out {
+		if ov.OcnArea[c] > 0 && math.Abs(v-7.25) > 1e-9 {
+			t.Fatalf("constant not preserved atm->ocn at %d: %v", c, v)
+		}
+	}
+	cf2 := make([]float64, ocn.Size())
+	for i := range cf2 {
+		cf2[i] = -3.5
+	}
+	back := ov.OcnToAtm(cf2)
+	for c, v := range back {
+		if ov.AtmArea[c] > 0 && math.Abs(v+3.5) > 1e-9 {
+			t.Fatalf("constant not preserved ocn->atm at %d: %v", c, v)
+		}
+	}
+}
+
+func TestOceanFractionBounds(t *testing.T) {
+	atm, ocn := grids()
+	ov := BuildOverlap(atm, ocn)
+	mask := make([]float64, ocn.Size())
+	for c := range mask {
+		mask[c] = 1
+	}
+	frac := ov.OceanFraction(mask)
+	for c, f := range frac {
+		if f < 0 || f > 1 {
+			t.Fatalf("fraction out of bounds at %d: %v", c, f)
+		}
+	}
+	// With an all-wet ocean, atm cells well inside the ocean latitude band
+	// must be fully covered.
+	g := atm
+	for j := 0; j < g.NLat(); j++ {
+		lat := g.Lats[j] * sphere.Rad2Deg
+		if lat > -60 && lat < 60 {
+			for i := 0; i < g.NLon(); i++ {
+				if f := frac[g.Index(j, i)]; f < 0.999 {
+					t.Fatalf("interior atm cell (%d,%d) fraction %v", j, i, f)
+				}
+			}
+		}
+	}
+	// Zero mask -> zero fraction.
+	zero := ov.OceanFraction(make([]float64, ocn.Size()))
+	for c, f := range zero {
+		if f != 0 {
+			t.Fatalf("zero mask gave fraction %v at %d", f, c)
+		}
+	}
+}
+
+// Property: remap conservation holds for random grid shapes.
+func TestRemapConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		atm := sphere.NewGaussianGrid(8+2*rng.Intn(6), 12+2*rng.Intn(8))
+		ocn := sphere.NewMercatorGrid(10+2*rng.Intn(10), 16+2*rng.Intn(8), -70, 70)
+		ov := BuildOverlap(atm, ocn)
+		field := make([]float64, atm.Size())
+		for c := range field {
+			field[c] = rng.NormFloat64()
+		}
+		out := ov.AtmToOcn(field)
+		var a, o float64
+		for _, cell := range ov.Cells {
+			if cell.Ocn >= 0 {
+				a += field[cell.Atm] * cell.Area
+			}
+		}
+		for j := 0; j < ocn.NLat(); j++ {
+			for i := 0; i < ocn.NLon(); i++ {
+				o += out[ocn.Index(j, i)] * ocn.Area(j, i)
+			}
+		}
+		return math.Abs(a-o) <= 1e-6*(math.Abs(a)+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

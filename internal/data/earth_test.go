@@ -1,0 +1,242 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"foam/internal/sphere"
+)
+
+func atmosGrid() *sphere.Grid { return sphere.NewGaussianGrid(40, 48) }
+
+func TestLandFractionReasonable(t *testing.T) {
+	g := atmosGrid()
+	mask := LandMask(g)
+	area, landArea := 0.0, 0.0
+	for j := 0; j < g.NLat(); j++ {
+		for i := 0; i < g.NLon(); i++ {
+			a := g.Area(j, i)
+			area += a
+			if mask[g.Index(j, i)] {
+				landArea += a
+			}
+		}
+	}
+	frac := landArea / area
+	if frac < 0.2 || frac > 0.45 {
+		t.Fatalf("land fraction %.3f outside Earth-like range", frac)
+	}
+}
+
+func TestBasinsExist(t *testing.T) {
+	// Representative open-ocean points must be water; continental interiors
+	// must be land.
+	water := [][2]float64{
+		{35, -40},   // North Atlantic
+		{35, -170},  // North Pacific
+		{-10, 80},   // Indian Ocean
+		{-50, -120}, // Southern Pacific
+		{0, -25},    // equatorial Atlantic
+	}
+	land := [][2]float64{
+		{45, -100}, // North America
+		{55, 60},   // Siberia
+		{10, 20},   // Africa
+		{-12, -58}, // Amazonia
+		{-25, 134}, // Australia
+		{-80, 90},  // Antarctica
+		{72, -40},  // Greenland
+	}
+	for _, p := range water {
+		if IsLand(p[0]*sphere.Deg2Rad, p[1]*sphere.Deg2Rad) {
+			t.Errorf("expected water at (%v,%v)", p[0], p[1])
+		}
+	}
+	for _, p := range land {
+		if !IsLand(p[0]*sphere.Deg2Rad, p[1]*sphere.Deg2Rad) {
+			t.Errorf("expected land at (%v,%v)", p[0], p[1])
+		}
+	}
+}
+
+func TestAmericasSeparateAtlanticFromPacific(t *testing.T) {
+	// Walking along ~40N from -130 to -50 must cross land.
+	found := false
+	for lon := -130.0; lon <= -50; lon += 1 {
+		if IsLand(40*sphere.Deg2Rad, lon*sphere.Deg2Rad) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no land barrier between Pacific and Atlantic at 40N")
+	}
+	// And along the equator via Central America's latitude band (~8N).
+	found = false
+	for lon := -110.0; lon <= -60; lon += 1 {
+		if IsLand(8*sphere.Deg2Rad, lon*sphere.Deg2Rad) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no Central American land bridge")
+	}
+}
+
+func TestElevationStructure(t *testing.T) {
+	himalaya := Elevation(33*sphere.Deg2Rad, 88*sphere.Deg2Rad)
+	if himalaya < 3000 {
+		t.Fatalf("Tibet too low: %v", himalaya)
+	}
+	plains := Elevation(50*sphere.Deg2Rad, 35*sphere.Deg2Rad)
+	if plains > 1500 || plains <= 0 {
+		t.Fatalf("European plains elevation %v", plains)
+	}
+	if Elevation(30*sphere.Deg2Rad, -150*sphere.Deg2Rad) != 0 {
+		t.Fatal("ocean should have zero elevation")
+	}
+}
+
+func TestSoilTypes(t *testing.T) {
+	if SoilType(-80*sphere.Deg2Rad, 0) != SoilIce {
+		t.Fatal("Antarctica should be ice")
+	}
+	if SoilType(72*sphere.Deg2Rad, -40*sphere.Deg2Rad) != SoilIce {
+		t.Fatal("Greenland should be ice")
+	}
+	if SoilType(22*sphere.Deg2Rad, 10*sphere.Deg2Rad) != SoilDesert {
+		t.Fatal("Sahara should be desert")
+	}
+	if SoilType(0, 20*sphere.Deg2Rad) != SoilForest {
+		t.Fatal("equatorial Africa should be forest")
+	}
+	for ty := 0; ty < NumSoilTypes; ty++ {
+		p := Soils[ty]
+		if p.Albedo <= 0 || p.Albedo >= 1 || p.Conductivity <= 0 || p.HeatCapacity <= 0 {
+			t.Fatalf("soil %d has invalid properties %+v", ty, p)
+		}
+	}
+}
+
+func TestOceanKMT(t *testing.T) {
+	g := sphere.NewMercatorGrid(128, 128, -72, 72)
+	kmt := OceanKMT(g, 16)
+	openOcean, shelf := 0, 0
+	for j := 0; j < g.NLat(); j++ {
+		for i := 0; i < g.NLon(); i++ {
+			c := g.Index(j, i)
+			if IsLand(g.Lats[j], g.Lons[i]) {
+				if kmt[c] != 0 {
+					t.Fatal("land cell with nonzero kmt")
+				}
+				continue
+			}
+			if kmt[c] < 2 {
+				t.Fatal("wet cell with < 2 levels")
+			}
+			if kmt[c] == 16 {
+				openOcean++
+			} else {
+				shelf++
+			}
+		}
+	}
+	if openOcean == 0 || shelf == 0 {
+		t.Fatalf("bathymetry missing open ocean (%d) or shelves (%d)", openOcean, shelf)
+	}
+}
+
+func TestSSTClimatologyStructure(t *testing.T) {
+	// Warm tropics, cold poles.
+	eq := SSTClimatology(0, -30*sphere.Deg2Rad, 3)
+	polar := SSTClimatology(65*sphere.Deg2Rad, -30*sphere.Deg2Rad, 3)
+	if eq < 24 || eq > 32 {
+		t.Fatalf("equatorial SST %v", eq)
+	}
+	if polar > 10 {
+		t.Fatalf("polar SST %v too warm", polar)
+	}
+	// Warm pool warmer than cold tongue along the equator.
+	wp := SSTClimatology(2*sphere.Deg2Rad, 140*sphere.Deg2Rad, 6)
+	ct := SSTClimatology(0, -100*sphere.Deg2Rad, 6)
+	if wp-ct < 2 {
+		t.Fatalf("warm pool - cold tongue contrast too weak: %v vs %v", wp, ct)
+	}
+	// Never below freezing clamp.
+	for mth := 0; mth < 12; mth++ {
+		for lat := -85.0; lat <= 85; lat += 5 {
+			if v := SSTClimatology(lat*sphere.Deg2Rad, 0, mth); v < -1.92-1e-9 {
+				t.Fatalf("SST %v below freezing clamp", v)
+			}
+		}
+	}
+	// Seasonal cycle: northern mid-latitudes warmer in July (month 6) than
+	// January (month 0).
+	july := SSTClimatology(40*sphere.Deg2Rad, -160*sphere.Deg2Rad, 6)
+	jan := SSTClimatology(40*sphere.Deg2Rad, -160*sphere.Deg2Rad, 0)
+	if july <= jan {
+		t.Fatalf("no northern summer warming: july %v jan %v", july, jan)
+	}
+}
+
+func TestAnnualMeanMatchesMonthlyAverage(t *testing.T) {
+	g := atmosGrid()
+	ann := AnnualMeanSST(g)
+	c := g.Index(20, 5)
+	sum := 0.0
+	for mth := 0; mth < 12; mth++ {
+		sum += SSTClimatologyGrid(g, mth)[c]
+	}
+	if math.Abs(ann[c]-sum/12) > 1e-12 {
+		t.Fatal("annual mean inconsistent with monthly fields")
+	}
+}
+
+func TestRiversAllDrainToOcean(t *testing.T) {
+	g := atmosGrid()
+	rn := BuildRivers(g)
+	land := LandMask(g)
+	for c := range land {
+		if !land[c] {
+			if rn.Dir[c] != DirOcean {
+				t.Fatalf("ocean cell %d has dir %d", c, rn.Dir[c])
+			}
+			continue
+		}
+		// Follow the flow; must reach ocean within the grid size.
+		cur := c
+		for step := 0; ; step++ {
+			if step > g.Size() {
+				t.Fatalf("cell %d does not drain (cycle)", c)
+			}
+			if rn.Dir[cur] == DirMouth {
+				if rn.MouthOcean[cur] < 0 || land[rn.MouthOcean[cur]] {
+					t.Fatalf("mouth %d drains to non-ocean", cur)
+				}
+				break
+			}
+			next := rn.Downstream(cur)
+			if next < 0 {
+				t.Fatalf("land cell %d has no downstream", cur)
+			}
+			if !land[next] {
+				t.Fatalf("dir should have been DirMouth at %d", cur)
+			}
+			cur = next
+		}
+		if rn.Dist[c] <= 0 {
+			t.Fatalf("land cell %d has nonpositive downstream distance", c)
+		}
+	}
+}
+
+func TestWindStressClimatology(t *testing.T) {
+	// Easterlies at the equator, westerlies near 45 degrees.
+	if WindStressClimatology(0) >= 0 {
+		t.Fatal("expected equatorial easterlies")
+	}
+	if WindStressClimatology(45*sphere.Deg2Rad) <= 0 {
+		t.Fatal("expected mid-latitude westerlies")
+	}
+}

@@ -1,0 +1,209 @@
+package land
+
+import (
+	"math"
+	"testing"
+
+	"foam/internal/data"
+	"foam/internal/sphere"
+)
+
+func testModel() (*Model, int) {
+	g := sphere.NewGaussianGrid(8, 12)
+	n := g.Size()
+	types := make([]int, n)
+	mask := make([]bool, n)
+	for c := range mask {
+		mask[c] = true
+		types[c] = data.SoilGrass
+	}
+	m := New(g, types, mask)
+	return m, g.Index(4, 6) // a mid-latitude cell
+}
+
+func baseInput() Input {
+	return Input{
+		SWDown: 200, LWDown: 320,
+		TAir: 285, QAir: 0.008, UAir: 3, VAir: 1,
+		Ps: 1e5, ZRef: 60,
+	}
+}
+
+func TestEnergyBalanceWarmsUnderSun(t *testing.T) {
+	m, c := testModel()
+	t0 := m.SoilTemperature(c, 0)
+	in := baseInput()
+	in.SWDown = 600
+	for s := 0; s < 24; s++ {
+		m.Step(c, in, 1800)
+	}
+	if m.SoilTemperature(c, 0) <= t0 {
+		t.Fatalf("surface did not warm under strong sun: %v -> %v", t0, m.SoilTemperature(c, 0))
+	}
+	// Deep layer lags the surface.
+	if m.SoilTemperature(c, 3) >= m.SoilTemperature(c, 0) {
+		t.Fatal("deep soil should lag surface warming")
+	}
+}
+
+func TestNightCooling(t *testing.T) {
+	m, c := testModel()
+	in := baseInput()
+	in.SWDown = 0
+	in.LWDown = 250
+	t0 := m.SoilTemperature(c, 0)
+	for s := 0; s < 24; s++ {
+		m.Step(c, in, 1800)
+	}
+	if m.SoilTemperature(c, 0) >= t0 {
+		t.Fatal("surface should cool at night")
+	}
+}
+
+func TestBucketOverflowsToRunoff(t *testing.T) {
+	m, c := testModel()
+	in := baseInput()
+	in.Rain = 5e-3 // extreme rain, kg/m^2/s
+	var runoff float64
+	for s := 0; s < 40; s++ {
+		out := m.Step(c, in, 1800)
+		runoff += out.Runoff
+	}
+	if m.SoilWater(c) > BucketCapacity+1e-9 {
+		t.Fatalf("bucket exceeded capacity: %v", m.SoilWater(c))
+	}
+	if runoff <= 0 {
+		t.Fatal("no runoff despite extreme rain")
+	}
+}
+
+func TestWetnessFactor(t *testing.T) {
+	m, c := testModel()
+	m.Water[c] = 0
+	if m.Wetness(c) != 0 {
+		t.Fatalf("dry bucket wetness %v", m.Wetness(c))
+	}
+	m.Water[c] = BucketCapacity
+	if m.Wetness(c) != 1 {
+		t.Fatalf("full bucket wetness %v", m.Wetness(c))
+	}
+	m.Water[c] = 0.75 * BucketCapacity / 2
+	w := m.Wetness(c)
+	if math.Abs(w-0.5) > 1e-12 {
+		t.Fatalf("half of 75%% capacity should give 0.5: %v", w)
+	}
+	// Snow forces D_w = 1 (paper: D_w = 1 for snow covered surfaces).
+	m.Water[c] = 0
+	m.Snow[c] = 0.05
+	if m.Wetness(c) != 1 {
+		t.Fatal("snow cover should set wetness to 1")
+	}
+}
+
+func TestSnowAccumulationAndAlbedo(t *testing.T) {
+	m, c := testModel()
+	a0 := m.Albedo(c)
+	in := baseInput()
+	in.TAir = 260
+	in.Snowfall = 1e-3
+	m.T[c] = [4]float64{255, 258, 260, 262} // frozen ground
+	for s := 0; s < 20; s++ {
+		m.Step(c, in, 1800)
+	}
+	if m.SnowDepth(c) <= 0 {
+		t.Fatal("snow did not accumulate")
+	}
+	if m.Albedo(c) <= a0 {
+		t.Fatalf("snow should raise albedo: %v -> %v", a0, m.Albedo(c))
+	}
+}
+
+func TestSnowMeltsWhenWarm(t *testing.T) {
+	m, c := testModel()
+	m.Snow[c] = 0.02
+	m.T[c] = [4]float64{280, 280, 280, 280}
+	in := baseInput()
+	in.SWDown = 500
+	in.TAir = 290
+	w0 := m.Water[c]
+	for s := 0; s < 48; s++ {
+		m.Step(c, in, 1800)
+	}
+	if m.Snow[c] >= 0.02 {
+		t.Fatalf("snow did not melt: %v", m.Snow[c])
+	}
+	if m.Water[c] <= w0 {
+		t.Fatal("melt water should enter the bucket")
+	}
+}
+
+func TestIceSheetShedsDeepSnow(t *testing.T) {
+	g := sphere.NewGaussianGrid(8, 12)
+	n := g.Size()
+	types := make([]int, n)
+	mask := make([]bool, n)
+	for c := range mask {
+		mask[c] = true
+		types[c] = data.SoilIce
+	}
+	m := New(g, types, mask)
+	c := g.Index(0, 0)
+	// Ice sheets start at the shedding threshold; more snow must shed.
+	in := baseInput()
+	in.TAir = 250
+	in.Snowfall = 2e-3
+	var shed float64
+	for s := 0; s < 10; s++ {
+		out := m.Step(c, in, 1800)
+		shed += out.SnowShed
+	}
+	if shed <= 0 {
+		t.Fatal("ice sheet did not shed excess snow")
+	}
+	if m.SnowDepth(c) > SnowShedDepth+1e-9 {
+		t.Fatalf("snow above shed depth: %v", m.SnowDepth(c))
+	}
+}
+
+func TestEvaporationLimitedByWater(t *testing.T) {
+	m, c := testModel()
+	m.Water[c] = 1e-6 // nearly dry
+	in := baseInput()
+	in.TAir = 300
+	in.QAir = 0.001 // very dry air
+	m.T[c] = [4]float64{310, 305, 300, 295}
+	out := m.Step(c, in, 1800)
+	// Evaporated mass cannot exceed what was in the bucket.
+	if out.Evap*1800/1000 > 1.1e-6 {
+		t.Fatalf("evaporated more water than available: %v", out.Evap)
+	}
+	if m.Water[c] < 0 {
+		t.Fatalf("negative bucket: %v", m.Water[c])
+	}
+}
+
+func TestStressOpposesWind(t *testing.T) {
+	m, c := testModel()
+	in := baseInput()
+	in.UAir = 10
+	in.VAir = -5
+	out := m.Step(c, in, 1800)
+	if out.TauX <= 0 || out.TauY >= 0 {
+		t.Fatalf("stress should align with wind components: %v %v", out.TauX, out.TauY)
+	}
+}
+
+func TestFluxesBoundedOverManySteps(t *testing.T) {
+	m, c := testModel()
+	in := baseInput()
+	for s := 0; s < 500; s++ {
+		out := m.Step(c, in, 1800)
+		ts := m.SoilTemperature(c, 0)
+		if math.IsNaN(ts) || ts < 180 || ts > 350 {
+			t.Fatalf("step %d: surface temperature %v out of range", s, ts)
+		}
+		if math.Abs(out.Sensible) > 2000 || out.Evap < 0 {
+			t.Fatalf("step %d: flux out of range: %+v", s, out)
+		}
+	}
+}

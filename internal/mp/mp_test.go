@@ -1,0 +1,501 @@
+package mp
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	var got []float64
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			got = c.Recv(0, 7)
+		}
+	})
+	if !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Fatalf("recv got %v", got)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w := NewWorld(2)
+	var got []float64
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			c.Send(1, 0, buf)
+			buf[0] = -1 // must not affect the delivered message
+			c.Send(1, 1, nil)
+		} else {
+			c.Recv(0, 1)
+			got = c.Recv(0, 0)
+		}
+	})
+	if got[0] != 42 {
+		t.Fatalf("payload mutated after send: %v", got)
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	w := NewWorld(2)
+	var first, second []float64
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{1})
+			c.Send(1, 2, []float64{2})
+		} else {
+			second = c.Recv(0, 2) // request the later tag first
+			first = c.Recv(0, 1)
+		}
+	})
+	if first[0] != 1 || second[0] != 2 {
+		t.Fatalf("tag matching broken: %v %v", first, second)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	w := NewWorld(4)
+	comms := w.Run(func(c *Comm) {
+		c.AdvanceClock("work", float64(c.Rank())*0.5)
+		c.Barrier()
+	})
+	// After a barrier every rank's clock must be at least the max pre-barrier
+	// clock (1.5s here for rank 3).
+	for _, c := range comms {
+		if c.Clock() < 1.5 {
+			t.Fatalf("rank %d clock %v < 1.5 after barrier", c.Rank(), c.Clock())
+		}
+	}
+}
+
+func TestRecvChargesIdleTime(t *testing.T) {
+	w := NewWorld(2, WithLink(LinkParams{Latency: 0.25, Bandwidth: 1e12}))
+	comms := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.AdvanceClock("work", 2.0)
+			c.Send(1, 0, []float64{1})
+		} else {
+			c.Recv(0, 0)
+		}
+	})
+	r1 := comms[1]
+	if math.Abs(r1.Clock()-2.25) > 1e-9 {
+		t.Fatalf("receiver clock = %v, want 2.25", r1.Clock())
+	}
+	segs := r1.Segments()
+	if len(segs) != 1 || segs[0].Label != "idle" {
+		t.Fatalf("expected a single idle segment, got %v", segs)
+	}
+	if math.Abs(segs[0].End-segs[0].Start-2.25) > 1e-9 {
+		t.Fatalf("idle span %v, want 2.25", segs)
+	}
+}
+
+func TestBandwidthCost(t *testing.T) {
+	w := NewWorld(2, WithLink(LinkParams{Latency: 0, Bandwidth: 800}))
+	// 100 float64 = 800 bytes = 1 second at 800 B/s.
+	comms := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]float64, 100))
+		} else {
+			c.Recv(0, 0)
+		}
+	})
+	if math.Abs(comms[1].Clock()-1.0) > 1e-9 {
+		t.Fatalf("receiver clock = %v, want 1.0", comms[1].Clock())
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(5)
+	results := make([][]float64, 5)
+	w.Run(func(c *Comm) {
+		var data []float64
+		if c.Rank() == 2 {
+			data = []float64{3.14, 2.72}
+		}
+		results[c.Rank()] = c.Bcast(2, data)
+	})
+	for r, got := range results {
+		if !reflect.DeepEqual(got, []float64{3.14, 2.72}) {
+			t.Fatalf("rank %d bcast got %v", r, got)
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	n := 6
+	w := NewWorld(n)
+	results := make([][]float64, n)
+	w.Run(func(c *Comm) {
+		r := float64(c.Rank())
+		results[c.Rank()] = c.Allreduce(OpSum, []float64{r, 2 * r})
+	})
+	want := []float64{15, 30} // sum 0..5, and doubled
+	for r, got := range results {
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rank %d allreduce got %v want %v", r, got, want)
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	n := 4
+	w := NewWorld(n)
+	var maxes, mins [][]float64 = make([][]float64, n), make([][]float64, n)
+	w.Run(func(c *Comm) {
+		v := []float64{float64(c.Rank()) - 1.5}
+		maxes[c.Rank()] = c.Allreduce(OpMax, v)
+		mins[c.Rank()] = c.Allreduce(OpMin, v)
+	})
+	for r := 0; r < n; r++ {
+		if maxes[r][0] != 1.5 || mins[r][0] != -1.5 {
+			t.Fatalf("rank %d max/min got %v %v", r, maxes[r], mins[r])
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	n := 4
+	w := NewWorld(n)
+	counts := []int{3, 1, 4, 2}
+	gathered := make([][]float64, n)
+	back := make([][]float64, n)
+	w.Run(func(c *Comm) {
+		me := c.Rank()
+		mine := make([]float64, counts[me])
+		for i := range mine {
+			mine[i] = float64(me*10 + i)
+		}
+		g := c.Gatherv(0, mine, counts)
+		gathered[me] = g
+		back[me] = c.Scatterv(0, g, counts)
+	})
+	want := []float64{0, 1, 2, 10, 20, 21, 22, 23, 30, 31}
+	if !reflect.DeepEqual(gathered[0], want) {
+		t.Fatalf("gatherv got %v want %v", gathered[0], want)
+	}
+	for r := 0; r < n; r++ {
+		mine := make([]float64, counts[r])
+		for i := range mine {
+			mine[i] = float64(r*10 + i)
+		}
+		if !reflect.DeepEqual(back[r], mine) {
+			t.Fatalf("scatterv rank %d got %v want %v", r, back[r], mine)
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	n := 3
+	w := NewWorld(n)
+	results := make([][]float64, n)
+	w.Run(func(c *Comm) {
+		results[c.Rank()] = c.Allgather([]float64{float64(c.Rank()), -float64(c.Rank())})
+	})
+	want := []float64{0, 0, 1, -1, 2, -2}
+	for r := 0; r < n; r++ {
+		if !reflect.DeepEqual(results[r], want) {
+			t.Fatalf("rank %d allgather got %v", r, results[r])
+		}
+	}
+}
+
+func TestAlltoallTransposeIdentity(t *testing.T) {
+	// Alltoall applied twice with symmetric chunks is the identity on the
+	// "matrix" whose (i,j) block holds data from i destined to j.
+	n := 4
+	chunk := 2
+	w := NewWorld(n)
+	results := make([][]float64, n)
+	w.Run(func(c *Comm) {
+		me := c.Rank()
+		send := make([]float64, n*chunk)
+		for j := 0; j < n; j++ {
+			for k := 0; k < chunk; k++ {
+				send[j*chunk+k] = float64(100*me + 10*j + k)
+			}
+		}
+		got := c.Alltoall(send, chunk)
+		results[me] = got
+	})
+	for me := 0; me < n; me++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < chunk; k++ {
+				want := float64(100*j + 10*me + k)
+				if results[me][j*chunk+k] != want {
+					t.Fatalf("rank %d slot (%d,%d) = %v want %v",
+						me, j, k, results[me][j*chunk+k], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	n := 3
+	w := NewWorld(n)
+	// rank i sends i+1 values to each rank j, all equal to 10i+j.
+	results := make([][]float64, n)
+	w.Run(func(c *Comm) {
+		me := c.Rank()
+		sendCounts := make([]int, n)
+		recvCounts := make([]int, n)
+		var send []float64
+		for j := 0; j < n; j++ {
+			sendCounts[j] = me + 1
+			recvCounts[j] = j + 1
+			for k := 0; k < me+1; k++ {
+				send = append(send, float64(10*me+j))
+			}
+		}
+		results[me] = c.Alltoallv(send, sendCounts, recvCounts)
+	})
+	// Rank 0 receives: 1 value 0 from rank0, 2 values 10 from rank1, 3 values 20.
+	want0 := []float64{0, 10, 10, 20, 20, 20}
+	if !reflect.DeepEqual(results[0], want0) {
+		t.Fatalf("alltoallv rank0 got %v want %v", results[0], want0)
+	}
+}
+
+func TestSplitSubCommunicator(t *testing.T) {
+	w := NewWorld(5)
+	// Ranks 1,3,4 form a subgroup; check local numbering and a reduction.
+	results := make([][]float64, 5)
+	w.Run(func(c *Comm) {
+		me := c.Rank()
+		if me == 1 || me == 3 || me == 4 {
+			sub := c.Split([]int{1, 3, 4})
+			if sub.Size() != 3 {
+				t.Errorf("sub size %d", sub.Size())
+			}
+			results[me] = sub.Allreduce(OpSum, []float64{float64(me)})
+		}
+	})
+	for _, r := range []int{1, 3, 4} {
+		if results[r][0] != 8 {
+			t.Fatalf("sub allreduce on %d got %v want 8", r, results[r])
+		}
+	}
+}
+
+func TestSplitSharesClock(t *testing.T) {
+	w := NewWorld(2)
+	comms := w.Run(func(c *Comm) {
+		sub := c.Split([]int{0, 1})
+		sub.AdvanceClock("work", 1.0)
+		c.AdvanceClock("work", 0.5)
+	})
+	for _, c := range comms {
+		if math.Abs(c.Clock()-1.5) > 1e-12 {
+			t.Fatalf("clock not shared across split: %v", c.Clock())
+		}
+	}
+}
+
+func TestComputeAdvancesClockAndTrace(t *testing.T) {
+	w := NewWorld(1)
+	comms := w.Run(func(c *Comm) {
+		c.Compute("atmosphere", func() {
+			s := 0.0
+			for i := 0; i < 100000; i++ {
+				s += float64(i)
+			}
+			_ = s
+		})
+	})
+	c := comms[0]
+	if c.Clock() <= 0 {
+		t.Fatal("compute did not advance clock")
+	}
+	segs := c.Segments()
+	if len(segs) != 1 || segs[0].Label != "atmosphere" {
+		t.Fatalf("unexpected segments %v", segs)
+	}
+}
+
+func TestComputeScale(t *testing.T) {
+	w := NewWorld(1, WithComputeScale(0))
+	comms := w.Run(func(c *Comm) {
+		c.Compute("x", func() {})
+	})
+	if comms[0].Clock() != 0 {
+		t.Fatalf("scale 0 should zero compute charges, clock=%v", comms[0].Clock())
+	}
+}
+
+func TestSegmentsMerge(t *testing.T) {
+	w := NewWorld(1)
+	comms := w.Run(func(c *Comm) {
+		c.AdvanceClock("a", 1)
+		c.AdvanceClock("a", 1)
+		c.AdvanceClock("b", 1)
+	})
+	segs := comms[0].Segments()
+	if len(segs) != 2 {
+		t.Fatalf("adjacent same-label segments should merge: %v", segs)
+	}
+	if segs[0].Label != "a" || segs[0].End != 2 || segs[1].Label != "b" {
+		t.Fatalf("bad merged segments %v", segs)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	w := NewWorld(2)
+	comms := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]float64, 10))
+			c.Send(1, 1, make([]float64, 5))
+		} else {
+			c.Recv(0, 0)
+			c.Recv(0, 1)
+		}
+	})
+	if comms[0].MessagesSent() != 2 {
+		t.Fatalf("messages sent %d", comms[0].MessagesSent())
+	}
+	if comms[0].BytesSent() != 8*15 {
+		t.Fatalf("bytes sent %v", comms[0].BytesSent())
+	}
+}
+
+func TestMaxClockAndBusy(t *testing.T) {
+	w := NewWorld(3)
+	comms := w.Run(func(c *Comm) {
+		c.AdvanceClock("w", float64(c.Rank()+1))
+	})
+	if got := MaxClock(comms); got != 3 {
+		t.Fatalf("MaxClock=%v", got)
+	}
+	if got := TotalBusy(comms); got != 6 {
+		t.Fatalf("TotalBusy=%v", got)
+	}
+	labels := Labels(comms)
+	if !reflect.DeepEqual(labels, []string{"w"}) {
+		t.Fatalf("labels %v", labels)
+	}
+}
+
+func TestRunPanicsArePropagated(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+	})
+}
+
+// Property: Allreduce(OpSum) equals the serial sum of all contributions, for
+// random world sizes and payloads.
+func TestAllreduceMatchesSerialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		ln := 1 + rng.Intn(20)
+		data := make([][]float64, n)
+		want := make([]float64, ln)
+		for r := 0; r < n; r++ {
+			data[r] = make([]float64, ln)
+			for i := range data[r] {
+				data[r][i] = rng.NormFloat64()
+				want[i] += data[r][i]
+			}
+		}
+		w := NewWorld(n)
+		results := make([][]float64, n)
+		w.Run(func(c *Comm) {
+			results[c.Rank()] = c.Allreduce(OpSum, data[c.Rank()])
+		})
+		for r := 0; r < n; r++ {
+			for i := range want {
+				if math.Abs(results[r][i]-want[i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a ring halo exchange is deadlock-free and delivers each
+// neighbour's payload for any ring size.
+func TestRingExchangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		w := NewWorld(n)
+		ok := true
+		w.Run(func(c *Comm) {
+			me := c.Rank()
+			right := (me + 1) % n
+			left := (me - 1 + n) % n
+			got := c.Sendrecv(right, 10, []float64{float64(me)}, left, 10)
+			if int(got[0]) != left {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceTreeMatchesLinear(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13} {
+		w := NewWorld(n)
+		got := make([][]float64, n)
+		w.Run(func(c *Comm) {
+			r := float64(c.Rank())
+			got[c.Rank()] = c.AllreduceTree(OpSum, []float64{r, r * r, 1})
+		})
+		wantSum := 0.0
+		wantSq := 0.0
+		for r := 0; r < n; r++ {
+			wantSum += float64(r)
+			wantSq += float64(r * r)
+		}
+		for r := 0; r < n; r++ {
+			if math.Abs(got[r][0]-wantSum) > 1e-12 ||
+				math.Abs(got[r][1]-wantSq) > 1e-12 ||
+				got[r][2] != float64(n) {
+				t.Fatalf("n=%d rank %d: %v (want sum %v sq %v count %d)",
+					n, r, got[r], wantSum, wantSq, n)
+			}
+		}
+	}
+}
+
+func TestAllreduceTreeMaxOp(t *testing.T) {
+	n := 6
+	w := NewWorld(n)
+	got := make([][]float64, n)
+	w.Run(func(c *Comm) {
+		got[c.Rank()] = c.AllreduceTree(OpMax, []float64{float64(c.Rank() * 7 % 5)})
+	})
+	want := 0.0
+	for r := 0; r < n; r++ {
+		if v := float64(r * 7 % 5); v > want {
+			want = v
+		}
+	}
+	for r := 0; r < n; r++ {
+		if got[r][0] != want {
+			t.Fatalf("rank %d max %v want %v", r, got[r][0], want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package ocean
+
+import (
+	"math"
+
+	"foam/internal/spectral"
+)
+
+// rowFilter is the polar Fourier filter: on rows poleward of the filter
+// latitude, zonal wavenumbers above m_max * cos(lat)/cos(latFilter) are
+// removed, relaxing the CFL restriction of the converging meridians — the
+// "spatial filter similar to the sort used in atmospheric models" of the
+// paper's Section 4.2.
+type rowFilter struct {
+	fft  *spectral.FFT
+	buf  []complex128
+	out  []complex128
+	nlon int
+}
+
+func newRowFilter(nlon int) *rowFilter {
+	return &rowFilter{
+		fft:  spectral.NewFFT(nlon),
+		buf:  make([]complex128, nlon),
+		out:  make([]complex128, nlon),
+		nlon: nlon,
+	}
+}
+
+// apply truncates a single row in place, keeping wavenumbers <= keep.
+func (rf *rowFilter) apply(row []float64, keep int) {
+	n := rf.nlon
+	if keep >= n/2 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		rf.buf[i] = complex(row[i], 0)
+	}
+	rf.fft.Forward(rf.out, rf.buf)
+	for mIdx := keep + 1; mIdx <= n-keep-1; mIdx++ {
+		rf.out[mIdx] = 0
+	}
+	rf.fft.Inverse(rf.buf, rf.out)
+	for i := 0; i < n; i++ {
+		row[i] = real(rf.buf[i])
+	}
+}
+
+// polarFilter filters the prognostic fields on rows poleward of the
+// configured latitude. Land values are preserved by filtering the deviation
+// over water only when the row contains land (a masked row is filtered in
+// its ocean segments' mean sense).
+func (m *Model) polarFilter(j0, j1 int) {
+	nlon := m.cfg.NLon
+	latF := m.cfg.PolarFilterLat * math.Pi / 180
+	cosF := math.Cos(latF)
+	row := make([]float64, nlon)
+	for j := j0; j < j1; j++ {
+		lat := math.Abs(m.grid.Lats[j])
+		if lat <= latF {
+			continue
+		}
+		keep := int(float64(nlon/3) * math.Cos(lat) / cosF)
+		if keep < 2 {
+			keep = 2
+		}
+		filterField := func(fld []float64, k int) {
+			// Fill land with the row-mean ocean value so the filter does
+			// not smear land values into the ocean.
+			var mean float64
+			var cnt int
+			for i := 0; i < nlon; i++ {
+				c := j*nlon + i
+				if k < m.kmt[c] {
+					mean += fld[c]
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				return
+			}
+			mean /= float64(cnt)
+			for i := 0; i < nlon; i++ {
+				c := j*nlon + i
+				if k < m.kmt[c] {
+					row[i] = fld[c]
+				} else {
+					row[i] = mean
+				}
+			}
+			rf := m.fft
+			rf.apply(row, keep)
+			for i := 0; i < nlon; i++ {
+				c := j*nlon + i
+				if k < m.kmt[c] {
+					fld[c] = row[i]
+				}
+			}
+		}
+		for k := 0; k < m.cfg.NLev; k++ {
+			filterField(m.u[k], k)
+			filterField(m.v[k], k)
+			filterField(m.t[k], k)
+			filterField(m.s[k], k)
+		}
+		filterField(m.eta, 0)
+		filterField(m.ubt, 0)
+		filterField(m.vbt, 0)
+	}
+}

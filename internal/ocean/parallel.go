@@ -1,0 +1,123 @@
+package ocean
+
+import (
+	"foam/internal/mp"
+)
+
+// The parallel ocean uses a latitude-row block decomposition with two-deep
+// halo exchange, the message-passing structure the paper describes for its
+// ocean ("the focus of our work was ... efficient implementation for
+// message-passing parallel platforms"). Each rank holds a full-size state
+// replica but computes only its block; every kernel's reads reach at most
+// two rows beyond the block between exchanges, and column-local quantities
+// are recomputed on the halo rows, so the parallel integration is
+// bit-identical to the serial one (verified by TestParallelMatchesSerial).
+
+// BlockRange returns rank r's row range [j0, j1) when nlat interior rows
+// (1..nlat-1; rows 0 and nlat-1 are the closed boundary) are divided over p
+// ranks as evenly as possible.
+func BlockRange(nlat, p, r int) (j0, j1 int) {
+	interior := nlat - 2
+	lo := 1 + interior*r/p
+	hi := 1 + interior*(r+1)/p
+	return lo, hi
+}
+
+// haloDepth is the number of boundary rows exchanged per side.
+const haloDepth = 2
+
+// StepParallel advances one tracer step of this rank's block, exchanging
+// halo rows with neighbouring ranks through comm. All ranks of the
+// communicator must call it collectively with identical forcing. j0 and j1
+// come from BlockRange.
+func (m *Model) StepParallel(f *Forcing, comm *mp.Comm, j0, j1 int) {
+	r := comm.Rank()
+	p := comm.Size()
+	nlon := m.cfg.NLon
+	seq := 0
+	sync := func(fields ...[]float64) {
+		seq++
+		base := 10000 * seq
+		rows := haloDepth * nlon * len(fields)
+		// Pack my boundary rows; send down (to r-1) and up (to r+1).
+		if r > 0 {
+			buf := make([]float64, rows)
+			off := 0
+			for _, fld := range fields {
+				copy(buf[off:], fld[j0*nlon:(j0+haloDepth)*nlon])
+				off += haloDepth * nlon
+			}
+			comm.Send(r-1, base+1, buf)
+		}
+		if r < p-1 {
+			buf := make([]float64, rows)
+			off := 0
+			for _, fld := range fields {
+				copy(buf[off:], fld[(j1-haloDepth)*nlon:j1*nlon])
+				off += haloDepth * nlon
+			}
+			comm.Send(r+1, base+2, buf)
+		}
+		if r > 0 {
+			buf := comm.Recv(r-1, base+2)
+			off := 0
+			for _, fld := range fields {
+				copy(fld[(j0-haloDepth)*nlon:j0*nlon], buf[off:off+haloDepth*nlon])
+				off += haloDepth * nlon
+			}
+		}
+		if r < p-1 {
+			buf := comm.Recv(r+1, base+1)
+			off := 0
+			for _, fld := range fields {
+				copy(fld[j1*nlon:(j1+haloDepth)*nlon], buf[off:off+haloDepth*nlon])
+				off += haloDepth * nlon
+			}
+		}
+	}
+	// Entry halo: make all prognostic ghosts current.
+	sync(m.u...)
+	sync(m.v...)
+	sync(m.t...)
+	sync(m.s...)
+	sync(m.eta, m.ubt, m.vbt)
+	m.stepRows(f, j0, j1, sync)
+	m.step++
+}
+
+// GatherState collects the owned rows of the prognostic fields onto rank 0
+// of comm (into rank 0's arrays, which then hold the full domain). Other
+// ranks' arrays are left as-is.
+func (m *Model) GatherState(comm *mp.Comm, j0, j1 int) {
+	r := comm.Rank()
+	p := comm.Size()
+	nlon := m.cfg.NLon
+	fields := m.prognosticFields()
+	if r == 0 {
+		for src := 1; src < p; src++ {
+			s0, s1 := BlockRange(m.cfg.NLat, p, src)
+			buf := comm.Recv(src, 99)
+			off := 0
+			for _, fld := range fields {
+				copy(fld[s0*nlon:s1*nlon], buf[off:off+(s1-s0)*nlon])
+				off += (s1 - s0) * nlon
+			}
+		}
+		return
+	}
+	buf := make([]float64, 0, (j1-j0)*nlon*len(fields))
+	for _, fld := range fields {
+		buf = append(buf, fld[j0*nlon:j1*nlon]...)
+	}
+	comm.Send(0, 99, buf)
+}
+
+func (m *Model) prognosticFields() [][]float64 {
+	var fields [][]float64
+	fields = append(fields, m.u...)
+	fields = append(fields, m.v...)
+	fields = append(fields, m.t...)
+	fields = append(fields, m.s...)
+	fields = append(fields, m.eta, m.ubt, m.vbt)
+	return fields
+}

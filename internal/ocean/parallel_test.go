@@ -1,0 +1,108 @@
+package ocean
+
+import (
+	"math"
+	"testing"
+
+	"foam/internal/mp"
+)
+
+// The decisive parallel-correctness test: the row-block message-passing
+// integration must be bit-identical to the serial one on the owned rows
+// (column-local quantities are recomputed on ghost rows, so no
+// floating-point reordering occurs anywhere).
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := testConfig()
+	kmt := basinKMT(cfg)
+	n := cfg.NLat * cfg.NLon
+
+	// Forcing: wind + heating pattern so every term is exercised.
+	f := NewForcing(n)
+	serial, err := New(cfg, kmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < cfg.NLat; j++ {
+		lat := serial.grid.Lats[j]
+		for i := 0; i < cfg.NLon; i++ {
+			c := j*cfg.NLon + i
+			f.TauX[c] = -0.08 * math.Cos(3*lat)
+			f.Heat[c] = 100 * math.Cos(lat)
+			f.FreshWater[c] = 2e-5 * math.Sin(lat)
+		}
+	}
+
+	const steps = 5
+	for s := 0; s < steps; s++ {
+		serial.Step(f)
+	}
+
+	for _, p := range []int{2, 3, 5} {
+		world := mp.NewWorld(p)
+		models := make([]*Model, p)
+		for r := range models {
+			models[r], err = New(cfg, kmt)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		world.Run(func(c *mp.Comm) {
+			r := c.Rank()
+			j0, j1 := BlockRange(cfg.NLat, p, r)
+			for s := 0; s < steps; s++ {
+				models[r].StepParallel(f, c, j0, j1)
+			}
+			models[r].GatherState(c, j0, j1)
+		})
+		got := models[0]
+		fields := map[string][2][][]float64{
+			"u": {serial.u, got.u},
+			"v": {serial.v, got.v},
+			"t": {serial.t, got.t},
+			"s": {serial.s, got.s},
+		}
+		for name, pair := range fields {
+			for k := 0; k < cfg.NLev; k++ {
+				for c := 0; c < n; c++ {
+					if kmtAt(serial, c) <= k {
+						continue
+					}
+					if d := math.Abs(pair[0][k][c] - pair[1][k][c]); d != 0 {
+						t.Fatalf("p=%d field %s level %d cell %d: serial %v parallel %v (d=%e)",
+							p, name, k, c, pair[0][k][c], pair[1][k][c], d)
+					}
+				}
+			}
+		}
+		for c := 0; c < n; c++ {
+			if d := math.Abs(serial.eta[c] - got.eta[c]); d != 0 {
+				t.Fatalf("p=%d eta mismatch at %d: %v vs %v", p, c, serial.eta[c], got.eta[c])
+			}
+			if serial.ubt[c] != got.ubt[c] || serial.vbt[c] != got.vbt[c] {
+				t.Fatalf("p=%d barotropic mismatch at %d", p, c)
+			}
+		}
+	}
+}
+
+func kmtAt(m *Model, c int) int { return m.kmt[c] }
+
+func TestBlockRangeCoversInterior(t *testing.T) {
+	nlat := 32
+	for _, p := range []int{1, 2, 3, 5, 7} {
+		prev := 1
+		for r := 0; r < p; r++ {
+			j0, j1 := BlockRange(nlat, p, r)
+			if j0 != prev {
+				t.Fatalf("p=%d r=%d: gap at %d (j0=%d)", p, r, prev, j0)
+			}
+			if j1 <= j0 && p <= nlat-2 {
+				t.Fatalf("p=%d r=%d: empty block", p, r)
+			}
+			prev = j1
+		}
+		if prev != nlat-1 {
+			t.Fatalf("p=%d: blocks end at %d, want %d", p, prev, nlat-1)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package ocean
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"foam/internal/mp"
+)
+
+func runVariantCompare(t *testing.T, label string, mod func(*Config)) {
+	cfg := testConfig()
+	mod(&cfg)
+	kmt := basinKMT(cfg)
+	n := cfg.NLat * cfg.NLon
+	f := NewForcing(n)
+	serial, _ := New(cfg, kmt)
+	for j := 0; j < cfg.NLat; j++ {
+		lat := serial.grid.Lats[j]
+		for i := 0; i < cfg.NLon; i++ {
+			c := j*cfg.NLon + i
+			f.TauX[c] = -0.08 * math.Cos(3*lat)
+			f.Heat[c] = 100 * math.Cos(lat)
+		}
+	}
+	serial.Step(f)
+	p := 2
+	models := make([]*Model, p)
+	for r := range models {
+		models[r], _ = New(cfg, kmt)
+	}
+	world := mp.NewWorld(p)
+	world.Run(func(c *mp.Comm) {
+		r := c.Rank()
+		j0, j1 := BlockRange(cfg.NLat, p, r)
+		models[r].StepParallel(f, c, j0, j1)
+		models[r].GatherState(c, j0, j1)
+	})
+	worst := 0.0
+	wname, wc := "", 0
+	chk := func(name string, a, b []float64) {
+		for c := 0; c < n; c++ {
+			if d := math.Abs(a[c] - b[c]); d > worst {
+				worst, wname, wc = d, name, c
+			}
+		}
+	}
+	for k := 0; k < cfg.NLev; k++ {
+		chk("u", serial.u[k], models[0].u[k])
+		chk("t", serial.t[k], models[0].t[k])
+	}
+	chk("ubt", serial.ubt, models[0].ubt)
+	if worst != 0 {
+		t.Errorf("%s: parallel differs from serial by %.3e (%s at j%d,i%d)",
+			label, worst, wname, wc/cfg.NLon, wc%cfg.NLon)
+	}
+	fmt.Printf("%-28s worst=%.3e\n", label, worst)
+}
+
+func TestNarrowResidual(t *testing.T) {
+	runVariantCompare(t, "default", func(c *Config) {})
+	runVariantCompare(t, "nofilter", func(c *Config) { c.PolarFilterLat = 89 })
+	runVariantCompare(t, "1subcycle", func(c *Config) { c.DtInternal = c.DtTracer; c.DtBaro = c.DtTracer })
+	runVariantCompare(t, "nofilter+1sub", func(c *Config) {
+		c.PolarFilterLat = 89
+		c.DtInternal = c.DtTracer
+		c.DtBaro = c.DtTracer
+	})
+	runVariantCompare(t, "noadv+nobih+nofilter+1sub", func(c *Config) {
+		c.PolarFilterLat = 89
+		c.DtInternal = c.DtTracer
+		c.DtBaro = c.DtTracer
+		c.NoMomentumAdvection = true
+		c.NoBiharmonic = true
+	})
+}

@@ -1,0 +1,136 @@
+package river
+
+import (
+	"math"
+	"testing"
+
+	"foam/internal/data"
+	"foam/internal/sphere"
+)
+
+func testNet() *data.RiverNetwork {
+	g := sphere.NewGaussianGrid(20, 24)
+	return data.BuildRivers(g)
+}
+
+// Mass conservation: water in = water delivered to the ocean + storage
+// change, exactly.
+func TestRoutingConservesWater(t *testing.T) {
+	net := testNet()
+	m := New(net)
+	g := net.Grid
+	runoff := make([]float64, g.Size())
+	for c := range runoff {
+		if net.Dir[c] != data.DirOcean {
+			runoff[c] = 1e-5 // uniform land runoff
+		}
+	}
+	dt := 21600.0
+	var totalIn, totalOut float64
+	for s := 0; s < 50; s++ {
+		out := m.Step(runoff, dt)
+		totalIn += m.FluxIntegral(runoff) * dt
+		totalOut += m.FluxIntegral(out) * dt
+	}
+	stored := m.TotalStorage() * 1000 // m^3 -> kg
+	if rel := math.Abs(totalIn-totalOut-stored) / totalIn; rel > 1e-9 {
+		t.Fatalf("water not conserved: in %v out %v stored %v (rel %e)",
+			totalIn, totalOut, stored, rel)
+	}
+}
+
+// Finite delay: with a single upstream pulse, the ocean receives the water
+// later, not instantly (the paper's "finite fresh water delay").
+func TestFiniteTransportDelay(t *testing.T) {
+	net := testNet()
+	m := New(net)
+	g := net.Grid
+	// Find an interior land cell at least 2 hops from the ocean.
+	far := -1
+	for c := range net.Dir {
+		if net.Dir[c] >= 0 {
+			d1 := net.Downstream(c)
+			if d1 >= 0 && net.Dir[d1] >= 0 {
+				far = c
+				break
+			}
+		}
+	}
+	if far < 0 {
+		t.Skip("no interior land cell in this synthetic network")
+	}
+	runoff := make([]float64, g.Size())
+	runoff[far] = 1e-3
+	dt := 21600.0
+	out := m.Step(runoff, dt)
+	if m.FluxIntegral(out) > 0.5*m.FluxIntegral(runoff) {
+		t.Fatal("water reached the ocean with no delay")
+	}
+	// Eventually it all drains.
+	zero := make([]float64, g.Size())
+	var cum float64
+	for s := 0; s < 3000; s++ {
+		out = m.Step(zero, dt)
+		cum += m.FluxIntegral(out) * dt
+	}
+	want := runoff[far] * areaOf(g, far) * dt
+	if math.Abs(cum+m.TotalStorage()*1000-want) > 1e-6*want {
+		t.Fatalf("pulse not fully accounted: delivered %v + stored %v, want %v",
+			cum, m.TotalStorage()*1000, want)
+	}
+}
+
+func areaOf(g *sphere.Grid, c int) float64 {
+	return g.Area(c/g.NLon(), c%g.NLon())
+}
+
+// Runoff on network-ocean cells must pass straight through (the coupler's
+// finer land fraction can generate coastal runoff there).
+func TestOceanCellRunoffPassesThrough(t *testing.T) {
+	net := testNet()
+	m := New(net)
+	g := net.Grid
+	oceanCell := -1
+	for c := range net.Dir {
+		if net.Dir[c] == data.DirOcean {
+			oceanCell = c
+			break
+		}
+	}
+	runoff := make([]float64, g.Size())
+	runoff[oceanCell] = 2e-4
+	out := m.Step(runoff, 21600)
+	if math.Abs(out[oceanCell]-2e-4) > 1e-18 {
+		t.Fatalf("ocean-cell runoff not passed through: %v", out[oceanCell])
+	}
+}
+
+// The flow rule F = V*u/d: a cell with volume V and distance d ships
+// V*u*dt/d per step (capped at V).
+func TestFlowRule(t *testing.T) {
+	net := testNet()
+	m := New(net)
+	g := net.Grid
+	cell := -1
+	for c := range net.Dir {
+		if net.Dir[c] >= 0 { // interior land draining to land
+			cell = c
+			break
+		}
+	}
+	if cell < 0 {
+		t.Skip("no interior land")
+	}
+	m.Volume[cell] = 1000
+	zero := make([]float64, g.Size())
+	d := net.Dist[cell]
+	frac := FlowVelocity * 21600 / d
+	if frac > 1 {
+		frac = 1
+	}
+	m.Step(zero, 21600)
+	want := 1000 * (1 - frac)
+	if math.Abs(m.Volume[cell]-want) > 1e-9*1000 {
+		t.Fatalf("flow rule violated: volume %v want %v", m.Volume[cell], want)
+	}
+}

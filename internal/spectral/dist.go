@@ -1,0 +1,102 @@
+package spectral
+
+import (
+	"foam/internal/mp"
+)
+
+// DistTransform is the distributed spherical-harmonic transform: latitude
+// rows are block-partitioned over the ranks of a communicator, each rank
+// performs the Fourier transforms and partial Legendre sums for its rows,
+// and the partial spectral sums are combined across ranks — the structure
+// of the parallel spectral transform algorithms of Foster and Worley that
+// the paper's atmosphere (PCCM2) uses.
+type DistTransform struct {
+	Serial *Transform
+	comm   *mp.Comm
+	j0, j1 int // owned latitude rows [j0, j1)
+}
+
+// NewDistTransform wraps a serial transform for the calling rank of comm.
+// Rows are block-partitioned as evenly as possible.
+func NewDistTransform(tr *Transform, comm *mp.Comm) *DistTransform {
+	r, p := comm.Rank(), comm.Size()
+	j0 := tr.NLat * r / p
+	j1 := tr.NLat * (r + 1) / p
+	return &DistTransform{Serial: tr, comm: comm, j0: j0, j1: j1}
+}
+
+// Rows returns the owned latitude range [j0, j1).
+func (d *DistTransform) Rows() (int, int) { return d.j0, d.j1 }
+
+// Analyze computes the full spectral coefficients from a grid field of
+// which only the owned rows need valid data. Every rank returns the
+// complete, identical coefficient set.
+func (d *DistTransform) Analyze(grid []float64) []complex128 {
+	tr := d.Serial
+	t := tr.Trunc
+	partial := make([]complex128, t.Count())
+	row := make([]complex128, t.M+1)
+	for j := d.j0; j < d.j1; j++ {
+		tr.fft.AnalyzeReal(row, grid[j*tr.NLon:(j+1)*tr.NLon], t.M)
+		wj := tr.w[j]
+		p := tr.pTab[j]
+		for m := 0; m <= t.M; m++ {
+			f := row[m] * complex(wj, 0)
+			off := tr.pl.Offset(m)
+			base := t.Index(m, m)
+			for k := 0; k <= t.K; k++ {
+				partial[base+k] += f * complex(p[off+k], 0)
+			}
+		}
+	}
+	// Combine partial sums: flatten to real pairs, allreduce, rebuild.
+	buf := make([]float64, 2*len(partial))
+	for i, v := range partial {
+		buf[2*i] = real(v)
+		buf[2*i+1] = imag(v)
+	}
+	sum := d.comm.Allreduce(mp.OpSum, buf)
+	out := make([]complex128, len(partial))
+	for i := range out {
+		out[i] = complex(sum[2*i], sum[2*i+1])
+	}
+	return out
+}
+
+// Synthesize writes the owned rows of the synthesis into grid (other rows
+// are left untouched — each rank only materializes its block, as in the
+// real distributed model).
+func (d *DistTransform) Synthesize(grid []float64, spec []complex128) {
+	tr := d.Serial
+	t := tr.Trunc
+	coefs := make([]complex128, t.M+1)
+	for j := d.j0; j < d.j1; j++ {
+		p := tr.pTab[j]
+		for m := 0; m <= t.M; m++ {
+			off := tr.pl.Offset(m)
+			base := t.Index(m, m)
+			var sum complex128
+			for k := 0; k <= t.K; k++ {
+				sum += spec[base+k] * complex(p[off+k], 0)
+			}
+			coefs[m] = sum
+		}
+		tr.fft.SynthesizeReal(grid[j*tr.NLon:(j+1)*tr.NLon], coefs)
+	}
+}
+
+// AllgatherGrid assembles the full grid from per-rank owned rows onto all
+// ranks (used by diagnostics; the production loop never needs it).
+func (d *DistTransform) AllgatherGrid(grid []float64) {
+	tr := d.Serial
+	p := d.comm.Size()
+	counts := make([]int, p)
+	for r := 0; r < p; r++ {
+		r0 := tr.NLat * r / p
+		r1 := tr.NLat * (r + 1) / p
+		counts[r] = (r1 - r0) * tr.NLon
+	}
+	mine := append([]float64(nil), grid[d.j0*tr.NLon:d.j1*tr.NLon]...)
+	full := d.comm.Allgatherv(mine, counts)
+	copy(grid, full)
+}

@@ -1,0 +1,98 @@
+package spectral
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"foam/internal/mp"
+)
+
+// The distributed transform must agree with the serial one exactly (the
+// partial Legendre sums add disjoint row contributions, so the only
+// difference is summation order across ranks — bounded by roundoff).
+func TestDistTransformMatchesSerial(t *testing.T) {
+	tr := NewTransform(Rhomboidal(8), 24, 30)
+	rng := rand.New(rand.NewSource(13))
+	grid := make([]float64, tr.NLat*tr.NLon)
+	for c := range grid {
+		grid[c] = rng.NormFloat64()
+	}
+	want := tr.Analyze(grid)
+	back := tr.Synthesize(want)
+
+	for _, p := range []int{1, 2, 3, 5} {
+		specs := make([][]complex128, p)
+		synth := make([]float64, tr.NLat*tr.NLon)
+		world := mp.NewWorld(p)
+		world.Run(func(c *mp.Comm) {
+			d := NewDistTransform(tr, c)
+			specs[c.Rank()] = d.Analyze(grid)
+			// Each rank synthesizes only its rows into the shared buffer
+			// (disjoint writes).
+			d.Synthesize(synth, specs[c.Rank()])
+		})
+		for r := 0; r < p; r++ {
+			for i := range want {
+				if cmplx.Abs(specs[r][i]-want[i]) > 1e-12 {
+					t.Fatalf("p=%d rank %d coefficient %d: %v vs %v",
+						p, r, i, specs[r][i], want[i])
+				}
+			}
+		}
+		for c := range back {
+			if math.Abs(synth[c]-back[c]) > 1e-12 {
+				t.Fatalf("p=%d synthesis mismatch at %d: %v vs %v", p, c, synth[c], back[c])
+			}
+		}
+	}
+}
+
+func TestDistTransformRowPartition(t *testing.T) {
+	tr := NewTransform(Rhomboidal(5), 16, 18)
+	p := 3
+	world := mp.NewWorld(p)
+	covered := make([]int, tr.NLat)
+	world.Run(func(c *mp.Comm) {
+		d := NewDistTransform(tr, c)
+		j0, j1 := d.Rows()
+		for j := j0; j < j1; j++ {
+			covered[j]++
+		}
+	})
+	for j, n := range covered {
+		if n != 1 {
+			t.Fatalf("row %d covered %d times", j, n)
+		}
+	}
+}
+
+func TestAllgatherGrid(t *testing.T) {
+	tr := NewTransform(Rhomboidal(4), 12, 16)
+	p := 4
+	world := mp.NewWorld(p)
+	results := make([][]float64, p)
+	world.Run(func(c *mp.Comm) {
+		d := NewDistTransform(tr, c)
+		grid := make([]float64, tr.NLat*tr.NLon)
+		j0, j1 := d.Rows()
+		for j := j0; j < j1; j++ {
+			for i := 0; i < tr.NLon; i++ {
+				grid[j*tr.NLon+i] = float64(j*100 + i)
+			}
+		}
+		d.AllgatherGrid(grid)
+		results[c.Rank()] = grid
+	})
+	for r := 0; r < p; r++ {
+		for j := 0; j < tr.NLat; j++ {
+			for i := 0; i < tr.NLon; i++ {
+				want := float64(j*100 + i)
+				if results[r][j*tr.NLon+i] != want {
+					t.Fatalf("rank %d cell (%d,%d): %v want %v", r, j, i, results[r][j*tr.NLon+i], want)
+				}
+			}
+		}
+	}
+}

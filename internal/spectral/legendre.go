@@ -1,0 +1,117 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+)
+
+// Legendre evaluates orthonormal associated Legendre functions P̄_n^m(mu),
+// normalized so that the integral over mu in [-1,1] of P̄_n^m * P̄_n'^m is
+// the Kronecker delta (so P̄_0^0 = 1/sqrt(2)). This is the normalization in
+// which spherical-harmonic analysis with Gaussian weights needs no extra
+// factors.
+//
+// Table layout: for each m in [0,mmax], values for n in [m, m+rows(m)-1].
+type Legendre struct {
+	mmax, nmax int
+}
+
+// NewLegendre prepares evaluation up to zonal wavenumber mmax and total
+// wavenumber nmax (inclusive).
+func NewLegendre(mmax, nmax int) *Legendre {
+	if mmax < 0 || nmax < mmax {
+		panic(fmt.Sprintf("spectral: invalid Legendre bounds m=%d n=%d", mmax, nmax))
+	}
+	return &Legendre{mmax: mmax, nmax: nmax}
+}
+
+// Eval fills dst with P̄_n^m(mu) for all m in [0,mmax], n in [m,nmax],
+// using the layout dst[offset(m) + (n-m)] where offset advances by
+// (nmax-m+1) per m. Returns the filled slice (allocating when dst is nil or
+// too short).
+func (l *Legendre) Eval(dst []float64, mu float64) []float64 {
+	need := l.TableSize()
+	if cap(dst) < need {
+		dst = make([]float64, need)
+	}
+	dst = dst[:need]
+	c := math.Sqrt(1 - mu*mu)
+	// Seed P̄_m^m by the diagonal recurrence.
+	pmm := 1 / math.Sqrt2 // P̄_0^0
+	off := 0
+	for m := 0; m <= l.mmax; m++ {
+		if m > 0 {
+			pmm *= c * math.Sqrt((2*float64(m)+1)/(2*float64(m)))
+		}
+		dst[off] = pmm
+		if l.nmax >= m+1 {
+			dst[off+1] = math.Sqrt(2*float64(m)+3) * mu * pmm
+		}
+		for n := m + 2; n <= l.nmax; n++ {
+			fn, fm := float64(n), float64(m)
+			a := math.Sqrt((4*fn*fn - 1) / (fn*fn - fm*fm))
+			b := math.Sqrt(((2*fn + 1) * (fn - 1 + fm) * (fn - 1 - fm)) / ((2*fn - 3) * (fn*fn - fm*fm)))
+			dst[off+(n-m)] = a*mu*dst[off+(n-m-1)] - b*dst[off+(n-m-2)]
+		}
+		off += l.nmax - m + 1
+	}
+	return dst
+}
+
+// TableSize returns the number of (m,n) entries Eval produces.
+func (l *Legendre) TableSize() int {
+	s := 0
+	for m := 0; m <= l.mmax; m++ {
+		s += l.nmax - m + 1
+	}
+	return s
+}
+
+// Offset returns the index of P̄_m^m within an Eval table.
+func (l *Legendre) Offset(m int) int {
+	// Arithmetic series: sum_{k=0}^{m-1} (nmax-k+1).
+	return m*(l.nmax+1) - m*(m-1)/2
+}
+
+// At returns P̄_n^m from a previously filled table.
+func (l *Legendre) At(table []float64, m, n int) float64 {
+	return table[l.Offset(m)+(n-m)]
+}
+
+// epsilon returns eps_n^m = sqrt((n^2-m^2)/(4n^2-1)), the coupling
+// coefficient in the meridional-derivative identity.
+func epsilon(m, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	fm, fn := float64(m), float64(n)
+	return math.Sqrt((fn*fn - fm*fm) / (4*fn*fn - 1))
+}
+
+// EvalDeriv fills hdst with H_n^m(mu) = (1-mu^2) dP̄_n^m/dmu for the same
+// layout as Eval, given a table of P̄ values that extends at least one
+// degree beyond nmax (i.e. built with NewLegendre(mmax, nmax+1)).
+//
+// Identity: (1-mu^2) dP̄_n^m/dmu = (n+1) eps_n^m P̄_{n-1}^m - n eps_{n+1}^m P̄_{n+1}^m.
+func EvalDeriv(hdst []float64, pTable []float64, pl *Legendre, mmax, nmax int) []float64 {
+	out := NewLegendre(mmax, nmax)
+	need := out.TableSize()
+	if cap(hdst) < need {
+		hdst = make([]float64, need)
+	}
+	hdst = hdst[:need]
+	if pl.nmax < nmax+1 || pl.mmax < mmax {
+		panic("spectral: EvalDeriv needs a P table extending one degree beyond nmax")
+	}
+	for m := 0; m <= mmax; m++ {
+		for n := m; n <= nmax; n++ {
+			var lower float64
+			if n > m {
+				lower = float64(n+1) * epsilon(m, n) * pl.At(pTable, m, n-1)
+			}
+			upper := float64(n) * epsilon(m, n+1) * pl.At(pTable, m, n+1)
+			hdst[out.Offset(m)+(n-m)] = lower - upper
+		}
+	}
+	return hdst
+}

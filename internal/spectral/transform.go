@@ -1,0 +1,357 @@
+package spectral
+
+import (
+	"fmt"
+	"math"
+
+	"foam/internal/sphere"
+)
+
+// Truncation describes a rhomboidal-family spectral truncation: zonal
+// wavenumbers m in [0,M], and for each m total wavenumbers n in [m, m+K].
+// K = M gives the classic rhomboidal truncation (R15 has M = K = 15);
+// setting K very large relative to M with an additional cap would give a
+// triangular truncation, which the model does not need.
+type Truncation struct {
+	M int // maximum zonal wavenumber
+	K int // number of total wavenumbers per m, minus one
+}
+
+// R15 is the atmosphere truncation used in the paper: 15th-order rhomboidal.
+var R15 = Truncation{M: 15, K: 15}
+
+// Rhomboidal returns the order-m rhomboidal truncation R(m).
+func Rhomboidal(m int) Truncation { return Truncation{M: m, K: m} }
+
+// Count returns the number of stored (m,n) coefficients.
+func (t Truncation) Count() int { return (t.M + 1) * (t.K + 1) }
+
+// Index returns the coefficient index for (m,n).
+func (t Truncation) Index(m, n int) int { return m*(t.K+1) + (n - m) }
+
+// NMax returns the largest total wavenumber in the truncation.
+func (t Truncation) NMax() int { return t.M + t.K }
+
+// Contains reports whether (m,n) is inside the truncation.
+func (t Truncation) Contains(m, n int) bool {
+	return m >= 0 && m <= t.M && n >= m && n <= m+t.K
+}
+
+// GridFor returns the standard unaliased transform grid dimensions for the
+// truncation, following the CCM conventions: for R15 this yields 48
+// longitudes and 40 latitudes.
+func (t Truncation) GridFor() (nlat, nlon int) {
+	// Quadratic unaliasing for rhomboidal truncation: nlon >= 3M+1 rounded
+	// up to a 2/3/5-smooth even number, nlat >= (5M+1)/2 rounded up to an
+	// even Gaussian count. R15 yields the paper's 48 x 40 grid.
+	nlon = smoothAtLeast(3*t.M + 1)
+	nlat = smoothAtLeast((5*t.M + 2) / 2)
+	return nlat, nlon
+}
+
+func smoothAtLeast(n int) int {
+	for v := n; ; v++ {
+		m := v
+		for _, p := range []int{2, 3, 5} {
+			for m%p == 0 {
+				m /= p
+			}
+		}
+		if m == 1 && v%2 == 0 {
+			return v
+		}
+	}
+}
+
+// Transform performs spherical-harmonic analysis and synthesis between a
+// Gaussian grid (nlat x nlon, row-major, south to north) and spectral
+// coefficients under a fixed truncation.
+type Transform struct {
+	Trunc      Truncation
+	NLat, NLon int
+
+	mu, w  []float64 // Gaussian nodes (sin lat) and weights
+	fft    *FFT
+	pl     *Legendre   // table layout up to NMax+1
+	pTab   [][]float64 // per-latitude P̄ tables (n up to NMax+1)
+	hTab   [][]float64 // per-latitude H tables (n up to NMax), layout of hl
+	hl     *Legendre   // layout helper for hTab
+	oneMu2 []float64   // 1 - mu^2 per latitude
+}
+
+// NewTransform builds transform tables for a truncation on an
+// nlat x nlon Gaussian grid.
+func NewTransform(t Truncation, nlat, nlon int) *Transform {
+	if nlon <= 2*t.M {
+		panic(fmt.Sprintf("spectral: nlon %d cannot resolve m up to %d", nlon, t.M))
+	}
+	nodes, weights := sphere.GaussLegendre(nlat)
+	tr := &Transform{Trunc: t, NLat: nlat, NLon: nlon, mu: nodes, w: weights,
+		fft: NewFFT(nlon)}
+	tr.pl = NewLegendre(t.M, t.NMax()+1)
+	tr.hl = NewLegendre(t.M, t.NMax())
+	tr.pTab = make([][]float64, nlat)
+	tr.hTab = make([][]float64, nlat)
+	tr.oneMu2 = make([]float64, nlat)
+	for j := 0; j < nlat; j++ {
+		tr.pTab[j] = tr.pl.Eval(nil, nodes[j])
+		tr.hTab[j] = EvalDeriv(nil, tr.pTab[j], tr.pl, t.M, t.NMax())
+		tr.oneMu2[j] = 1 - nodes[j]*nodes[j]
+	}
+	return tr
+}
+
+// Mu returns sin(latitude) for row j; Weight the Gaussian weight.
+func (tr *Transform) Mu(j int) float64     { return tr.mu[j] }
+func (tr *Transform) Weight(j int) float64 { return tr.w[j] }
+
+// fourierRows computes the Fourier coefficients F_m for every latitude row.
+// Result layout: [j][m].
+func (tr *Transform) fourierRows(grid []float64) [][]complex128 {
+	if len(grid) != tr.NLat*tr.NLon {
+		panic("spectral: grid size mismatch")
+	}
+	rows := make([][]complex128, tr.NLat)
+	for j := 0; j < tr.NLat; j++ {
+		rows[j] = make([]complex128, tr.Trunc.M+1)
+		tr.fft.AnalyzeReal(rows[j], grid[j*tr.NLon:(j+1)*tr.NLon], tr.Trunc.M)
+	}
+	return rows
+}
+
+// Analyze computes spectral coefficients from a grid field.
+func (tr *Transform) Analyze(grid []float64) []complex128 {
+	rows := tr.fourierRows(grid)
+	spec := make([]complex128, tr.Trunc.Count())
+	tr.analyzeRows(spec, rows)
+	return spec
+}
+
+func (tr *Transform) analyzeRows(spec []complex128, rows [][]complex128) {
+	t := tr.Trunc
+	for j := 0; j < tr.NLat; j++ {
+		wj := tr.w[j]
+		p := tr.pTab[j]
+		for m := 0; m <= t.M; m++ {
+			f := rows[j][m] * complex(wj, 0)
+			off := tr.pl.Offset(m)
+			base := t.Index(m, m)
+			for k := 0; k <= t.K; k++ {
+				spec[base+k] += f * complex(p[off+k], 0)
+			}
+		}
+	}
+}
+
+// Synthesize reconstructs a grid field from spectral coefficients.
+func (tr *Transform) Synthesize(spec []complex128) []float64 {
+	grid := make([]float64, tr.NLat*tr.NLon)
+	tr.SynthesizeInto(grid, spec)
+	return grid
+}
+
+// SynthesizeInto writes the synthesis into an existing buffer.
+func (tr *Transform) SynthesizeInto(grid []float64, spec []complex128) {
+	t := tr.Trunc
+	if len(spec) != t.Count() {
+		panic("spectral: spectral size mismatch")
+	}
+	coefs := make([]complex128, t.M+1)
+	for j := 0; j < tr.NLat; j++ {
+		p := tr.pTab[j]
+		for m := 0; m <= t.M; m++ {
+			off := tr.pl.Offset(m)
+			base := t.Index(m, m)
+			var sum complex128
+			for k := 0; k <= t.K; k++ {
+				sum += spec[base+k] * complex(p[off+k], 0)
+			}
+			coefs[m] = sum
+		}
+		tr.fft.SynthesizeReal(grid[j*tr.NLon:(j+1)*tr.NLon], coefs)
+	}
+}
+
+// SynthesizeWithDerivs returns the grid field together with its plain
+// longitude derivative df/dlambda and the weighted meridional derivative
+// (1-mu^2) df/dmu. The advective operator on the sphere is then
+//
+//	u·grad f = (U*dfdl + V*hmu) / (a*(1-mu^2))
+//
+// with U = u cos(lat), V = v cos(lat).
+func (tr *Transform) SynthesizeWithDerivs(spec []complex128) (f, dfdl, hmu []float64) {
+	t := tr.Trunc
+	f = make([]float64, tr.NLat*tr.NLon)
+	dfdl = make([]float64, tr.NLat*tr.NLon)
+	hmu = make([]float64, tr.NLat*tr.NLon)
+	cf := make([]complex128, t.M+1)
+	cd := make([]complex128, t.M+1)
+	ch := make([]complex128, t.M+1)
+	for j := 0; j < tr.NLat; j++ {
+		p := tr.pTab[j]
+		h := tr.hTab[j]
+		for m := 0; m <= t.M; m++ {
+			offP := tr.pl.Offset(m)
+			offH := tr.hl.Offset(m)
+			base := t.Index(m, m)
+			var sf, sh complex128
+			for k := 0; k <= t.K; k++ {
+				c := spec[base+k]
+				sf += c * complex(p[offP+k], 0)
+				sh += c * complex(h[offH+k], 0)
+			}
+			cf[m] = sf
+			cd[m] = complex(0, float64(m)) * sf
+			ch[m] = sh
+		}
+		tr.fft.SynthesizeReal(f[j*tr.NLon:(j+1)*tr.NLon], cf)
+		tr.fft.SynthesizeReal(dfdl[j*tr.NLon:(j+1)*tr.NLon], cd)
+		tr.fft.SynthesizeReal(hmu[j*tr.NLon:(j+1)*tr.NLon], ch)
+	}
+	return f, dfdl, hmu
+}
+
+// SynthesizeUV computes the grid wind images U = u cos(lat), V = v cos(lat)
+// from spectral relative vorticity and divergence via the streamfunction /
+// velocity-potential relations
+//
+//	psi = -a^2 zeta / (n(n+1)),  chi = -a^2 D / (n(n+1))
+//	U = (d chi/d lambda - H(psi)) / a,  V = (d psi/d lambda + H(chi)) / a.
+func (tr *Transform) SynthesizeUV(vort, div []complex128) (U, V []float64) {
+	t := tr.Trunc
+	if len(vort) != t.Count() || len(div) != t.Count() {
+		panic("spectral: SynthesizeUV size mismatch")
+	}
+	psi := make([]complex128, t.Count())
+	chi := make([]complex128, t.Count())
+	a2 := sphere.Radius * sphere.Radius
+	for m := 0; m <= t.M; m++ {
+		for n := m; n <= m+t.K; n++ {
+			if n == 0 {
+				continue
+			}
+			idx := t.Index(m, n)
+			s := complex(-a2/float64(n*(n+1)), 0)
+			psi[idx] = s * vort[idx]
+			chi[idx] = s * div[idx]
+		}
+	}
+	U = make([]float64, tr.NLat*tr.NLon)
+	V = make([]float64, tr.NLat*tr.NLon)
+	cu := make([]complex128, t.M+1)
+	cv := make([]complex128, t.M+1)
+	inva := complex(1/sphere.Radius, 0)
+	for j := 0; j < tr.NLat; j++ {
+		p := tr.pTab[j]
+		h := tr.hTab[j]
+		for m := 0; m <= t.M; m++ {
+			offP := tr.pl.Offset(m)
+			offH := tr.hl.Offset(m)
+			base := t.Index(m, m)
+			var sPsi, sChi, hPsi, hChi complex128
+			for k := 0; k <= t.K; k++ {
+				pv := complex(p[offP+k], 0)
+				hv := complex(h[offH+k], 0)
+				sPsi += psi[base+k] * pv
+				sChi += chi[base+k] * pv
+				hPsi += psi[base+k] * hv
+				hChi += chi[base+k] * hv
+			}
+			im := complex(0, float64(m))
+			cu[m] = (im*sChi - hPsi) * inva
+			cv[m] = (im*sPsi + hChi) * inva
+		}
+		tr.fft.SynthesizeReal(U[j*tr.NLon:(j+1)*tr.NLon], cu)
+		tr.fft.SynthesizeReal(V[j*tr.NLon:(j+1)*tr.NLon], cv)
+	}
+	return U, V
+}
+
+// AnalyzeDivForm computes the spectral coefficients of
+//
+//	(1/(a(1-mu^2))) dA/dlambda + (1/a) dB/dmu
+//
+// from grid fields A and B, using integration by parts for the meridional
+// term so no grid derivative of B is required. This is the primitive from
+// which the vorticity and divergence tendencies are assembled:
+//
+//	vorticity tendency   = -AnalyzeDivForm(A, B)
+//	divergence tendency  = +AnalyzeDivForm(B, A-negated)  (i.e. swap and negate)
+func (tr *Transform) AnalyzeDivForm(A, B []float64) []complex128 {
+	t := tr.Trunc
+	rowsA := tr.fourierRows(A)
+	rowsB := tr.fourierRows(B)
+	spec := make([]complex128, t.Count())
+	inva := 1 / sphere.Radius
+	for j := 0; j < tr.NLat; j++ {
+		wj := tr.w[j] / tr.oneMu2[j] * inva
+		p := tr.pTab[j]
+		h := tr.hTab[j]
+		for m := 0; m <= t.M; m++ {
+			fa := rowsA[j][m] * complex(0, float64(m)*wj)
+			fb := rowsB[j][m] * complex(wj, 0)
+			offP := tr.pl.Offset(m)
+			offH := tr.hl.Offset(m)
+			base := t.Index(m, m)
+			for k := 0; k <= t.K; k++ {
+				spec[base+k] += fa*complex(p[offP+k], 0) - fb*complex(h[offH+k], 0)
+			}
+		}
+	}
+	return spec
+}
+
+// VortDivTend assembles the rotational-form tendencies used by the
+// dynamical core: given grid fluxes A = U*X and B = V*X (for vorticity
+// advection X = absolute vorticity, etc.) it returns
+//
+//	vort = -(1/(a(1-mu^2))) dA/dlambda - (1/a) dB/dmu
+//	div  = +(1/(a(1-mu^2))) dB/dlambda - (1/a) dA/dmu
+func (tr *Transform) VortDivTend(A, B []float64) (vort, div []complex128) {
+	vort = tr.AnalyzeDivForm(A, B)
+	for i := range vort {
+		vort[i] = -vort[i]
+	}
+	negA := make([]float64, len(A))
+	for i := range A {
+		negA[i] = -A[i]
+	}
+	div = tr.AnalyzeDivForm(B, negA)
+	return vort, div
+}
+
+// Laplacian multiplies spectral coefficients by -n(n+1)/a^2 in place and
+// returns the slice.
+func (tr *Transform) Laplacian(spec []complex128) []complex128 {
+	t := tr.Trunc
+	a2 := sphere.Radius * sphere.Radius
+	for m := 0; m <= t.M; m++ {
+		for n := m; n <= m+t.K; n++ {
+			spec[t.Index(m, n)] *= complex(-float64(n*(n+1))/a2, 0)
+		}
+	}
+	return spec
+}
+
+// InverseLaplacian divides by -n(n+1)/a^2, zeroing the global mean.
+func (tr *Transform) InverseLaplacian(spec []complex128) []complex128 {
+	t := tr.Trunc
+	a2 := sphere.Radius * sphere.Radius
+	for m := 0; m <= t.M; m++ {
+		for n := m; n <= m+t.K; n++ {
+			idx := t.Index(m, n)
+			if n == 0 {
+				spec[idx] = 0
+				continue
+			}
+			spec[idx] /= complex(-float64(n*(n+1))/a2, 0)
+		}
+	}
+	return spec
+}
+
+// MeanOfSpec returns the area mean implied by the spectral field (the
+// (0,0) coefficient times P̄_0^0 = 1/sqrt(2)).
+func (tr *Transform) MeanOfSpec(spec []complex128) float64 {
+	return real(spec[tr.Trunc.Index(0, 0)]) / math.Sqrt2
+}

@@ -1,0 +1,253 @@
+package sphere
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussLegendreWeightsSumToTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 40, 64, 128} {
+		_, w := GaussLegendre(n)
+		sum := 0.0
+		for _, v := range w {
+			sum += v
+		}
+		if math.Abs(sum-2) > 1e-12 {
+			t.Fatalf("n=%d: weights sum %v, want 2", n, sum)
+		}
+	}
+}
+
+func TestGaussLegendreNodesAscendSymmetric(t *testing.T) {
+	nodes, _ := GaussLegendre(40)
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i] <= nodes[i-1] {
+			t.Fatalf("nodes not ascending at %d", i)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if math.Abs(nodes[i]+nodes[39-i]) > 1e-13 {
+			t.Fatalf("nodes not symmetric at %d: %v vs %v", i, nodes[i], nodes[39-i])
+		}
+	}
+}
+
+// Gauss quadrature with n nodes integrates polynomials up to degree 2n-1
+// exactly.
+func TestGaussLegendreExactForPolynomials(t *testing.T) {
+	n := 6
+	nodes, w := GaussLegendre(n)
+	// integral of x^k over [-1,1] = 0 (odd), 2/(k+1) (even)
+	for k := 0; k <= 2*n-1; k++ {
+		got := 0.0
+		for i := range nodes {
+			got += w[i] * math.Pow(nodes[i], float64(k))
+		}
+		want := 0.0
+		if k%2 == 0 {
+			want = 2 / float64(k+1)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("degree %d: got %v want %v", k, got, want)
+		}
+	}
+}
+
+func TestGaussLegendreKnownRoots(t *testing.T) {
+	// n=2: roots +-1/sqrt(3), weights 1.
+	nodes, w := GaussLegendre(2)
+	if math.Abs(nodes[1]-1/math.Sqrt(3)) > 1e-14 || math.Abs(w[0]-1) > 1e-14 {
+		t.Fatalf("n=2 wrong: %v %v", nodes, w)
+	}
+	// n=3: roots 0, +-sqrt(3/5); weights 8/9, 5/9.
+	nodes, w = GaussLegendre(3)
+	if math.Abs(nodes[1]) > 1e-14 || math.Abs(nodes[2]-math.Sqrt(0.6)) > 1e-14 {
+		t.Fatalf("n=3 roots wrong: %v", nodes)
+	}
+	if math.Abs(w[1]-8.0/9) > 1e-14 || math.Abs(w[0]-5.0/9) > 1e-14 {
+		t.Fatalf("n=3 weights wrong: %v", w)
+	}
+}
+
+func TestMercatorLatitudesSpacingProportionalToCos(t *testing.T) {
+	lats := MercatorLatitudes(64, -60*Deg2Rad, 60*Deg2Rad)
+	// dphi/cos(phi) should be constant.
+	ref := (lats[1] - lats[0]) / math.Cos((lats[0]+lats[1])/2)
+	for j := 1; j < len(lats)-1; j++ {
+		r := (lats[j+1] - lats[j]) / math.Cos((lats[j]+lats[j+1])/2)
+		if math.Abs(r-ref)/ref > 1e-3 {
+			t.Fatalf("Mercator spacing not proportional to cos at %d: %v vs %v", j, r, ref)
+		}
+	}
+	if math.Abs(lats[0]+60*Deg2Rad) > 1e-12 || math.Abs(lats[63]-60*Deg2Rad) > 1e-12 {
+		t.Fatalf("endpoints wrong: %v %v", lats[0], lats[63])
+	}
+}
+
+func TestGridTotalAreaIsSphere(t *testing.T) {
+	g := NewGaussianGrid(40, 48)
+	want := 4 * math.Pi * Radius * Radius
+	if math.Abs(g.TotalArea()-want)/want > 1e-12 {
+		t.Fatalf("total area %v want %v", g.TotalArea(), want)
+	}
+}
+
+func TestGridAreaMeanOfConstant(t *testing.T) {
+	g := NewGaussianGrid(16, 32)
+	f := make([]float64, g.Size())
+	for i := range f {
+		f[i] = 7.5
+	}
+	if math.Abs(g.AreaMean(f)-7.5) > 1e-12 {
+		t.Fatalf("area mean of constant: %v", g.AreaMean(f))
+	}
+}
+
+func TestGridAreaMeanMasked(t *testing.T) {
+	g := NewGaussianGrid(8, 16)
+	f := make([]float64, g.Size())
+	mask := make([]bool, g.Size())
+	for k := range f {
+		if k%2 == 0 {
+			f[k] = 3
+			mask[k] = true
+		} else {
+			f[k] = 1000 // must be ignored
+		}
+	}
+	if got := g.AreaMeanMasked(f, mask); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("masked mean %v want 3", got)
+	}
+	empty := make([]bool, g.Size())
+	if got := g.AreaMeanMasked(f, empty); got != 0 {
+		t.Fatalf("empty mask mean %v want 0", got)
+	}
+}
+
+func TestGridEdgesMonotone(t *testing.T) {
+	g := NewMercatorGrid(128, 128, -72, 72)
+	for j := 1; j <= g.NLat(); j++ {
+		if g.LatEdges[j] <= g.LatEdges[j-1] {
+			t.Fatalf("lat edges not monotone at %d", j)
+		}
+	}
+	for i := 1; i <= g.NLon(); i++ {
+		if g.LonEdges[i] <= g.LonEdges[i-1] {
+			t.Fatalf("lon edges not monotone at %d", i)
+		}
+	}
+}
+
+func TestGreatCircleKnownValues(t *testing.T) {
+	// Quarter circumference pole to equator.
+	want := math.Pi / 2 * Radius
+	got := GreatCircle(0, 0, math.Pi/2, 0)
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("pole-equator distance %v want %v", got, want)
+	}
+	// Antipodal points: half circumference.
+	got = GreatCircle(0, 0, 0, math.Pi)
+	if math.Abs(got-math.Pi*Radius) > 1 {
+		t.Fatalf("antipodal distance %v", got)
+	}
+	// Same point: zero.
+	if d := GreatCircle(0.3, 1.2, 0.3, 1.2); d > 1e-6 {
+		t.Fatalf("self distance %v", d)
+	}
+}
+
+func TestCoriolis(t *testing.T) {
+	if Coriolis(0) != 0 {
+		t.Fatal("equatorial Coriolis nonzero")
+	}
+	if math.Abs(Coriolis(math.Pi/2)-2*Omega) > 1e-18 {
+		t.Fatal("polar Coriolis wrong")
+	}
+	if Coriolis(-math.Pi/4) >= 0 {
+		t.Fatal("southern hemisphere Coriolis should be negative")
+	}
+}
+
+func TestWrapLon(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, 3 * math.Pi / 2},
+		{5 * math.Pi, math.Pi},
+	}
+	for _, c := range cases {
+		if got := WrapLon(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("WrapLon(%v)=%v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: grid box areas are positive and the area of any grid built from
+// random monotone latitude centers sums to the sphere.
+func TestGridAreaProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nlat := 2 + rng.Intn(30)
+		nlon := 2 + rng.Intn(30)
+		lats := make([]float64, nlat)
+		// Random ascending latitudes strictly inside (-pi/2, pi/2).
+		for i := range lats {
+			lats[i] = rng.Float64()
+		}
+		sum := 0.0
+		for _, v := range lats {
+			sum += v
+		}
+		acc := 0.0
+		for i, v := range lats {
+			acc += v
+			lats[i] = -math.Pi/2 + math.Pi*acc/(sum+1) // ascending, in range
+		}
+		g := NewGrid(lats, UniformLongitudes(nlon))
+		for j := 0; j < nlat; j++ {
+			for i := 0; i < nlon; i++ {
+				if g.Area(j, i) <= 0 {
+					return false
+				}
+			}
+		}
+		want := 4 * math.Pi * Radius * Radius
+		return math.Abs(g.TotalArea()-want)/want < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gauss-Legendre quadrature integrates random degree <= 2n-1
+// polynomials to near machine precision.
+func TestGaussQuadratureRandomPolynomialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		deg := rng.Intn(2 * n) // <= 2n-1
+		coef := make([]float64, deg+1)
+		for i := range coef {
+			coef[i] = rng.NormFloat64()
+		}
+		nodes, w := GaussLegendre(n)
+		got := 0.0
+		for i := range nodes {
+			p := 0.0
+			for k := deg; k >= 0; k-- {
+				p = p*nodes[i] + coef[k]
+			}
+			got += w[i] * p
+		}
+		want := 0.0
+		for k := 0; k <= deg; k += 2 {
+			want += coef[k] * 2 / float64(k+1)
+		}
+		return math.Abs(got-want) < 1e-10*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,5 @@
+package foam
+
+import "time"
+
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }
