@@ -248,6 +248,30 @@ func BenchmarkTableOceanAblations(b *testing.B) {
 	}
 }
 
+// BenchmarkCoupledStepParallel (E12) times one coupled step of the reduced
+// configuration under the shared-memory worker pool at several worker
+// counts. workers=1 is the exact serial path; every other count produces
+// bit-identical prognostic state (see TestWorkersMatchSerial), so the
+// sub-benchmarks measure pure scheduling overhead vs. speedup.
+func BenchmarkCoupledStepParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := ReducedConfig()
+			cfg.Workers = workers
+			m, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			m.StepDays(0.5) // spin past initialization transients
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Step()
+			}
+		})
+	}
+}
+
 // testingBenchTime times a closure (helper; avoids importing time at each
 // call site).
 func testingBenchTime(f func()) float64 {

@@ -29,6 +29,8 @@ import (
 	"foam/internal/spectral"
 )
 
+var workers = flag.Int("workers", 1, "shared-memory worker pool size for coupled runs (0 = all CPUs, 1 = serial); bit-identical for any value")
+
 func main() {
 	runList := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,E8,E9,E10,E11", "comma-separated experiment ids")
 	full := flag.Bool("full", false, "use the paper's full configuration (much slower)")
@@ -67,10 +69,12 @@ func main() {
 }
 
 func cfgFor(full bool) foam.Config {
+	cfg := foam.ReducedConfig()
 	if full {
-		return foam.DefaultConfig()
+		cfg = foam.DefaultConfig()
 	}
-	return foam.ReducedConfig()
+	cfg.Workers = *workers
+	return cfg
 }
 
 // E1 — Figure 2: trace one simulated day on 16+1 and 32+2 ranks; the ocean
@@ -217,6 +221,7 @@ func runE5(full bool) {
 // uses the paper's full R15 + 128x128 configuration: the ratio is the claim.
 func runE6(full bool) {
 	cfg := foam.DefaultConfig()
+	cfg.Workers = *workers
 	m, err := foam.New(cfg)
 	if err != nil {
 		fmt.Println("error:", err)

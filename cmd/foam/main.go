@@ -27,6 +27,7 @@ func main() {
 	mapOut := flag.Bool("map", true, "print an ASCII SST map at the end")
 	saveChk := flag.String("checkpoint", "", "write a restart checkpoint here at the end")
 	resume := flag.String("resume", "", "resume from a checkpoint file")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial); results are bit-identical for any value")
 	flag.Parse()
 
 	var cfg foam.Config
@@ -39,6 +40,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unknown -config (want full or reduced)")
 		os.Exit(2)
 	}
+	cfg.Workers = *workers
 	m, err := foam.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "foam:", err)

@@ -12,7 +12,6 @@ type work struct {
 	U, V, zg, dg, tg [][]float64 // per level grid fields
 	nU, nV, tSrc     [][]float64
 	fluxA, fluxB     [][]float64
-	eGrid            []float64
 	vgq              [][]float64 // V·grad(lnps) per level
 	aCol             [][]float64 // D + V·grad(lnps)
 	sdot             [][]float64 // sigma-dot at interior half levels [1..nl-1]
@@ -40,7 +39,6 @@ func newWork(nlev, ncell int, m *Model) *work {
 	for k := range w.sdot {
 		w.sdot[k] = make([]float64, ncell)
 	}
-	w.eGrid = make([]float64, ncell)
 	w.psSrc = make([]float64, ncell)
 	t := m.cfg.Trunc
 	w.nOf = make([]int, t.Count())
@@ -93,11 +91,13 @@ func (m *Model) Step() {
 	if m.step > 0 {
 		al := m.cfg.RobertAlpha
 		filter := func(old, cur, new_ [][]complex128) {
-			for k := range cur {
-				for i := range cur[k] {
-					cur[k][i] += complex(al, 0) * (old[k][i] - 2*cur[k][i] + new_[k][i])
+			m.pool.Run(len(cur), func(_, k0, k1 int) {
+				for k := k0; k < k1; k++ {
+					for i := range cur[k] {
+						cur[k][i] += complex(al, 0) * (old[k][i] - 2*cur[k][i] + new_[k][i])
+					}
 				}
-			}
+			})
 		}
 		filter(m.old.vort, m.cur.vort, plus.vort)
 		filter(m.old.div, m.cur.div, plus.div)
@@ -135,119 +135,139 @@ func (m *Model) dynStep(dt float64, si *SemiImplicit) *specState {
 	vg := m.vg
 	a := sphere.Radius
 
-	// --- Synthesize current state on the grid.
-	for k := 0; k < nlev; k++ {
-		uk, vk := tr.SynthesizeUV(m.cur.vort[k], m.cur.div[k])
-		copy(w.U[k], uk)
-		copy(w.V[k], vk)
-		tr.SynthesizeInto(w.zg[k], m.cur.vort[k])
-		tr.SynthesizeInto(w.dg[k], m.cur.div[k])
-		tr.SynthesizeInto(w.tg[k], m.cur.temp[k])
-	}
+	// --- Synthesize current state on the grid. Parallel over levels: each
+	// level's transforms are independent and write only that level's fields
+	// (nested transform calls run inline on the busy pool).
+	m.pool.Run(nlev, func(_, k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			uk, vk := tr.SynthesizeUV(m.cur.vort[k], m.cur.div[k])
+			copy(w.U[k], uk)
+			copy(w.V[k], vk)
+			tr.SynthesizeInto(w.zg[k], m.cur.vort[k])
+			tr.SynthesizeInto(w.dg[k], m.cur.div[k])
+			tr.SynthesizeInto(w.tg[k], m.cur.temp[k])
+		}
+	})
 	w.qs, w.dqsdl, w.hqs = tr.SynthesizeWithDerivs(m.cur.lnps)
 
 	// --- Column mass/velocity diagnostics.
-	for k := 0; k < nlev; k++ {
-		for j := 0; j < nlat; j++ {
-			inv := 1 / (a * m.geom.oneMu2[j])
-			for i := 0; i < nlon; i++ {
-				c := j*nlon + i
-				w.vgq[k][c] = (w.U[k][c]*w.dqsdl[c] + w.V[k][c]*w.hqs[c]) * inv
-				w.aCol[k][c] = w.dg[k][c] + w.vgq[k][c]
+	m.pool.Run(nlev, func(_, k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			for j := 0; j < nlat; j++ {
+				inv := 1 / (a * m.geom.oneMu2[j])
+				for i := 0; i < nlon; i++ {
+					c := j*nlon + i
+					w.vgq[k][c] = (w.U[k][c]*w.dqsdl[c] + w.V[k][c]*w.hqs[c]) * inv
+					w.aCol[k][c] = w.dg[k][c] + w.vgq[k][c]
+				}
 			}
 		}
-	}
-	// total integral of A, sigma-dot at half levels, cumulative to full levels.
-	for c := 0; c < ncell; c++ {
-		tot := 0.0
-		for k := 0; k < nlev; k++ {
-			tot += w.aCol[k][c] * vg.DSig[k]
-		}
-		cumHalf := 0.0
-		w.sdot[0][c] = 0
-		for k := 0; k < nlev; k++ {
-			w.cum[k][c] = cumHalf + 0.5*w.aCol[k][c]*vg.DSig[k]
-			cumHalf += w.aCol[k][c] * vg.DSig[k]
-			w.sdot[k+1][c] = -cumHalf + vg.Half[k+1]*tot
-		}
-		w.sdot[nlev][c] = 0
-		w.psSrc[c] = -tot
-		for k := 0; k < nlev; k++ {
-			w.omgp[k][c] = w.vgq[k][c] - w.cum[k][c]/vg.Full[k]
-		}
-	}
-
-	// --- Nonlinear terms.
-	for k := 0; k < nlev; k++ {
-		for j := 0; j < nlat; j++ {
-			for i := 0; i < nlon; i++ {
-				c := j*nlon + i
-				vaU := m.vadv(w.U, k, c)
-				vaV := m.vadv(w.V, k, c)
-				vaT := m.vadv(w.tg, k, c)
-				tdev := w.tg[k][c] - TRef
-				za := w.zg[k][c] + m.fcor[c]
-				w.nU[k][c] = za*w.V[k][c] - vaU - RDry*tdev/a*w.dqsdl[c]
-				w.nV[k][c] = -za*w.U[k][c] - vaV - RDry*tdev/a*w.hqs[c]
-				w.fluxA[k][c] = w.U[k][c] * tdev
-				w.fluxB[k][c] = w.V[k][c] * tdev
-				w.tSrc[k][c] = tdev*w.dg[k][c] - vaT + Kappa*w.tg[k][c]*w.omgp[k][c]
+	})
+	// total integral of A, sigma-dot at half levels, cumulative to full
+	// levels. Each cell's column is independent.
+	m.pool.Run(ncell, func(_, c0, c1 int) {
+		for c := c0; c < c1; c++ {
+			tot := 0.0
+			for k := 0; k < nlev; k++ {
+				tot += w.aCol[k][c] * vg.DSig[k]
+			}
+			cumHalf := 0.0
+			w.sdot[0][c] = 0
+			for k := 0; k < nlev; k++ {
+				w.cum[k][c] = cumHalf + 0.5*w.aCol[k][c]*vg.DSig[k]
+				cumHalf += w.aCol[k][c] * vg.DSig[k]
+				w.sdot[k+1][c] = -cumHalf + vg.Half[k+1]*tot
+			}
+			w.sdot[nlev][c] = 0
+			w.psSrc[c] = -tot
+			for k := 0; k < nlev; k++ {
+				w.omgp[k][c] = w.vgq[k][c] - w.cum[k][c]/vg.Full[k]
 			}
 		}
-	}
+	})
 
-	// --- Spectral tendencies.
+	// --- Nonlinear terms. Writes go to level k only; vadv reads the
+	// neighbouring levels, which are inputs of this phase.
+	m.pool.Run(nlev, func(_, k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			for j := 0; j < nlat; j++ {
+				for i := 0; i < nlon; i++ {
+					c := j*nlon + i
+					vaU := m.vadv(w.U, k, c)
+					vaV := m.vadv(w.V, k, c)
+					vaT := m.vadv(w.tg, k, c)
+					tdev := w.tg[k][c] - TRef
+					za := w.zg[k][c] + m.fcor[c]
+					w.nU[k][c] = za*w.V[k][c] - vaU - RDry*tdev/a*w.dqsdl[c]
+					w.nV[k][c] = -za*w.U[k][c] - vaV - RDry*tdev/a*w.hqs[c]
+					w.fluxA[k][c] = w.U[k][c] * tdev
+					w.fluxB[k][c] = w.V[k][c] * tdev
+					w.tSrc[k][c] = tdev*w.dg[k][c] - vaT + Kappa*w.tg[k][c]*w.omgp[k][c]
+				}
+			}
+		}
+	})
+
+	// --- Spectral tendencies. Parallel over levels with per-worker grid
+	// scratch; every spectral array written belongs to one level.
 	nz := make([][]complex128, nlev)
 	nd := make([][]complex128, nlev)
 	nt := make([][]complex128, nlev)
-	negNU := make([]float64, ncell)
-	for k := 0; k < nlev; k++ {
-		for c := 0; c < ncell; c++ {
-			negNU[c] = -w.nU[k][c]
-		}
-		nz[k] = tr.AnalyzeDivForm(w.nV[k], negNU)
-		nd[k] = tr.AnalyzeDivForm(w.nU[k], w.nV[k])
-		// Explicit Laplacian part: E + Phi_s.
-		for j := 0; j < nlat; j++ {
-			inv := 1 / (2 * m.geom.oneMu2[j])
-			for i := 0; i < nlon; i++ {
-				c := j*nlon + i
-				w.eGrid[c] = (w.U[k][c]*w.U[k][c]+w.V[k][c]*w.V[k][c])*inv + m.phiS[c]
+	m.pool.Run(nlev, func(_, k0, k1 int) {
+		negNU := make([]float64, ncell)
+		eGrid := make([]float64, ncell)
+		for k := k0; k < k1; k++ {
+			for c := 0; c < ncell; c++ {
+				negNU[c] = -w.nU[k][c]
+			}
+			nz[k] = tr.AnalyzeDivForm(w.nV[k], negNU)
+			nd[k] = tr.AnalyzeDivForm(w.nU[k], w.nV[k])
+			// Explicit Laplacian part: E + Phi_s.
+			for j := 0; j < nlat; j++ {
+				inv := 1 / (2 * m.geom.oneMu2[j])
+				for i := 0; i < nlon; i++ {
+					c := j*nlon + i
+					eGrid[c] = (w.U[k][c]*w.U[k][c]+w.V[k][c]*w.V[k][c])*inv + m.phiS[c]
+				}
+			}
+			lapE := tr.Laplacian(tr.Analyze(eGrid))
+			for idx := range nd[k] {
+				nd[k][idx] -= lapE[idx]
+			}
+			// Temperature: flux form advection plus grid sources.
+			adv := tr.AnalyzeDivForm(w.fluxA[k], w.fluxB[k])
+			src := tr.Analyze(w.tSrc[k])
+			nt[k] = src
+			for idx := range nt[k] {
+				nt[k][idx] -= adv[idx]
 			}
 		}
-		lapE := tr.Laplacian(tr.Analyze(w.eGrid))
-		for idx := range nd[k] {
-			nd[k][idx] -= lapE[idx]
-		}
-		// Temperature: flux form advection plus grid sources.
-		adv := tr.AnalyzeDivForm(w.fluxA[k], w.fluxB[k])
-		src := tr.Analyze(w.tSrc[k])
-		nt[k] = src
-		for idx := range nt[k] {
-			nt[k][idx] -= adv[idx]
-		}
-	}
+	})
 	np := tr.Analyze(w.psSrc)
 
 	// --- Semi-implicit add-backs (spectral, using the current divergence).
 	ncf := m.cfg.Trunc.Count()
-	for idx := 0; idx < ncf; idx++ {
-		var bD complex128
-		for l := 0; l < nlev; l++ {
-			bD += complex(vg.DSig[l], 0) * m.cur.div[l][idx]
-		}
-		np[idx] += bD
-	}
-	for k := 0; k < nlev; k++ {
-		arow := vg.ThermoRow(k)
-		for idx := 0; idx < ncf; idx++ {
-			var s complex128
+	m.pool.Run(ncf, func(_, i0, i1 int) {
+		for idx := i0; idx < i1; idx++ {
+			var bD complex128
 			for l := 0; l < nlev; l++ {
-				s += complex(arow[l], 0) * m.cur.div[l][idx]
+				bD += complex(vg.DSig[l], 0) * m.cur.div[l][idx]
 			}
-			nt[k][idx] += s
+			np[idx] += bD
 		}
-	}
+	})
+	m.pool.Run(nlev, func(_, k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			arow := vg.ThermoRow(k)
+			for idx := 0; idx < ncf; idx++ {
+				var s complex128
+				for l := 0; l < nlev; l++ {
+					s += complex(arow[l], 0) * m.cur.div[l][idx]
+				}
+				nt[k][idx] += s
+			}
+		}
+	})
 
 	// --- Assemble and solve the implicit system per coefficient.
 	var tSI time.Time
@@ -256,50 +276,54 @@ func (m *Model) dynStep(dt float64, si *SemiImplicit) *specState {
 	}
 	plus := m.takePlus()
 	a2 := a * a
-	ttil := make([]complex128, nlev)
-	yv := make([]complex128, nlev)
-	rhsRe := make([]float64, nlev)
-	rhsIm := make([]float64, nlev)
-	for idx := 0; idx < ncf; idx++ {
-		n := w.nOf[idx]
-		cn := float64(n*(n+1)) / a2
-		qtil := m.old.lnps[idx] + complex(dt, 0)*np[idx]
-		for k := 0; k < nlev; k++ {
-			ttil[k] = m.old.temp[k][idx] + complex(dt, 0)*nt[k][idx]
-		}
-		for k := 0; k < nlev; k++ {
-			grow := vg.HydroRow(k)
-			var s complex128
-			for l := 0; l < nlev; l++ {
-				s += complex(grow[l], 0) * ttil[l]
+	// Per-coefficient vertical systems are independent; per-worker scratch,
+	// and the LU solves read only precomputed factors.
+	m.pool.Run(ncf, func(_, i0, i1 int) {
+		ttil := make([]complex128, nlev)
+		yv := make([]complex128, nlev)
+		rhsRe := make([]float64, nlev)
+		rhsIm := make([]float64, nlev)
+		for idx := i0; idx < i1; idx++ {
+			n := w.nOf[idx]
+			cn := float64(n*(n+1)) / a2
+			qtil := m.old.lnps[idx] + complex(dt, 0)*np[idx]
+			for k := 0; k < nlev; k++ {
+				ttil[k] = m.old.temp[k][idx] + complex(dt, 0)*nt[k][idx]
 			}
-			yv[k] = s + complex(RDry*TRef, 0)*qtil
-		}
-		for k := 0; k < nlev; k++ {
-			rhs := m.old.div[k][idx] + complex(dt, 0)*nd[k][idx] + complex(dt*cn, 0)*yv[k]
-			rhsRe[k] = real(rhs)
-			rhsIm[k] = imag(rhs)
-		}
-		si.Solve(n, rhsRe)
-		si.Solve(n, rhsIm)
-		// rhsRe/Im now hold Dbar.
-		var bD complex128
-		for k := 0; k < nlev; k++ {
-			dbar := complex(rhsRe[k], rhsIm[k])
-			plus.div[k][idx] = 2*dbar - m.old.div[k][idx]
-			bD += complex(vg.DSig[k], 0) * dbar
-		}
-		plus.lnps[idx] = 2*(qtil-complex(dt, 0)*bD) - m.old.lnps[idx]
-		for k := 0; k < nlev; k++ {
-			arow := vg.ThermoRow(k)
-			var aD complex128
-			for l := 0; l < nlev; l++ {
-				aD += complex(arow[l], 0) * complex(rhsRe[l], rhsIm[l])
+			for k := 0; k < nlev; k++ {
+				grow := vg.HydroRow(k)
+				var s complex128
+				for l := 0; l < nlev; l++ {
+					s += complex(grow[l], 0) * ttil[l]
+				}
+				yv[k] = s + complex(RDry*TRef, 0)*qtil
 			}
-			plus.temp[k][idx] = 2*(ttil[k]-complex(dt, 0)*aD) - m.old.temp[k][idx]
-			plus.vort[k][idx] = m.old.vort[k][idx] + complex(2*dt, 0)*nz[k][idx]
+			for k := 0; k < nlev; k++ {
+				rhs := m.old.div[k][idx] + complex(dt, 0)*nd[k][idx] + complex(dt*cn, 0)*yv[k]
+				rhsRe[k] = real(rhs)
+				rhsIm[k] = imag(rhs)
+			}
+			si.Solve(n, rhsRe)
+			si.Solve(n, rhsIm)
+			// rhsRe/Im now hold Dbar.
+			var bD complex128
+			for k := 0; k < nlev; k++ {
+				dbar := complex(rhsRe[k], rhsIm[k])
+				plus.div[k][idx] = 2*dbar - m.old.div[k][idx]
+				bD += complex(vg.DSig[k], 0) * dbar
+			}
+			plus.lnps[idx] = 2*(qtil-complex(dt, 0)*bD) - m.old.lnps[idx]
+			for k := 0; k < nlev; k++ {
+				arow := vg.ThermoRow(k)
+				var aD complex128
+				for l := 0; l < nlev; l++ {
+					aD += complex(arow[l], 0) * complex(rhsRe[l], rhsIm[l])
+				}
+				plus.temp[k][idx] = 2*(ttil[k]-complex(dt, 0)*aD) - m.old.temp[k][idx]
+				plus.vort[k][idx] = m.old.vort[k][idx] + complex(2*dt, 0)*nz[k][idx]
+			}
 		}
-	}
+	})
 	if m.costEnabled {
 		m.lastCost.SemiImplicit = time.Since(tSI).Seconds()
 	}
@@ -331,15 +355,18 @@ func (m *Model) applyHyperdiffusion(s *specState, dt float64) {
 	}
 	a2 := sphere.Radius * sphere.Radius
 	w := m.phy.w
-	for idx, n := range w.nOf {
-		cn := float64(n*(n+1)) / a2
-		f := complex(1/(1+2*dt*k4*cn*cn), 0)
-		for k := 0; k < m.cfg.NLev; k++ {
-			s.vort[k][idx] *= f
-			s.div[k][idx] *= f
-			s.temp[k][idx] *= f
+	m.pool.Run(len(w.nOf), func(_, i0, i1 int) {
+		for idx := i0; idx < i1; idx++ {
+			n := w.nOf[idx]
+			cn := float64(n*(n+1)) / a2
+			f := complex(1/(1+2*dt*k4*cn*cn), 0)
+			for k := 0; k < m.cfg.NLev; k++ {
+				s.vort[k][idx] *= f
+				s.div[k][idx] *= f
+				s.temp[k][idx] *= f
+			}
 		}
-	}
+	})
 }
 
 // updateDiagnostics refreshes the per-step global diagnostics.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"foam/internal/pool"
 	"foam/internal/spectral"
 	"foam/internal/sphere"
 )
@@ -155,6 +156,7 @@ type Model struct {
 
 	boundary Boundary
 	phy      *physicsState
+	pool     *pool.Pool // nil = serial
 
 	step int
 	fcor []float64 // Coriolis parameter per cell
@@ -248,6 +250,14 @@ func New(cfg Config, boundary Boundary) (*Model, error) {
 	m.phy = newPhysicsState(cfg, m.grid.Size())
 	m.initState()
 	return m, nil
+}
+
+// SetPool attaches a shared worker pool to the model and its spectral
+// transform. All parallel sections are bit-identical to the serial path
+// (see internal/pool); a nil pool restores serial execution.
+func (m *Model) SetPool(p *pool.Pool) {
+	m.pool = p
+	m.tr.SetPool(p)
 }
 
 // Grid returns the transform grid.

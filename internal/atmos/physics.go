@@ -105,22 +105,24 @@ func (m *Model) physicsStep(plus *specState) {
 			phy.baseV[k] = make([]float64, ncell)
 		}
 	}
-	for k := 0; k < nlev; k++ {
-		m.tr.SynthesizeInto(phy.tg[k], plus.temp[k])
-		uk, vk := m.tr.SynthesizeUV(plus.vort[k], plus.div[k])
-		copy(phy.baseT[k], phy.tg[k])
-		copy(phy.baseU[k], uk)
-		copy(phy.baseV[k], vk)
-		for j := 0; j < nlat; j++ {
-			inv := 1 / math.Sqrt(m.geom.oneMu2[j])
-			for i := 0; i < nlon; i++ {
-				c := j*nlon + i
-				phy.ug[k][c] = uk[c] * inv
-				phy.vg[k][c] = vk[c] * inv
+	m.pool.Run(nlev, func(_, k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			m.tr.SynthesizeInto(phy.tg[k], plus.temp[k])
+			uk, vk := m.tr.SynthesizeUV(plus.vort[k], plus.div[k])
+			copy(phy.baseT[k], phy.tg[k])
+			copy(phy.baseU[k], uk)
+			copy(phy.baseV[k], vk)
+			for j := 0; j < nlat; j++ {
+				inv := 1 / math.Sqrt(m.geom.oneMu2[j])
+				for i := 0; i < nlon; i++ {
+					c := j*nlon + i
+					phy.ug[k][c] = uk[c] * inv
+					phy.vg[k][c] = vk[c] * inv
+				}
 			}
+			copy(phy.qg[k], m.q[k])
 		}
-		copy(phy.qg[k], m.q[k])
-	}
+	})
 	lnps := m.tr.Synthesize(plus.lnps)
 	for c := 0; c < ncell; c++ {
 		phy.ps[c] = math.Exp(lnps[c])
@@ -131,45 +133,50 @@ func (m *Model) physicsStep(plus *specState) {
 	decl := -23.44 * sphere.Deg2Rad * math.Cos(2*math.Pi*(tdays+10)/sphere.DaysPerYear)
 	frac := tdays - math.Floor(tdays)
 
-	// Radiation on its own (longer) interval.
+	// Radiation on its own (longer) interval. Rows are independent: every
+	// radiation column reads shared state and writes only its own cell.
 	if m.step%cfg.RadiationEvery == 0 {
-		for j := 0; j < nlat; j++ {
-			var tRow time.Time
-			if m.costEnabled {
-				tRow = time.Now()
-			}
-			lat := math.Asin(m.geom.mu[j])
-			for i := 0; i < nlon; i++ {
-				c := j*nlon + i
-				lon := 2 * math.Pi * float64(i) / float64(nlon)
-				h := 2*math.Pi*frac + lon - math.Pi
-				cz := math.Sin(lat)*math.Sin(decl) + math.Cos(lat)*math.Cos(decl)*math.Cos(h)
-				if cz < 0 {
-					cz = 0
+		m.pool.Run(nlat, func(_, j0, j1 int) {
+			for j := j0; j < j1; j++ {
+				var tRow time.Time
+				if m.costEnabled {
+					tRow = time.Now()
 				}
-				phy.low.CosZ[c] = cz
-				m.radiationColumn(c, cz)
+				lat := math.Asin(m.geom.mu[j])
+				for i := 0; i < nlon; i++ {
+					c := j*nlon + i
+					lon := 2 * math.Pi * float64(i) / float64(nlon)
+					h := 2*math.Pi*frac + lon - math.Pi
+					cz := math.Sin(lat)*math.Sin(decl) + math.Cos(lat)*math.Cos(decl)*math.Cos(h)
+					if cz < 0 {
+						cz = 0
+					}
+					phy.low.CosZ[c] = cz
+					m.radiationColumn(c, cz)
+				}
+				if m.costEnabled {
+					m.lastCost.PhysRows[j] += time.Since(tRow).Seconds()
+				}
 			}
-			if m.costEnabled {
-				m.lastCost.PhysRows[j] += time.Since(tRow).Seconds()
-			}
-		}
+		})
 	}
 
 	// Lowest-level state for the surface.
 	kb := nlev - 1
-	for c := 0; c < ncell; c++ {
-		phy.low.T[c] = phy.tg[kb][c]
-		phy.low.Q[c] = phy.qg[kb][c]
-		phy.low.U[c] = phy.ug[kb][c]
-		phy.low.V[c] = phy.vg[kb][c]
-		phy.low.Ps[c] = phy.ps[c]
-		phy.low.Z[c] = RDry * phy.tg[kb][c] / sphere.Gravity * math.Log(1/m.vg.Full[kb])
-		phy.low.SWDown[c] = phy.swdn[c]
-		phy.low.LWDown[c] = phy.lwdn[c]
-		phy.low.RainRate[c] = phy.rain[c]
-		phy.low.SnowRate[c] = phy.snow[c]
-	}
+	m.pool.Run(ncell, func(_, cLo, cHi int) {
+		for c := cLo; c < cHi; c++ {
+			phy.low.T[c] = phy.tg[kb][c]
+			phy.low.Q[c] = phy.qg[kb][c]
+			phy.low.U[c] = phy.ug[kb][c]
+			phy.low.V[c] = phy.vg[kb][c]
+			phy.low.Ps[c] = phy.ps[c]
+			phy.low.Z[c] = RDry * phy.tg[kb][c] / sphere.Gravity * math.Log(1/m.vg.Full[kb])
+			phy.low.SWDown[c] = phy.swdn[c]
+			phy.low.LWDown[c] = phy.lwdn[c]
+			phy.low.RainRate[c] = phy.rain[c]
+			phy.low.SnowRate[c] = phy.snow[c]
+		}
+	})
 	var tB time.Time
 	if m.costEnabled {
 		tB = time.Now()
@@ -181,78 +188,95 @@ func (m *Model) physicsStep(plus *specState) {
 	phy.lastEx = ex
 
 	// Column physics. Precipitation restarts each step (the rates handed
-	// to the surface above were last step's).
+	// to the surface above were last step's). Rows run in parallel with a
+	// per-worker column; every column writes only its own cell. The global
+	// means are accumulated afterwards in a serial ascending-cell pass, the
+	// exact summation order of the serial loop.
 	for c := 0; c < ncell; c++ {
 		phy.rain[c] = 0
 		phy.snow[c] = 0
 	}
-	col := newColumn(nlev)
-	var sumP, sumE, sumW float64
-	phy.convActive = 0
-	for j := 0; j < nlat; j++ {
-		var tRow time.Time
-		if m.costEnabled {
-			tRow = time.Now()
+	deepCount := make([]int, m.pool.Workers())
+	m.pool.Run(nlat, func(worker, j0, j1 int) {
+		col := newColumn(nlev)
+		for j := j0; j < j1; j++ {
+			var tRow time.Time
+			if m.costEnabled {
+				tRow = time.Now()
+			}
+			for i := 0; i < nlon; i++ {
+				c := j*nlon + i
+				col.load(m, c)
+				col.applyRadiation(m, c, dt)
+				col.surfaceAndDiffusion(m, c, ex, dt)
+				col.dryAdjust()
+				if col.convection(m, c, dt) {
+					deepCount[worker]++
+				}
+				col.condensation(m, c, dt)
+				col.store(m, c, dt)
+			}
+			if m.costEnabled {
+				m.lastCost.PhysRows[j] += time.Since(tRow).Seconds()
+			}
 		}
+	})
+	phy.convActive = 0
+	for _, n := range deepCount {
+		phy.convActive += n
+	}
+	var sumP, sumE, sumW float64
+	for j := 0; j < nlat; j++ {
 		for i := 0; i < nlon; i++ {
 			c := j*nlon + i
-			col.load(m, c)
-			col.applyRadiation(m, c, dt)
-			col.surfaceAndDiffusion(m, c, ex, dt)
-			col.dryAdjust()
-			deep := col.convection(m, c, dt)
-			if deep {
-				phy.convActive++
-			}
-			col.condensation(m, c, dt)
-			col.store(m, c, dt)
 			w := m.grid.Area(j, i)
 			sumP += (phy.rain[c] + phy.snow[c]) * w
 			sumE += ex.Evap[c] * w
 			sumW += w
 		}
-		if m.costEnabled {
-			m.lastCost.PhysRows[j] += time.Since(tRow).Seconds()
-		}
 	}
 	phy.meanPrecip = sumP / sumW
 	phy.meanEvap = sumE / sumW
 
-	// Fold the physics increments back into the spectral state.
-	dT := make([]float64, ncell)
-	dU := make([]float64, ncell)
-	dV := make([]float64, ncell)
-	for k := 0; k < nlev; k++ {
-		// tg was updated in place by column physics; the spectral increment
-		// is the new grid value minus the pre-physics synthesis.
-		for c := 0; c < ncell; c++ {
-			dT[c] = phy.tg[k][c] - phy.baseT[k][c]
-		}
-		spec := m.tr.Analyze(dT)
-		for idx := range plus.temp[k] {
-			plus.temp[k][idx] += spec[idx]
-		}
-		// Momentum increments, converted to U=u cos(lat) images.
-		for j := 0; j < nlat; j++ {
-			cl := math.Sqrt(m.geom.oneMu2[j])
-			for i := 0; i < nlon; i++ {
-				c := j*nlon + i
-				dU[c] = phy.ug[k][c]*cl - phy.baseU[k][c]
-				dV[c] = phy.vg[k][c]*cl - phy.baseV[k][c]
-			}
-		}
+	// Fold the physics increments back into the spectral state: parallel
+	// over levels with per-worker grid scratch.
+	m.pool.Run(nlev, func(_, k0, k1 int) {
+		dT := make([]float64, ncell)
+		dU := make([]float64, ncell)
+		dV := make([]float64, ncell)
 		negdU := make([]float64, ncell)
-		for c := range dU {
-			negdU[c] = -dU[c]
+		for k := k0; k < k1; k++ {
+			// tg was updated in place by column physics; the spectral
+			// increment is the new grid value minus the pre-physics
+			// synthesis.
+			for c := 0; c < ncell; c++ {
+				dT[c] = phy.tg[k][c] - phy.baseT[k][c]
+			}
+			spec := m.tr.Analyze(dT)
+			for idx := range plus.temp[k] {
+				plus.temp[k][idx] += spec[idx]
+			}
+			// Momentum increments, converted to U=u cos(lat) images.
+			for j := 0; j < nlat; j++ {
+				cl := math.Sqrt(m.geom.oneMu2[j])
+				for i := 0; i < nlon; i++ {
+					c := j*nlon + i
+					dU[c] = phy.ug[k][c]*cl - phy.baseU[k][c]
+					dV[c] = phy.vg[k][c]*cl - phy.baseV[k][c]
+				}
+			}
+			for c := range dU {
+				negdU[c] = -dU[c]
+			}
+			dz := m.tr.AnalyzeDivForm(dV, negdU)
+			dd := m.tr.AnalyzeDivForm(dU, dV)
+			for idx := range plus.vort[k] {
+				plus.vort[k][idx] += dz[idx]
+				plus.div[k][idx] += dd[idx]
+			}
+			copy(m.q[k], phy.qg[k])
 		}
-		dz := m.tr.AnalyzeDivForm(dV, negdU)
-		dd := m.tr.AnalyzeDivForm(dU, dV)
-		for idx := range plus.vort[k] {
-			plus.vort[k][idx] += dz[idx]
-			plus.div[k][idx] += dd[idx]
-		}
-		copy(m.q[k], phy.qg[k])
-	}
+	})
 }
 
 // radiationColumn computes the radiative heating profile and surface fluxes

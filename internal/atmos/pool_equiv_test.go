@@ -1,0 +1,61 @@
+package atmos
+
+import (
+	"testing"
+
+	"foam/internal/pool"
+	"foam/internal/spectral"
+)
+
+// TestPoolMatchesSerial steps a small full-physics atmosphere serially and
+// under several worker counts and requires the complete spectral prognostic
+// state and grid moisture to be bit-identical (==, not approximately).
+func TestPoolMatchesSerial(t *testing.T) {
+	cfg := ConfigForTruncation(spectral.Rhomboidal(5), 6)
+	cfg.RadiationEvery = 4 // exercise the radiation rows inside the run
+	steps := 10
+
+	run := func(workers int) *Model {
+		m, err := New(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers > 1 {
+			p := pool.New(workers)
+			defer p.Close()
+			m.SetPool(p)
+		}
+		for s := 0; s < steps; s++ {
+			m.Step()
+		}
+		return m
+	}
+
+	ref := run(1)
+	for _, workers := range []int{2, 3, 7} {
+		got := run(workers)
+		for k := 0; k < cfg.NLev; k++ {
+			for i := range ref.cur.vort[k] {
+				if got.cur.vort[k][i] != ref.cur.vort[k][i] ||
+					got.cur.div[k][i] != ref.cur.div[k][i] ||
+					got.cur.temp[k][i] != ref.cur.temp[k][i] {
+					t.Fatalf("workers=%d: spectral state differs at level %d coef %d", workers, k, i)
+				}
+			}
+			for c := range ref.q[k] {
+				if got.q[k][c] != ref.q[k][c] {
+					t.Fatalf("workers=%d: moisture differs at level %d cell %d", workers, k, c)
+				}
+			}
+		}
+		for i := range ref.cur.lnps {
+			if got.cur.lnps[i] != ref.cur.lnps[i] {
+				t.Fatalf("workers=%d: lnps differs at coef %d", workers, i)
+			}
+		}
+		if got.phy.convActive != ref.phy.convActive ||
+			got.phy.meanPrecip != ref.phy.meanPrecip || got.phy.meanEvap != ref.phy.meanEvap {
+			t.Fatalf("workers=%d: physics diagnostics differ", workers)
+		}
+	}
+}

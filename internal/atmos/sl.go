@@ -26,47 +26,54 @@ func (m *Model) advectMoisture(plus *specState) {
 	}
 	dlon := 2 * math.Pi / float64(nlon)
 
-	qNew := make([]float64, nlat*nlon)
-	for k := 0; k < nlev; k++ {
-		q := m.q[k]
-		for j := 0; j < nlat; j++ {
-			om2 := m.geom.oneMu2[j]
-			cosl := math.Sqrt(om2)
-			lat := lats[j]
-			for i := 0; i < nlon; i++ {
-				c := j*nlon + i
-				lam := dlon * float64(i)
-				lamD := lam - w.U[k][c]*dt/(a*om2)
-				latD := lat - w.V[k][c]*dt/(a*cosl)
-				qNew[c] = interpLatLon(q, lats, nlon, latD, lamD)
+	// Horizontal step: levels are independent (departure points and the
+	// interpolation both use level-k fields only); per-worker target buffer.
+	m.pool.Run(nlev, func(_, k0, k1 int) {
+		qNew := make([]float64, nlat*nlon)
+		for k := k0; k < k1; k++ {
+			q := m.q[k]
+			for j := 0; j < nlat; j++ {
+				om2 := m.geom.oneMu2[j]
+				cosl := math.Sqrt(om2)
+				lat := lats[j]
+				for i := 0; i < nlon; i++ {
+					c := j*nlon + i
+					lam := dlon * float64(i)
+					lamD := lam - w.U[k][c]*dt/(a*om2)
+					latD := lat - w.V[k][c]*dt/(a*cosl)
+					qNew[c] = interpLatLon(q, lats, nlon, latD, lamD)
+				}
 			}
+			copy(q, qNew)
 		}
-		copy(q, qNew)
-	}
+	})
 
-	// Vertical upstream transport with the diagnosed sigma velocity.
-	colQ := make([]float64, nlev)
-	for c := 0; c < nlat*nlon; c++ {
-		for k := 0; k < nlev; k++ {
-			colQ[k] = m.q[k][c]
-		}
-		for k := 0; k < nlev; k++ {
-			var tend float64
-			if k > 0 {
-				sd := w.sdot[k][c]
-				if sd > 0 { // downward motion brings air from above
-					tend -= sd * (colQ[k] - colQ[k-1]) / (m.vg.Full[k] - m.vg.Full[k-1])
-				}
+	// Vertical upstream transport with the diagnosed sigma velocity:
+	// column-local, parallel over cells with a per-worker column buffer.
+	m.pool.Run(nlat*nlon, func(_, c0, c1 int) {
+		colQ := make([]float64, nlev)
+		for c := c0; c < c1; c++ {
+			for k := 0; k < nlev; k++ {
+				colQ[k] = m.q[k][c]
 			}
-			if k < nlev-1 {
-				sd := w.sdot[k+1][c]
-				if sd < 0 { // upward motion brings air from below
-					tend -= sd * (colQ[k+1] - colQ[k]) / (m.vg.Full[k+1] - m.vg.Full[k])
+			for k := 0; k < nlev; k++ {
+				var tend float64
+				if k > 0 {
+					sd := w.sdot[k][c]
+					if sd > 0 { // downward motion brings air from above
+						tend -= sd * (colQ[k] - colQ[k-1]) / (m.vg.Full[k] - m.vg.Full[k-1])
+					}
 				}
+				if k < nlev-1 {
+					sd := w.sdot[k+1][c]
+					if sd < 0 { // upward motion brings air from below
+						tend -= sd * (colQ[k+1] - colQ[k]) / (m.vg.Full[k+1] - m.vg.Full[k])
+					}
+				}
+				m.q[k][c] = math.Max(colQ[k]+tend*dt, 1e-9)
 			}
-			m.q[k][c] = math.Max(colQ[k]+tend*dt, 1e-9)
 		}
-	}
+	})
 }
 
 // interpLatLon bilinearly interpolates a row-major (lat ascending, lon

@@ -13,6 +13,7 @@ import (
 	"foam/internal/coupler"
 	"foam/internal/data"
 	"foam/internal/ocean"
+	"foam/internal/pool"
 	"foam/internal/spectral"
 	"foam/internal/sphere"
 )
@@ -28,6 +29,14 @@ type Config struct {
 
 	// Flat disables the synthetic orography.
 	Flat bool
+
+	// Workers sets the shared-memory worker pool size used by the hot
+	// loops of every component: 0 means GOMAXPROCS, 1 forces the exact
+	// serial code path. Any value yields bit-identical results (see
+	// internal/pool); the pool only changes how rows and coefficients are
+	// divided among goroutines, never the order of floating-point
+	// operations that touch any one output value.
+	Workers int
 }
 
 // DefaultConfig is the paper's configuration.
@@ -83,6 +92,8 @@ type Model struct {
 	Ocn *ocean.Model
 	Cpl *coupler.Coupler
 
+	pool *pool.Pool // shared-memory worker pool, nil when Workers == 1
+
 	step int // atmosphere steps completed
 }
 
@@ -122,7 +133,33 @@ func New(cfg Config) (*Model, error) {
 	m.Atm = at
 	// Give the coupler the initial ocean state.
 	cp.AbsorbOcean(oc)
+
+	// Shared-memory worker pool, threaded through every component's hot
+	// loops. Workers == 1 keeps the exact serial code paths.
+	if cfg.Workers != 1 {
+		m.pool = pool.New(cfg.Workers)
+		if m.pool.Workers() > 1 {
+			at.SetPool(m.pool)
+			oc.SetPool(m.pool)
+			cp.SetPool(m.pool)
+		} else {
+			m.pool.Close()
+			m.pool = nil
+		}
+	}
 	return m, nil
+}
+
+// Close releases the worker pool (idempotent; the model must not be stepped
+// afterwards). Models built with Workers == 1 need no Close.
+func (m *Model) Close() {
+	if m.pool != nil {
+		m.pool.Close()
+		m.pool = nil
+		m.Atm.SetPool(nil)
+		m.Ocn.SetPool(nil)
+		m.Cpl.SetPool(nil)
+	}
 }
 
 // Config returns the model configuration.

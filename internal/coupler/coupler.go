@@ -7,6 +7,7 @@ import (
 	"foam/internal/data"
 	"foam/internal/land"
 	"foam/internal/ocean"
+	"foam/internal/pool"
 	"foam/internal/river"
 	"foam/internal/seaice"
 	"foam/internal/sphere"
@@ -52,6 +53,21 @@ type Coupler struct {
 	exch        *atmos.SurfaceExchange
 	atmOnOcn    lowestOnOcn
 	waterBudget WaterBudget
+
+	// Shared-memory parallel flux computation (nil = serial). pieces holds
+	// one pre-weighted flux result per overlap piece; the accumulation into
+	// the atmosphere/ocean arrays stays serial in piece order so the sums
+	// are bit-identical to the serial loop.
+	pool   *pool.Pool
+	pieces []pieceFlux
+}
+
+// pieceFlux is the flux contribution of one overlap piece, already
+// multiplied by its area weights.
+type pieceFlux struct {
+	ok                                    bool // piece is wet and contributes
+	tsurf, albedo, taux, tauy, sens, evap float64
+	otx, oty, oheat, ofw                  float64
 }
 
 // lowestOnOcn holds atmosphere lowest-level state remapped to the ocean
@@ -130,6 +146,18 @@ func New(atmGrid, ocnGrid *sphere.Grid, ocnMask []float64) *Coupler {
 		SW: make([]float64, m), LW: make([]float64, m), Snow: make([]float64, m),
 	}
 	return cp
+}
+
+// SetPool attaches a worker pool used to parallelize the per-overlap-piece
+// flux computation. The result is bit-identical to the serial loop: fluxes
+// are computed concurrently into per-piece slots, then accumulated serially
+// in piece order. Pass nil to return to the serial loop.
+func (cp *Coupler) SetPool(p *pool.Pool) {
+	cp.pool = p
+	cp.pieces = nil
+	if p != nil && p.Workers() > 1 {
+		cp.pieces = make([]pieceFlux, len(cp.Overlap.Cells))
+	}
 }
 
 // LandFraction returns the per-atm-cell land fraction.
@@ -253,66 +281,24 @@ func (cp *Coupler) Exchange(in *atmos.LowestLevel, dt float64) *atmos.SurfaceExc
 	}
 
 	// --- Per-overlap-piece air-sea fluxes (the paper's Figure 1 scheme).
-	for _, piece := range cp.Overlap.Cells {
-		oc := piece.Ocn
-		if oc < 0 || cp.ocnMask[oc] == 0 {
-			continue
+	// Each piece's pre-weighted flux is independent of every other piece,
+	// so the computation parallelizes; the accumulation runs serially in
+	// piece order either way, keeping the sums bit-identical.
+	cells := cp.Overlap.Cells
+	if cp.pieces != nil {
+		cp.pool.Run(len(cells), func(_, p0, p1 int) {
+			for pi := p0; pi < p1; pi++ {
+				cp.pieces[pi] = cp.computePieceFlux(&cells[pi], in, iceOut)
+			}
+		})
+		for pi := range cells {
+			cp.accumulatePiece(&cells[pi], &cp.pieces[pi], ex)
 		}
-		a := piece.Atm
-		if cp.wetAtmArea[a] == 0 {
-			continue
+	} else {
+		for pi := range cells {
+			pf := cp.computePieceFlux(&cells[pi], in, iceOut)
+			cp.accumulatePiece(&cells[pi], &pf, ex)
 		}
-		wAtm := piece.Area / cp.wetAtmArea[a] * (1 - cp.landFrac[a])
-		wOcn := piece.Area / cp.Overlap.OcnArea[oc]
-		if io := iceOut[oc]; io != nil && cp.Ice.Present(oc) {
-			// Ice-covered piece: the ice model already produced fluxes.
-			ex.TSurf[a] += wAtm * io.TSurf
-			ex.Albedo[a] += wAtm * io.Albedo
-			ex.TauX[a] += wAtm * io.TauXAtm
-			ex.TauY[a] += wAtm * io.TauYAtm
-			ex.Sensible[a] += wAtm * io.Sensible
-			ex.Evap[a] += wAtm * io.Evap
-			// The ocean's freeze clamp already accounted for the latent
-			// heat and brine of formation internally; only melt water and
-			// conduction cross here.
-			cp.accTauX[oc] += wOcn * io.TauXOcean
-			cp.accTauY[oc] += wOcn * io.TauYOcean
-			cp.accHeat[oc] += wOcn * io.OceanHeat
-			cp.accFW[oc] += wOcn * io.MeltWater
-			continue
-		}
-		// Open-water piece: CCM3 bulk formulas with wind-dependent
-		// roughness over the ocean.
-		sstK := cp.sstC[oc] + 273.15
-		wind := math.Hypot(in.U[a], in.V[a])
-		z0 := atmos.OceanRoughness(wind, true)
-		ri := atmos.BulkRichardson(in.Z[a], sstK, in.T[a], in.Q[a], wind)
-		cd, ce := atmos.BulkCoefficients(in.Z[a], z0, ri)
-		rho := in.Ps[a] / (atmos.RDry * in.T[a])
-		wEff := math.Max(wind, 1)
-		tx := rho * cd * wEff * in.U[a]
-		ty := rho * cd * wEff * in.V[a]
-		sh := rho * atmos.Cp * ce * wEff * (sstK - in.T[a])
-		qs := atmos.SatHum(sstK, in.Ps[a])
-		ev := rho * ce * wEff * math.Max(qs-in.Q[a], -in.Q[a])
-
-		ex.TSurf[a] += wAtm * sstK
-		ex.Albedo[a] += wAtm * 0.07
-		ex.TauX[a] += wAtm * tx
-		ex.TauY[a] += wAtm * ty
-		ex.Sensible[a] += wAtm * sh
-		ex.Evap[a] += wAtm * ev
-
-		// Ocean-side accumulation: stress, net heat, fresh water.
-		lwUp := 0.97 * atmos.StefBo * math.Pow(sstK, 4)
-		lat := atmos.LVap * ev
-		netHeat := in.SWDown[a]*(1-0.07) + 0.97*in.LWDown[a] - lwUp - sh - lat
-		// Snow falling on open water melts: mass gain, heat loss.
-		netHeat -= in.SnowRate[a] * atmos.LFus
-		cp.accTauX[oc] += wOcn * clampAbs(tx, 2.0)
-		cp.accTauY[oc] += wOcn * clampAbs(ty, 2.0)
-		cp.accHeat[oc] += wOcn * clampAbs(netHeat, 1500)
-		cp.accFW[oc] += wOcn * (in.RainRate[a] + in.SnowRate[a] - ev)
 	}
 	cp.accSteps++
 
@@ -326,6 +312,84 @@ func (cp *Coupler) Exchange(in *atmos.LowestLevel, dt float64) *atmos.SurfaceExc
 		}
 	}
 	return ex
+}
+
+// computePieceFlux evaluates one overlap piece's air-sea fluxes, returning
+// them pre-multiplied by the piece's area weights. It only reads shared
+// state, so pieces can be computed concurrently.
+func (cp *Coupler) computePieceFlux(piece *OverlapCell, in *atmos.LowestLevel, iceOut []*seaice.Output) pieceFlux {
+	oc := piece.Ocn
+	if oc < 0 || cp.ocnMask[oc] == 0 {
+		return pieceFlux{}
+	}
+	a := piece.Atm
+	if cp.wetAtmArea[a] == 0 {
+		return pieceFlux{}
+	}
+	wAtm := piece.Area / cp.wetAtmArea[a] * (1 - cp.landFrac[a])
+	wOcn := piece.Area / cp.Overlap.OcnArea[oc]
+	if io := iceOut[oc]; io != nil && cp.Ice.Present(oc) {
+		// Ice-covered piece: the ice model already produced fluxes. The
+		// ocean's freeze clamp accounted for the latent heat and brine of
+		// formation internally; only melt water and conduction cross here.
+		return pieceFlux{
+			ok:    true,
+			tsurf: wAtm * io.TSurf, albedo: wAtm * io.Albedo,
+			taux: wAtm * io.TauXAtm, tauy: wAtm * io.TauYAtm,
+			sens: wAtm * io.Sensible, evap: wAtm * io.Evap,
+			otx: wOcn * io.TauXOcean, oty: wOcn * io.TauYOcean,
+			oheat: wOcn * io.OceanHeat, ofw: wOcn * io.MeltWater,
+		}
+	}
+	// Open-water piece: CCM3 bulk formulas with wind-dependent roughness
+	// over the ocean.
+	sstK := cp.sstC[oc] + 273.15
+	wind := math.Hypot(in.U[a], in.V[a])
+	z0 := atmos.OceanRoughness(wind, true)
+	ri := atmos.BulkRichardson(in.Z[a], sstK, in.T[a], in.Q[a], wind)
+	cd, ce := atmos.BulkCoefficients(in.Z[a], z0, ri)
+	rho := in.Ps[a] / (atmos.RDry * in.T[a])
+	wEff := math.Max(wind, 1)
+	tx := rho * cd * wEff * in.U[a]
+	ty := rho * cd * wEff * in.V[a]
+	sh := rho * atmos.Cp * ce * wEff * (sstK - in.T[a])
+	qs := atmos.SatHum(sstK, in.Ps[a])
+	ev := rho * ce * wEff * math.Max(qs-in.Q[a], -in.Q[a])
+
+	// Ocean side: stress, net heat, fresh water. Snow falling on open
+	// water melts: mass gain, heat loss.
+	lwUp := 0.97 * atmos.StefBo * math.Pow(sstK, 4)
+	lat := atmos.LVap * ev
+	netHeat := in.SWDown[a]*(1-0.07) + 0.97*in.LWDown[a] - lwUp - sh - lat
+	netHeat -= in.SnowRate[a] * atmos.LFus
+	return pieceFlux{
+		ok:    true,
+		tsurf: wAtm * sstK, albedo: wAtm * 0.07,
+		taux: wAtm * tx, tauy: wAtm * ty,
+		sens: wAtm * sh, evap: wAtm * ev,
+		otx: wOcn * clampAbs(tx, 2.0), oty: wOcn * clampAbs(ty, 2.0),
+		oheat: wOcn * clampAbs(netHeat, 1500),
+		ofw:   wOcn * (in.RainRate[a] + in.SnowRate[a] - ev),
+	}
+}
+
+// accumulatePiece adds one piece's pre-weighted fluxes into the composite
+// atmosphere exchange and the ocean forcing accumulators.
+func (cp *Coupler) accumulatePiece(piece *OverlapCell, pf *pieceFlux, ex *atmos.SurfaceExchange) {
+	if !pf.ok {
+		return
+	}
+	a, oc := piece.Atm, piece.Ocn
+	ex.TSurf[a] += pf.tsurf
+	ex.Albedo[a] += pf.albedo
+	ex.TauX[a] += pf.taux
+	ex.TauY[a] += pf.tauy
+	ex.Sensible[a] += pf.sens
+	ex.Evap[a] += pf.evap
+	cp.accTauX[oc] += pf.otx
+	cp.accTauY[oc] += pf.oty
+	cp.accHeat[oc] += pf.oheat
+	cp.accFW[oc] += pf.ofw
 }
 
 // clampAbs bounds a flux to a physically plausible magnitude, protecting

@@ -119,10 +119,10 @@ func AsciiMap(w io.Writer, g *sphere.Grid, field []float64, mask []bool, width i
 		height = min(nlat, 8)
 	}
 	for r := 0; r < height; r++ {
-		j := (height - 1 - r) * (nlat - 1) / maxi(height-1, 1) // north on top
+		j := (height - 1 - r) * (nlat - 1) / max(height-1, 1) // north on top
 		var sb strings.Builder
 		for x := 0; x < width; x++ {
-			i := x * (nlon - 1) / maxi(width-1, 1)
+			i := x * (nlon - 1) / max(width-1, 1)
 			c := g.Index(j, i)
 			if mask != nil && !mask[c] {
 				sb.WriteByte(' ')
@@ -152,20 +152,6 @@ func CSVTable(w io.Writer, header []string, rows [][]float64) {
 		}
 		fmt.Fprintln(w, strings.Join(parts, ","))
 	}
-}
-
-func maxi(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // WritePGM renders a field as a binary PGM image (portable graymap), north

@@ -49,8 +49,9 @@ func (rf *rowFilter) apply(row []float64, keep int) {
 // polarFilter filters the prognostic fields on rows poleward of the
 // configured latitude. Land values are preserved by filtering the deviation
 // over water only when the row contains land (a masked row is filtered in
-// its ocean segments' mean sense).
-func (m *Model) polarFilter(j0, j1 int) {
+// its ocean segments' mean sense). rf is the caller's row filter (its
+// buffers are mutated); the shared-memory driver passes per-worker filters.
+func (m *Model) polarFilter(rf *rowFilter, j0, j1 int) {
 	nlon := m.cfg.NLon
 	latF := m.cfg.PolarFilterLat * math.Pi / 180
 	cosF := math.Cos(latF)
@@ -88,7 +89,6 @@ func (m *Model) polarFilter(j0, j1 int) {
 					row[i] = mean
 				}
 			}
-			rf := m.fft
 			rf.apply(row, keep)
 			for i := 0; i < nlon; i++ {
 				c := j*nlon + i

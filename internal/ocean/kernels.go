@@ -16,15 +16,15 @@ func (m *Model) stepRows(f *Forcing, j0, j1 int, sync syncFunc) {
 	// Ghost-extended ranges: column-local quantities are also computed on
 	// the halo rows so the parallel driver's ghosts match the owners
 	// bit-for-bit with two-deep halo exchanges (see parallel.go).
-	ge0 := maxInt(j0-1, 0)
-	ge1 := minInt(j1+1, m.cfg.NLat)
+	ge0 := max(j0-1, 0)
+	ge1 := min(j1+1, m.cfg.NLat)
 
 	// 1. Vertical velocity and the slow momentum tendencies: advection +
 	// biharmonic friction + wind stress + bottom drag, evaluated once per
 	// tracer step and carried unchanged through the subcycles (the paper's
 	// "yet a longer step ... for diffusive and advective processes").
 	m.verticalVelocity(ge0, ge1)
-	m.slowMomentum(f, j0, j1, sync)
+	m.slowMomentum(f, j0, j1)
 
 	// 2. Horizontal tracer transport, diffusion and column physics at the
 	// long step.
@@ -56,7 +56,7 @@ func (m *Model) stepRows(f *Forcing, j0, j1 int, sync syncFunc) {
 	dtb := m.cfg.DtBaro
 	for n := 0; n < nsub; n++ {
 		m.verticalVelocity(ge0, ge1)
-		m.verticalTracerStep(ge0, ge1, dtf)
+		m.verticalTracerStep(m.scr2, ge0, ge1, dtf)
 		m.density(ge0, ge1)
 		m.baroclinicPressure(ge0, ge1)
 		m.internalStep(j0, j1, dtf)
@@ -85,7 +85,7 @@ func (m *Model) stepRows(f *Forcing, j0, j1 int, sync syncFunc) {
 	}
 
 	// 6. Polar filter keeps the converging-meridian rows stable.
-	m.polarFilter(j0, j1)
+	m.polarFilter(m.fft, j0, j1)
 
 	// 7. Velocity limiter: a coarse-resolution safety clamp (3 m/s far
 	// exceeds any resolved current).
@@ -326,7 +326,19 @@ func (m *Model) verticalVelocity(j0, j1 int) {
 
 // slowMomentum assembles the advective, frictional and surface-stress
 // tendencies evaluated once per tracer step.
-func (m *Model) slowMomentum(f *Forcing, j0, j1 int, sync syncFunc) {
+func (m *Model) slowMomentum(f *Forcing, j0, j1 int) {
+	m.slowMomentumCells(f, j0, j1)
+	// Biharmonic friction as two Laplacian passes; the intermediate
+	// Laplacian is computed one row beyond the block so it needs no extra
+	// halo exchange.
+	if !m.cfg.NoBiharmonic {
+		m.biharmonic(m.scr, j0, j1)
+	}
+}
+
+// slowMomentumCells is the per-cell part of slowMomentum (everything except
+// the biharmonic pass, which needs a scratch buffer).
+func (m *Model) slowMomentumCells(f *Forcing, j0, j1 int) {
 	nlon := m.cfg.NLon
 	for k := 0; k < m.cfg.NLev; k++ {
 		uk, vk := m.u[k], m.v[k]
@@ -375,11 +387,6 @@ func (m *Model) slowMomentum(f *Forcing, j0, j1 int, sync syncFunc) {
 				}
 			}
 		}
-	}
-	// Biharmonic friction as two Laplacian passes (needs a sync between
-	// passes so the intermediate Laplacian halo is correct).
-	if !m.cfg.NoBiharmonic {
-		m.biharmonic(j0, j1, sync)
 	}
 }
 
@@ -452,10 +459,11 @@ func (m *Model) vadvMom(x [][]float64, k, j, i, c int) float64 {
 }
 
 // biharmonic adds scale-selective del^4 momentum damping, row-scaled so the
-// damping of the two-grid-interval mode per tracer step is BiharmCoef.
-func (m *Model) biharmonic(j0, j1 int, sync syncFunc) {
+// damping of the two-grid-interval mode per tracer step is BiharmCoef. lap
+// is caller-supplied scratch (the shared-memory driver passes a per-worker
+// buffer so concurrent blocks do not collide).
+func (m *Model) biharmonic(lap []float64, j0, j1 int) {
 	nlon := m.cfg.NLon
-	lap := m.scr
 	for k := 0; k < m.cfg.NLev; k++ {
 		for _, pair := range [2]struct {
 			fld  []float64
@@ -464,7 +472,7 @@ func (m *Model) biharmonic(j0, j1 int, sync syncFunc) {
 			// First Laplacian (grid units: dimensionless with local dx).
 			// Computed one row beyond the block; with two-deep halos the
 			// ghost values match the neighbouring owner's exactly.
-			for j := maxInt(j0-1, 1); j < minInt(j1+1, m.cfg.NLat-1); j++ {
+			for j := max(j0-1, 1); j < min(j1+1, m.cfg.NLat-1); j++ {
 				for i := 0; i < nlon; i++ {
 					c := j*nlon + i
 					if k >= m.kmt[c] {
@@ -523,81 +531,99 @@ func (m *Model) gridLaplacian(fld []float64, j, i, k int) float64 {
 // handled separately in the subcycles. Interior face fluxes cancel
 // pairwise, so conservation is exact up to the (small) compensation term.
 func (m *Model) horizontalTracerStep(j0, j1 int, dt float64) {
-	nlon, nlat := m.cfg.NLon, m.cfg.NLat
 	for _, tr := range [2][][]float64{m.t, m.s} {
 		for k := 0; k < m.cfg.NLev; k++ {
-			q := tr[k]
-			uk, vk := m.u[k], m.v[k]
-			tend := m.scr
-			for c := range tend {
-				tend[c] = 0
+			m.tracerFluxTend(m.scr, tr[k], k, j0, j1, dt)
+			m.tracerApply(m.scr, tr[k], k, j0, j1, dt)
+		}
+	}
+}
+
+// tracerFluxTend accumulates the horizontal flux-form tendency for rows
+// [j0,j1) of one tracer level into tend. Faces are visited in the serial
+// order (east faces of each owned row, then north faces from row j0-1 up),
+// so a cell's tendency is summed in exactly the serial FP order regardless
+// of how the rows are blocked — the basis of the shared-memory driver's
+// bit-identity guarantee. tend is caller scratch; rows [j0-1, j1] are
+// zeroed and written, nothing else is touched.
+func (m *Model) tracerFluxTend(tend, q []float64, k, j0, j1 int, dt float64) {
+	nlon, nlat := m.cfg.NLon, m.cfg.NLat
+	uk, vk := m.u[k], m.v[k]
+	for j := max(j0-1, 0); j < min(j1+1, nlat); j++ {
+		for i := 0; i < nlon; i++ {
+			tend[j*nlon+i] = 0
+		}
+	}
+	// East faces: flux from cell (j,i) into (j,i+1).
+	for j := j0; j < j1; j++ {
+		invV := 1 / m.dx[j]
+		ufMax := 0.45 * m.dx[j] / dt
+		for i := 0; i < nlon; i++ {
+			c := j*nlon + i
+			ie := j*nlon + (i+1)%nlon
+			if k >= m.kmt[c] || k >= m.kmt[ie] {
+				continue
 			}
-			// East faces: flux from cell (j,i) into (j,i+1).
-			for j := j0; j < j1; j++ {
-				invV := 1 / m.dx[j]
-				ufMax := 0.45 * m.dx[j] / dt
-				for i := 0; i < nlon; i++ {
-					c := j*nlon + i
-					ie := j*nlon + (i+1)%nlon
-					if k >= m.kmt[c] || k >= m.kmt[ie] {
-						continue
-					}
-					uf := 0.5 * (uk[c] + uk[ie])
-					// Donor-cell stability bound at the long tracer step.
-					if uf > ufMax {
-						uf = ufMax
-					} else if uf < -ufMax {
-						uf = -ufMax
-					}
-					var flux float64
-					if uf > 0 {
-						flux = uf * q[c]
-					} else {
-						flux = uf * q[ie]
-					}
-					flux -= m.cfg.AH * (q[ie] - q[c]) / m.dx[j]
-					tend[c] -= flux * invV
-					tend[ie] += flux * invV
-				}
+			uf := 0.5 * (uk[c] + uk[ie])
+			// Donor-cell stability bound at the long tracer step.
+			if uf > ufMax {
+				uf = ufMax
+			} else if uf < -ufMax {
+				uf = -ufMax
 			}
-			// North faces with the metric convergence factor.
-			for j := maxInt(j0-1, 0); j < minInt(j1, nlat-1); j++ {
-				cosF := 0.5 * (m.cosLat[j] + m.cosLat[j+1])
-				dyF := 0.5 * (m.dy[j] + m.dy[j+1])
-				vfMax := 0.45 * math.Min(m.dy[j], m.dy[j+1]) / dt
-				for i := 0; i < nlon; i++ {
-					c := j*nlon + i
-					jn := (j+1)*nlon + i
-					if k >= m.kmt[c] || k >= m.kmt[jn] {
-						continue
-					}
-					vf := 0.5 * (vk[c] + vk[jn])
-					if vf > vfMax {
-						vf = vfMax
-					} else if vf < -vfMax {
-						vf = -vfMax
-					}
-					var flux float64
-					if vf > 0 {
-						flux = vf * q[c]
-					} else {
-						flux = vf * q[jn]
-					}
-					flux -= m.cfg.AH * (q[jn] - q[c]) / dyF
-					flux *= cosF
-					tend[c] -= flux / (m.dy[j] * m.cosLat[j])
-					tend[jn] += flux / (m.dy[j+1] * m.cosLat[j+1])
-				}
+			var flux float64
+			if uf > 0 {
+				flux = uf * q[c]
+			} else {
+				flux = uf * q[ie]
 			}
-			// Apply with the advective-form compensation + q*divH.
-			for j := j0; j < j1; j++ {
-				for i := 0; i < nlon; i++ {
-					c := j*nlon + i
-					if k < m.kmt[c] {
-						divH := m.faceDivergence(uk, vk, j, i, k)
-						q[c] += dt * (tend[c] + q[c]*divH)
-					}
-				}
+			flux -= m.cfg.AH * (q[ie] - q[c]) / m.dx[j]
+			tend[c] -= flux * invV
+			tend[ie] += flux * invV
+		}
+	}
+	// North faces with the metric convergence factor.
+	for j := max(j0-1, 0); j < min(j1, nlat-1); j++ {
+		cosF := 0.5 * (m.cosLat[j] + m.cosLat[j+1])
+		dyF := 0.5 * (m.dy[j] + m.dy[j+1])
+		vfMax := 0.45 * math.Min(m.dy[j], m.dy[j+1]) / dt
+		for i := 0; i < nlon; i++ {
+			c := j*nlon + i
+			jn := (j+1)*nlon + i
+			if k >= m.kmt[c] || k >= m.kmt[jn] {
+				continue
+			}
+			vf := 0.5 * (vk[c] + vk[jn])
+			if vf > vfMax {
+				vf = vfMax
+			} else if vf < -vfMax {
+				vf = -vfMax
+			}
+			var flux float64
+			if vf > 0 {
+				flux = vf * q[c]
+			} else {
+				flux = vf * q[jn]
+			}
+			flux -= m.cfg.AH * (q[jn] - q[c]) / dyF
+			flux *= cosF
+			tend[c] -= flux / (m.dy[j] * m.cosLat[j])
+			tend[jn] += flux / (m.dy[j+1] * m.cosLat[j+1])
+		}
+	}
+}
+
+// tracerApply applies the accumulated tendency with the advective-form
+// compensation + q*divH on rows [j0,j1).
+func (m *Model) tracerApply(tend, q []float64, k, j0, j1 int, dt float64) {
+	nlon := m.cfg.NLon
+	uk, vk := m.u[k], m.v[k]
+	for j := j0; j < j1; j++ {
+		for i := 0; i < nlon; i++ {
+			c := j*nlon + i
+			if k < m.kmt[c] {
+				divH := m.faceDivergence(uk, vk, j, i, k)
+				q[c] += dt * (tend[c] + q[c]*divH)
 			}
 		}
 	}
@@ -608,7 +634,9 @@ func (m *Model) horizontalTracerStep(j0, j1 int, dt float64) {
 // the short internal step inside the subcycles, because w*(dT/dz) against
 // the stratification is the restoring force of internal gravity waves (the
 // "fastest parts of the internal dynamics" in the paper's description).
-func (m *Model) verticalTracerStep(j0, j1 int, dt float64) {
+// flux is caller scratch for the per-column face fluxes (at least NLev
+// entries); the shared-memory driver passes a per-worker buffer.
+func (m *Model) verticalTracerStep(flux []float64, j0, j1 int, dt float64) {
 	nlon := m.cfg.NLon
 	for _, tr := range [2][][]float64{m.t, m.s} {
 		for j := j0; j < j1; j++ {
@@ -634,22 +662,22 @@ func (m *Model) verticalTracerStep(j0, j1 int, dt float64) {
 					} else if w < -wMax {
 						w = -wMax
 					}
-					var flux float64
+					var fl float64
 					if k == 0 {
-						flux = w * tr[0][c]
+						fl = w * tr[0][c]
 					} else if w > 0 {
-						flux = w * tr[k][c]
+						fl = w * tr[k][c]
 					} else {
-						flux = w * tr[k-1][c]
+						fl = w * tr[k-1][c]
 					}
-					m.scr2[k] = flux
+					flux[k] = fl
 				}
 				for k := 0; k < kb; k++ {
-					fTop := m.scr2[k]
+					fTop := flux[k]
 					var fBot, wTop, wBot float64
 					wTop = m.wVel[k][c]
 					if k+1 < kb {
-						fBot = m.scr2[k+1]
+						fBot = flux[k+1]
 						wBot = m.wVel[k+1][c]
 					}
 					// Flux divergence plus advective-form compensation so a
@@ -756,27 +784,42 @@ func (m *Model) internalStep(j0, j1 int, dt float64) {
 // Runs as its own phase (after a halo refresh in the parallel driver)
 // because it reads just-updated neighbour velocities.
 func (m *Model) smoothVelocities(j0, j1 int) {
-	nlon := m.cfg.NLon
-	const smooth3d = 0.04
 	for k := 0; k < m.cfg.NLev; k++ {
 		for _, fld := range [2][]float64{m.u[k], m.v[k]} {
-			for j := j0; j < j1; j++ {
-				for i := 0; i < nlon; i++ {
-					c := j*nlon + i
-					if k >= m.kmt[c] {
-						m.scr[c] = 0
-						continue
-					}
-					m.scr[c] = smooth3d * m.gridLaplacian(fld, j, i, k)
-				}
+			m.svCompute(fld, k, j0, j1)
+			m.svApply(fld, k, j0, j1)
+		}
+	}
+}
+
+// svCompute stores the velocity-smoothing increment for rows [j0,j1) of one
+// level/component in m.scr. Writes are owner-only per row, so the shared
+// buffer is safe across a row-partitioned phase; the shared-memory driver
+// barriers between svCompute and svApply because the increment reads
+// neighbour rows the apply pass overwrites.
+func (m *Model) svCompute(fld []float64, k, j0, j1 int) {
+	nlon := m.cfg.NLon
+	const smooth3d = 0.04
+	for j := j0; j < j1; j++ {
+		for i := 0; i < nlon; i++ {
+			c := j*nlon + i
+			if k >= m.kmt[c] {
+				m.scr[c] = 0
+				continue
 			}
-			for j := j0; j < j1; j++ {
-				for i := 0; i < nlon; i++ {
-					c := j*nlon + i
-					if k < m.kmt[c] {
-						fld[c] += m.scr[c]
-					}
-				}
+			m.scr[c] = smooth3d * m.gridLaplacian(fld, j, i, k)
+		}
+	}
+}
+
+// svApply adds the stored smoothing increment on rows [j0,j1).
+func (m *Model) svApply(fld []float64, k, j0, j1 int) {
+	nlon := m.cfg.NLon
+	for j := j0; j < j1; j++ {
+		for i := 0; i < nlon; i++ {
+			c := j*nlon + i
+			if k < m.kmt[c] {
+				fld[c] += m.scr[c]
 			}
 		}
 	}
@@ -794,15 +837,41 @@ func (m *Model) smoothVelocities(j0, j1 int) {
 // difference to the internal motions". Diagnostics report eta/s^2, the
 // physically scaled surface height.
 func (m *Model) barotropicStep(f *Forcing, j0, j1 int, dt float64, sync syncFunc) {
-	nlon := m.cfg.NLon
-	geff := GravOc / (m.cfg.Slowdown * m.cfg.Slowdown)
 	// Momentum first (forward), then continuity with the new velocities
 	// (backward) — the standard forward-backward scheme.
-	// Divergence damping: transient gravity waves in the slowed system
-	// carry s-times amplified divergent velocities for a given eta; a
-	// diffusion acting on the velocity divergence removes them while
-	// leaving the geostrophic (non-divergent) circulation untouched.
-	for j := maxInt(j0-1, 0); j < minInt(j1+1, m.cfg.NLat); j++ {
+	m.btDivergence(max(j0-1, 0), min(j1+1, m.cfg.NLat))
+	m.btMomentum(j0, j1, dt)
+	// The forward-backward ordering needs the freshly updated neighbour
+	// transports before continuity, and fresh eta before its smoothing.
+	if sync != nil {
+		sync(m.ubt, m.vbt)
+	}
+	m.btContinuity(j0, j1, dt)
+	if sync != nil {
+		sync(m.eta)
+	}
+	// The unstaggered grid supports a two-grid-interval null mode in the
+	// (eta, ubt, vbt) system that the centered gradients cannot feel; a
+	// light grid-Laplacian smoothing removes it (the role the paper gives
+	// its del^4 dissipation).
+	for _, fld := range [3][]float64{m.eta, m.ubt, m.vbt} {
+		m.btSmoothCompute(fld, j0, j1)
+		m.btSmoothApply(fld, j0, j1)
+	}
+	if sync != nil {
+		sync(m.eta, m.ubt, m.vbt)
+	}
+}
+
+// btDivergence stores the barotropic velocity divergence for rows [j0,j1)
+// in m.scr2 (owner-only row writes, so the shared buffer is phase-safe).
+// Divergence damping: transient gravity waves in the slowed system carry
+// s-times amplified divergent velocities for a given eta; a diffusion
+// acting on the velocity divergence removes them while leaving the
+// geostrophic (non-divergent) circulation untouched.
+func (m *Model) btDivergence(j0, j1 int) {
+	nlon := m.cfg.NLon
+	for j := j0; j < j1; j++ {
 		for i := 0; i < nlon; i++ {
 			c := j*nlon + i
 			if m.kmt[c] == 0 {
@@ -812,6 +881,14 @@ func (m *Model) barotropicStep(f *Forcing, j0, j1 int, dt float64, sync syncFunc
 			m.scr2[c] = m.faceDivergence(m.ubt, m.vbt, j, i, 0)
 		}
 	}
+}
+
+// btMomentum advances (ubt, vbt) on rows [j0,j1) with the forward part of
+// the forward-backward scheme; it reads the divergence stored by
+// btDivergence.
+func (m *Model) btMomentum(j0, j1 int, dt float64) {
+	nlon := m.cfg.NLon
+	geff := GravOc / (m.cfg.Slowdown * m.cfg.Slowdown)
 	for j := j0; j < j1; j++ {
 		al := 0.5 * m.fcor[j] * dt
 		den := 1 / (1 + al*al)
@@ -851,12 +928,12 @@ func (m *Model) barotropicStep(f *Forcing, j0, j1 int, dt float64, sync syncFunc
 			m.vbt[c] = (rv - al*ru) * den * damp
 		}
 	}
-	// The forward-backward ordering needs the freshly updated neighbour
-	// transports before continuity, and fresh eta before its smoothing.
-	if sync != nil {
-		sync(m.ubt, m.vbt)
-	}
-	// Physical continuity: d(eta)/dt = -div(H u_bt).
+}
+
+// btContinuity applies the backward continuity step d(eta)/dt = -div(H u_bt)
+// on rows [j0,j1).
+func (m *Model) btContinuity(j0, j1 int, dt float64) {
+	nlon := m.cfg.NLon
 	for j := j0; j < j1; j++ {
 		for i := 0; i < nlon; i++ {
 			c := j*nlon + i
@@ -866,35 +943,34 @@ func (m *Model) barotropicStep(f *Forcing, j0, j1 int, dt float64, sync syncFunc
 			m.eta[c] -= dt * m.transportDiv(j, i)
 		}
 	}
-	if sync != nil {
-		sync(m.eta)
-	}
-	// The unstaggered grid supports a two-grid-interval null mode in the
-	// (eta, ubt, vbt) system that the centered gradients cannot feel; a
-	// light grid-Laplacian smoothing removes it (the role the paper gives
-	// its del^4 dissipation).
+}
+
+// btSmoothCompute stores the null-mode smoothing increment for one 2-D
+// field on rows [j0,j1) in m.scr (owner-only row writes).
+func (m *Model) btSmoothCompute(fld []float64, j0, j1 int) {
+	nlon := m.cfg.NLon
 	const smooth = 0.02
-	for _, fld := range [3][]float64{m.eta, m.ubt, m.vbt} {
-		for j := j0; j < j1; j++ {
-			for i := 0; i < nlon; i++ {
-				c := j*nlon + i
-				if m.kmt[c] == 0 {
-					continue
-				}
-				m.scr[c] = smooth * m.gridLaplacian(fld, j, i, 0)
+	for j := j0; j < j1; j++ {
+		for i := 0; i < nlon; i++ {
+			c := j*nlon + i
+			if m.kmt[c] == 0 {
+				continue
 			}
-		}
-		for j := j0; j < j1; j++ {
-			for i := 0; i < nlon; i++ {
-				c := j*nlon + i
-				if m.kmt[c] > 0 {
-					fld[c] += m.scr[c]
-				}
-			}
+			m.scr[c] = smooth * m.gridLaplacian(fld, j, i, 0)
 		}
 	}
-	if sync != nil {
-		sync(m.eta, m.ubt, m.vbt)
+}
+
+// btSmoothApply adds the stored increment on rows [j0,j1).
+func (m *Model) btSmoothApply(fld []float64, j0, j1 int) {
+	nlon := m.cfg.NLon
+	for j := j0; j < j1; j++ {
+		for i := 0; i < nlon; i++ {
+			c := j*nlon + i
+			if m.kmt[c] > 0 {
+				fld[c] += m.scr[c]
+			}
+		}
 	}
 }
 
@@ -987,16 +1063,4 @@ func (m *Model) unsplitFreeSurface(f *Forcing, j0, j1 int, dt float64) {
 	}
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

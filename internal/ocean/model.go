@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"foam/internal/pool"
 	"foam/internal/sphere"
 )
 
@@ -72,6 +73,13 @@ type Model struct {
 	lastStepSeconds float64
 
 	fft *rowFilter
+
+	// Shared-memory parallel execution (nil pool = serial). The per-worker
+	// scratch replaces scr/scr2/fft where concurrent phases would collide.
+	pool  *pool.Pool
+	wscr  [][]float64  // per-worker full-domain scratch (biharmonic lap, tracer tend)
+	wcol  [][]float64  // per-worker column flux buffers (NLev entries)
+	wfilt []*rowFilter // per-worker polar-filter FFT workspaces
 }
 
 // New builds an ocean model with the given bathymetry (kmt: active levels
@@ -274,12 +282,39 @@ func (m *Model) Diagnostics() Diagnostics { return m.diag }
 // StepCount returns completed tracer steps.
 func (m *Model) StepCount() int { return m.step }
 
+// SetPool attaches a worker pool for shared-memory parallel stepping and
+// allocates the per-worker scratch the phase driver needs. The integration
+// remains bit-identical to the serial path for any worker count (see
+// shared.go). Pass nil to return to the serial driver.
+func (m *Model) SetPool(p *pool.Pool) {
+	m.pool = p
+	m.wscr, m.wcol, m.wfilt = nil, nil, nil
+	if p == nil || p.Workers() == 1 {
+		return
+	}
+	nw := p.Workers()
+	n := m.cfg.NLat * m.cfg.NLon
+	m.wscr = make([][]float64, nw)
+	m.wcol = make([][]float64, nw)
+	m.wfilt = make([]*rowFilter, nw)
+	for w := 0; w < nw; w++ {
+		m.wscr[w] = make([]float64, n)
+		m.wcol[w] = make([]float64, m.cfg.NLev)
+		m.wfilt[w] = newRowFilter(m.cfg.NLon)
+	}
+}
+
 // Step advances one tracer interval (DtTracer) under the given forcing.
 // This is the serial driver; the parallel driver in parallel.go invokes the
-// same kernels over row blocks.
+// same kernels over row blocks, and the shared-memory driver in shared.go
+// re-sequences them as pool phases.
 func (m *Model) Step(f *Forcing) {
 	t0 := time.Now()
-	m.stepRows(f, 1, m.cfg.NLat-1, nil)
+	if m.wscr != nil {
+		m.stepShared(f)
+	} else {
+		m.stepRows(f, 1, m.cfg.NLat-1, nil)
+	}
 	m.lastStepSeconds = time.Since(t0).Seconds()
 	m.step++
 	m.updateDiagnostics()

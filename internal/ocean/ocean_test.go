@@ -80,6 +80,9 @@ func TestOceanHeatConservationUnforced(t *testing.T) {
 // Wind-driven spin-up: a zonal wind stress over a basin must create a gyre
 // circulation, bounded, with a western intensification signature.
 func TestWindDrivenGyre(t *testing.T) {
+	if testing.Short() {
+		t.Skip("240-day spin-up; skipped in -short")
+	}
 	cfg := testConfig()
 	m, err := New(cfg, basinKMT(cfg))
 	if err != nil {

@@ -97,6 +97,9 @@ func TestOceanRobustToRandomForcing(t *testing.T) {
 // independent of the slowdown factor (the paper's claim that slowed
 // barotropic dynamics "make little difference to the internal motions").
 func TestSlowdownInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 60-day spin-ups; skipped in -short")
+	}
 	run := func(slow float64, dtb float64) []float64 {
 		cfg := testConfig()
 		cfg.Slowdown = slow

@@ -1,0 +1,120 @@
+package ocean
+
+// Shared-memory parallel stepping. Where parallel.go distributes row blocks
+// over message-passing ranks with halo exchanges, this driver runs the same
+// kernels on a worker pool over the same shared arrays. The decomposition
+// rules that make the result bit-identical to the serial driver for any
+// worker count:
+//
+//   - Every kernel invocation becomes a phase whose row ranges partition the
+//     domain: each row is written by exactly one worker, with the same
+//     per-cell operation order as the serial sweep. pool.Run's barrier
+//     separates phases, standing in for the serial driver's sequencing (and
+//     for the mp driver's halo exchanges — in shared memory the "exchange"
+//     is free because neighbours read the same arrays).
+//   - Kernels whose serial form used a shared scratch buffer either get a
+//     per-worker buffer (biharmonic lap, tracer tendency, vertical column
+//     flux, polar-filter FFT workspace) or write the shared buffer
+//     owner-only by row with a barrier before readers (barotropic
+//     divergence, smoothing increments).
+//   - The horizontal tracer tendency is the one cross-row accumulation: it
+//     is split into a flux-tendency phase into per-worker buffers (each
+//     worker revisits the faces of its rows in serial order, so every cell's
+//     sum has the serial FP order) and an apply phase after the barrier.
+//
+// Column-local kernels (mixing, convective adjustment, pressure, EOS) are
+// trivially order-preserving; they parallelize by rows unchanged.
+func (m *Model) stepShared(f *Forcing) {
+	dt := m.cfg.DtTracer
+	nlat := m.cfg.NLat
+	p := m.pool
+
+	// interior phases write rows [1, nlat-1) (the closed boundary rows stay
+	// untouched, as in the serial driver); full phases cover every row,
+	// matching the serial ghost-extended ranges ge0=0, ge1=nlat.
+	interior := func(fn func(w, j0, j1 int)) {
+		p.Run(nlat-2, func(w, r0, r1 int) { fn(w, 1+r0, 1+r1) })
+	}
+	full := func(fn func(w, j0, j1 int)) {
+		p.Run(nlat, fn)
+	}
+
+	// 1.-2. Slow tendencies, horizontal transport and column physics at the
+	// long tracer step (same sequence as stepRows).
+	full(func(_, j0, j1 int) { m.verticalVelocity(j0, j1) })
+	interior(func(w, j0, j1 int) {
+		m.slowMomentumCells(f, j0, j1)
+		if !m.cfg.NoBiharmonic {
+			m.biharmonic(m.wscr[w], j0, j1)
+		}
+	})
+	m.horizontalTracerShared(dt)
+	interior(func(_, j0, j1 int) { m.surfaceTracerForcing(f, j0, j1, dt) })
+	full(func(_, j0, j1 int) { m.density(j0, j1) })
+	interior(func(_, j0, j1 int) { m.verticalMixing(j0, j1, dt) })
+	interior(func(_, j0, j1 int) { m.convectiveAdjust(j0, j1) })
+	interior(func(_, j0, j1 int) { m.freezeClamp(j0, j1, dt) })
+
+	// 3. Fast subcycles.
+	nsub := m.cfg.Subcycles()
+	nbaro := m.cfg.BaroSubcycles()
+	dtf := m.cfg.DtInternal
+	dtb := m.cfg.DtBaro
+	for n := 0; n < nsub; n++ {
+		full(func(_, j0, j1 int) { m.verticalVelocity(j0, j1) })
+		full(func(w, j0, j1 int) { m.verticalTracerStep(m.wcol[w], j0, j1, dtf) })
+		full(func(_, j0, j1 int) { m.density(j0, j1) })
+		full(func(_, j0, j1 int) { m.baroclinicPressure(j0, j1) })
+		interior(func(_, j0, j1 int) { m.internalStep(j0, j1, dtf) })
+		if m.cfg.Split {
+			for b := 0; b < nbaro; b++ {
+				// Forward-backward barotropic step as barrier-separated
+				// sub-phases (divergence -> momentum -> continuity ->
+				// per-field smoothing), mirroring the sync points of the
+				// mp driver.
+				full(func(_, j0, j1 int) { m.btDivergence(j0, j1) })
+				interior(func(_, j0, j1 int) { m.btMomentum(j0, j1, dtb) })
+				interior(func(_, j0, j1 int) { m.btContinuity(j0, j1, dtb) })
+				for _, fld := range [3][]float64{m.eta, m.ubt, m.vbt} {
+					interior(func(_, j0, j1 int) { m.btSmoothCompute(fld, j0, j1) })
+					interior(func(_, j0, j1 int) { m.btSmoothApply(fld, j0, j1) })
+				}
+			}
+			interior(func(_, j0, j1 int) { m.coupleBarotropic(j0, j1) })
+		} else {
+			interior(func(_, j0, j1 int) { m.unsplitFreeSurface(f, j0, j1, dtf) })
+		}
+		// Velocity smoothing reads just-updated neighbour velocities, so
+		// each level/component runs as a compute phase into m.scr
+		// (owner-only rows) and an apply phase after the barrier.
+		for k := 0; k < m.cfg.NLev; k++ {
+			for _, fld := range [2][]float64{m.u[k], m.v[k]} {
+				interior(func(_, j0, j1 int) { m.svCompute(fld, k, j0, j1) })
+				interior(func(_, j0, j1 int) { m.svApply(fld, k, j0, j1) })
+			}
+		}
+	}
+
+	// 6.-7. Polar filter (row-local, per-worker FFT workspace) and clamp.
+	interior(func(w, j0, j1 int) { m.polarFilter(m.wfilt[w], j0, j1) })
+	interior(func(_, j0, j1 int) { m.clampVelocities(j0, j1) })
+}
+
+// horizontalTracerShared runs the horizontal tracer transport as a
+// flux-tendency phase into per-worker buffers followed by an apply phase,
+// per tracer and level. The apply must not overlap the tendency computation
+// of any worker because the tendency reads tracer values on neighbour rows.
+func (m *Model) horizontalTracerShared(dt float64) {
+	nlat := m.cfg.NLat
+	for _, tr := range [2][][]float64{m.t, m.s} {
+		for k := 0; k < m.cfg.NLev; k++ {
+			q := tr[k]
+			m.pool.Run(nlat-2, func(w, r0, r1 int) {
+				m.tracerFluxTend(m.wscr[w], q, k, 1+r0, 1+r1, dt)
+			})
+			m.pool.Run(nlat-2, func(w, r0, r1 int) {
+				m.tracerApply(m.wscr[w], q, k, 1+r0, 1+r1, dt)
+			})
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPartitionCoversExactlyOnce: for a spread of (n, workers), every index
+// in [0, n) is visited exactly once and block bounds are the static split.
+func TestPartitionCoversExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 2, 3, 5, 16, 17, 40, 129} {
+			seen := make([]int32, n)
+			p.Run(n, func(w, lo, hi int) {
+				if lo > hi || lo < 0 || hi > n {
+					t.Errorf("workers=%d n=%d: bad block [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestSerialPathIsInline: nil pools, 1-worker pools, and n<=1 runs must call
+// fn exactly once with the full range on the calling goroutine.
+func TestSerialPathIsInline(t *testing.T) {
+	for name, p := range map[string]*Pool{"nil": nil, "one": New(1)} {
+		calls := 0
+		p.Run(10, func(w, lo, hi int) {
+			calls++
+			if w != 0 || lo != 0 || hi != 10 {
+				t.Errorf("%s: got (%d,%d,%d), want (0,0,10)", name, w, lo, hi)
+			}
+		})
+		if calls != 1 {
+			t.Errorf("%s: fn called %d times", name, calls)
+		}
+	}
+}
+
+// TestNestedRunInline: a Run issued from inside a worker must execute
+// inline (serial semantics) rather than deadlock on the busy pool.
+func TestNestedRunInline(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var inner int32
+	p.Run(4, func(w, lo, hi int) {
+		p.Run(8, func(iw, ilo, ihi int) {
+			if iw != 0 || ilo != 0 || ihi != 8 {
+				t.Errorf("nested run not inline: (%d,%d,%d)", iw, ilo, ihi)
+			}
+			atomic.AddInt32(&inner, 1)
+		})
+	})
+	if inner != 4 {
+		t.Fatalf("inner ran %d times, want 4", inner)
+	}
+}
+
+// TestRunIsBarrier: all writes issued inside Run are visible after it
+// returns, across repeated phases.
+func TestRunIsBarrier(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	buf := make([]int, 1000)
+	for phase := 1; phase <= 3; phase++ {
+		phase := phase
+		p.Run(len(buf), func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				buf[i] = phase
+			}
+		})
+		for i, v := range buf {
+			if v != phase {
+				t.Fatalf("phase %d: buf[%d]=%d", phase, i, v)
+			}
+		}
+	}
+}
+
+// TestDeterministicBlocks: the block split for (n, workers) is identical
+// across calls.
+func TestDeterministicBlocks(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	record := func() [3][2]int {
+		var blocks [3][2]int
+		p.Run(10, func(w, lo, hi int) {
+			blocks[w] = [2]int{lo, hi}
+		})
+		return blocks
+	}
+	a, b := record(), record()
+	if a != b {
+		t.Fatalf("blocks differ across calls: %v vs %v", a, b)
+	}
+	if a[0] != [2]int{0, 3} || a[1] != [2]int{3, 6} || a[2] != [2]int{6, 10} {
+		t.Fatalf("unexpected static split: %v", a)
+	}
+}
+
+func BenchmarkRunOverhead(b *testing.B) {
+	p := New(4)
+	defer p.Close()
+	sink := make([]float64, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(len(sink), func(w, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				sink[j] += 1
+			}
+		})
+	}
+}

@@ -17,11 +17,12 @@ import (
 // mixed-radix Cooley-Tukey algorithm; other lengths fall back to a direct
 // O(n^2) transform (correct, just slower — the model grids are all
 // 2/3/5-smooth).
+// An FFT is safe for concurrent use: all fields are read-only after NewFFT
+// and working storage is allocated per call.
 type FFT struct {
 	n       int
 	factors []int
 	twiddle []complex128 // e^{-2*pi*i*k/n} for k in [0,n)
-	scratch []complex128
 }
 
 // NewFFT creates a transform of length n.
@@ -34,7 +35,6 @@ func NewFFT(n int) *FFT {
 	for k := 0; k < n; k++ {
 		f.twiddle[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
 	}
-	f.scratch = make([]complex128, n)
 	m := n
 	for _, p := range []int{5, 4, 3, 2} {
 		for m%p == 0 {
@@ -74,7 +74,7 @@ func (f *FFT) transform(dst, src []complex128, inverse bool) {
 		f.direct(dst, src, inverse)
 		return
 	}
-	work := f.scratch
+	work := make([]complex128, f.n)
 	copy(work, src)
 	f.recurse(dst, work, f.n, 1, 0, inverse)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"foam/internal/pool"
 	"foam/internal/sphere"
 )
 
@@ -66,6 +67,14 @@ func smoothAtLeast(n int) int {
 // Transform performs spherical-harmonic analysis and synthesis between a
 // Gaussian grid (nlat x nlon, row-major, south to north) and spectral
 // coefficients under a fixed truncation.
+//
+// All tables are read-only after NewTransform, so one Transform may be used
+// from many goroutines. With SetPool, the transform stages themselves run
+// on the shared worker pool: synthesis parallelizes over latitude rows
+// (each output row is written by exactly one worker) and analysis over
+// zonal wavenumbers (each spectral coefficient belongs to exactly one m, so
+// its latitude accumulation order is the serial one regardless of worker
+// count) — both bit-identical to the serial loops.
 type Transform struct {
 	Trunc      Truncation
 	NLat, NLon int
@@ -77,6 +86,7 @@ type Transform struct {
 	hTab   [][]float64 // per-latitude H tables (n up to NMax), layout of hl
 	hl     *Legendre   // layout helper for hTab
 	oneMu2 []float64   // 1 - mu^2 per latitude
+	pool   *pool.Pool  // nil = serial
 }
 
 // NewTransform builds transform tables for a truncation on an
@@ -101,6 +111,10 @@ func NewTransform(t Truncation, nlat, nlon int) *Transform {
 	return tr
 }
 
+// SetPool attaches a worker pool to run the transform stages on. A nil
+// pool restores serial execution.
+func (tr *Transform) SetPool(p *pool.Pool) { tr.pool = p }
+
 // Mu returns sin(latitude) for row j; Weight the Gaussian weight.
 func (tr *Transform) Mu(j int) float64     { return tr.mu[j] }
 func (tr *Transform) Weight(j int) float64 { return tr.w[j] }
@@ -112,10 +126,12 @@ func (tr *Transform) fourierRows(grid []float64) [][]complex128 {
 		panic("spectral: grid size mismatch")
 	}
 	rows := make([][]complex128, tr.NLat)
-	for j := 0; j < tr.NLat; j++ {
-		rows[j] = make([]complex128, tr.Trunc.M+1)
-		tr.fft.AnalyzeReal(rows[j], grid[j*tr.NLon:(j+1)*tr.NLon], tr.Trunc.M)
-	}
+	tr.pool.Run(tr.NLat, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			rows[j] = make([]complex128, tr.Trunc.M+1)
+			tr.fft.AnalyzeReal(rows[j], grid[j*tr.NLon:(j+1)*tr.NLon], tr.Trunc.M)
+		}
+	})
 	return rows
 }
 
@@ -129,18 +145,22 @@ func (tr *Transform) Analyze(grid []float64) []complex128 {
 
 func (tr *Transform) analyzeRows(spec []complex128, rows [][]complex128) {
 	t := tr.Trunc
-	for j := 0; j < tr.NLat; j++ {
-		wj := tr.w[j]
-		p := tr.pTab[j]
-		for m := 0; m <= t.M; m++ {
-			f := rows[j][m] * complex(wj, 0)
-			off := tr.pl.Offset(m)
-			base := t.Index(m, m)
-			for k := 0; k <= t.K; k++ {
-				spec[base+k] += f * complex(p[off+k], 0)
+	// Parallel over m: each coefficient (m,n) is accumulated by the one
+	// worker owning m, in the same ascending-j order as the serial loop.
+	tr.pool.Run(t.M+1, func(_, m0, m1 int) {
+		for j := 0; j < tr.NLat; j++ {
+			wj := tr.w[j]
+			p := tr.pTab[j]
+			for m := m0; m < m1; m++ {
+				f := rows[j][m] * complex(wj, 0)
+				off := tr.pl.Offset(m)
+				base := t.Index(m, m)
+				for k := 0; k <= t.K; k++ {
+					spec[base+k] += f * complex(p[off+k], 0)
+				}
 			}
 		}
-	}
+	})
 }
 
 // Synthesize reconstructs a grid field from spectral coefficients.
@@ -156,20 +176,22 @@ func (tr *Transform) SynthesizeInto(grid []float64, spec []complex128) {
 	if len(spec) != t.Count() {
 		panic("spectral: spectral size mismatch")
 	}
-	coefs := make([]complex128, t.M+1)
-	for j := 0; j < tr.NLat; j++ {
-		p := tr.pTab[j]
-		for m := 0; m <= t.M; m++ {
-			off := tr.pl.Offset(m)
-			base := t.Index(m, m)
-			var sum complex128
-			for k := 0; k <= t.K; k++ {
-				sum += spec[base+k] * complex(p[off+k], 0)
+	tr.pool.Run(tr.NLat, func(_, lo, hi int) {
+		coefs := make([]complex128, t.M+1)
+		for j := lo; j < hi; j++ {
+			p := tr.pTab[j]
+			for m := 0; m <= t.M; m++ {
+				off := tr.pl.Offset(m)
+				base := t.Index(m, m)
+				var sum complex128
+				for k := 0; k <= t.K; k++ {
+					sum += spec[base+k] * complex(p[off+k], 0)
+				}
+				coefs[m] = sum
 			}
-			coefs[m] = sum
+			tr.fft.SynthesizeReal(grid[j*tr.NLon:(j+1)*tr.NLon], coefs)
 		}
-		tr.fft.SynthesizeReal(grid[j*tr.NLon:(j+1)*tr.NLon], coefs)
-	}
+	})
 }
 
 // SynthesizeWithDerivs returns the grid field together with its plain
@@ -184,30 +206,32 @@ func (tr *Transform) SynthesizeWithDerivs(spec []complex128) (f, dfdl, hmu []flo
 	f = make([]float64, tr.NLat*tr.NLon)
 	dfdl = make([]float64, tr.NLat*tr.NLon)
 	hmu = make([]float64, tr.NLat*tr.NLon)
-	cf := make([]complex128, t.M+1)
-	cd := make([]complex128, t.M+1)
-	ch := make([]complex128, t.M+1)
-	for j := 0; j < tr.NLat; j++ {
-		p := tr.pTab[j]
-		h := tr.hTab[j]
-		for m := 0; m <= t.M; m++ {
-			offP := tr.pl.Offset(m)
-			offH := tr.hl.Offset(m)
-			base := t.Index(m, m)
-			var sf, sh complex128
-			for k := 0; k <= t.K; k++ {
-				c := spec[base+k]
-				sf += c * complex(p[offP+k], 0)
-				sh += c * complex(h[offH+k], 0)
+	tr.pool.Run(tr.NLat, func(_, lo, hi int) {
+		cf := make([]complex128, t.M+1)
+		cd := make([]complex128, t.M+1)
+		ch := make([]complex128, t.M+1)
+		for j := lo; j < hi; j++ {
+			p := tr.pTab[j]
+			h := tr.hTab[j]
+			for m := 0; m <= t.M; m++ {
+				offP := tr.pl.Offset(m)
+				offH := tr.hl.Offset(m)
+				base := t.Index(m, m)
+				var sf, sh complex128
+				for k := 0; k <= t.K; k++ {
+					c := spec[base+k]
+					sf += c * complex(p[offP+k], 0)
+					sh += c * complex(h[offH+k], 0)
+				}
+				cf[m] = sf
+				cd[m] = complex(0, float64(m)) * sf
+				ch[m] = sh
 			}
-			cf[m] = sf
-			cd[m] = complex(0, float64(m)) * sf
-			ch[m] = sh
+			tr.fft.SynthesizeReal(f[j*tr.NLon:(j+1)*tr.NLon], cf)
+			tr.fft.SynthesizeReal(dfdl[j*tr.NLon:(j+1)*tr.NLon], cd)
+			tr.fft.SynthesizeReal(hmu[j*tr.NLon:(j+1)*tr.NLon], ch)
 		}
-		tr.fft.SynthesizeReal(f[j*tr.NLon:(j+1)*tr.NLon], cf)
-		tr.fft.SynthesizeReal(dfdl[j*tr.NLon:(j+1)*tr.NLon], cd)
-		tr.fft.SynthesizeReal(hmu[j*tr.NLon:(j+1)*tr.NLon], ch)
-	}
+	})
 	return f, dfdl, hmu
 }
 
@@ -238,32 +262,34 @@ func (tr *Transform) SynthesizeUV(vort, div []complex128) (U, V []float64) {
 	}
 	U = make([]float64, tr.NLat*tr.NLon)
 	V = make([]float64, tr.NLat*tr.NLon)
-	cu := make([]complex128, t.M+1)
-	cv := make([]complex128, t.M+1)
 	inva := complex(1/sphere.Radius, 0)
-	for j := 0; j < tr.NLat; j++ {
-		p := tr.pTab[j]
-		h := tr.hTab[j]
-		for m := 0; m <= t.M; m++ {
-			offP := tr.pl.Offset(m)
-			offH := tr.hl.Offset(m)
-			base := t.Index(m, m)
-			var sPsi, sChi, hPsi, hChi complex128
-			for k := 0; k <= t.K; k++ {
-				pv := complex(p[offP+k], 0)
-				hv := complex(h[offH+k], 0)
-				sPsi += psi[base+k] * pv
-				sChi += chi[base+k] * pv
-				hPsi += psi[base+k] * hv
-				hChi += chi[base+k] * hv
+	tr.pool.Run(tr.NLat, func(_, lo, hi int) {
+		cu := make([]complex128, t.M+1)
+		cv := make([]complex128, t.M+1)
+		for j := lo; j < hi; j++ {
+			p := tr.pTab[j]
+			h := tr.hTab[j]
+			for m := 0; m <= t.M; m++ {
+				offP := tr.pl.Offset(m)
+				offH := tr.hl.Offset(m)
+				base := t.Index(m, m)
+				var sPsi, sChi, hPsi, hChi complex128
+				for k := 0; k <= t.K; k++ {
+					pv := complex(p[offP+k], 0)
+					hv := complex(h[offH+k], 0)
+					sPsi += psi[base+k] * pv
+					sChi += chi[base+k] * pv
+					hPsi += psi[base+k] * hv
+					hChi += chi[base+k] * hv
+				}
+				im := complex(0, float64(m))
+				cu[m] = (im*sChi - hPsi) * inva
+				cv[m] = (im*sPsi + hChi) * inva
 			}
-			im := complex(0, float64(m))
-			cu[m] = (im*sChi - hPsi) * inva
-			cv[m] = (im*sPsi + hChi) * inva
+			tr.fft.SynthesizeReal(U[j*tr.NLon:(j+1)*tr.NLon], cu)
+			tr.fft.SynthesizeReal(V[j*tr.NLon:(j+1)*tr.NLon], cv)
 		}
-		tr.fft.SynthesizeReal(U[j*tr.NLon:(j+1)*tr.NLon], cu)
-		tr.fft.SynthesizeReal(V[j*tr.NLon:(j+1)*tr.NLon], cv)
-	}
+	})
 	return U, V
 }
 
@@ -283,21 +309,25 @@ func (tr *Transform) AnalyzeDivForm(A, B []float64) []complex128 {
 	rowsB := tr.fourierRows(B)
 	spec := make([]complex128, t.Count())
 	inva := 1 / sphere.Radius
-	for j := 0; j < tr.NLat; j++ {
-		wj := tr.w[j] / tr.oneMu2[j] * inva
-		p := tr.pTab[j]
-		h := tr.hTab[j]
-		for m := 0; m <= t.M; m++ {
-			fa := rowsA[j][m] * complex(0, float64(m)*wj)
-			fb := rowsB[j][m] * complex(wj, 0)
-			offP := tr.pl.Offset(m)
-			offH := tr.hl.Offset(m)
-			base := t.Index(m, m)
-			for k := 0; k <= t.K; k++ {
-				spec[base+k] += fa*complex(p[offP+k], 0) - fb*complex(h[offH+k], 0)
+	// Parallel over m, like analyzeRows: per-coefficient accumulation order
+	// stays ascending in j for every worker count.
+	tr.pool.Run(t.M+1, func(_, m0, m1 int) {
+		for j := 0; j < tr.NLat; j++ {
+			wj := tr.w[j] / tr.oneMu2[j] * inva
+			p := tr.pTab[j]
+			h := tr.hTab[j]
+			for m := m0; m < m1; m++ {
+				fa := rowsA[j][m] * complex(0, float64(m)*wj)
+				fb := rowsB[j][m] * complex(wj, 0)
+				offP := tr.pl.Offset(m)
+				offH := tr.hl.Offset(m)
+				base := t.Index(m, m)
+				for k := 0; k <= t.K; k++ {
+					spec[base+k] += fa*complex(p[offP+k], 0) - fb*complex(h[offH+k], 0)
+				}
 			}
 		}
-	}
+	})
 	return spec
 }
 
