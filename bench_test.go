@@ -37,6 +37,7 @@ func getBenchModel(b *testing.B) *Model {
 // 1 ocean rank. Reported metrics: simulated-machine speedup and the ocean
 // rank's busy fraction.
 func BenchmarkFig2TimeAllocation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, _, err := RunTraced(ReducedConfig(), 0.5,
 			ParallelSpec{AtmRanks: 16, OcnRanks: 1, Link: mp.SPLink})
@@ -61,6 +62,7 @@ func BenchmarkFig2TimeAllocation(b *testing.B) {
 // the paper's Figure 3 comparison. Metrics: bias, RMSE, pattern
 // correlation.
 func BenchmarkFig3SSTClimatology(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m := getBenchModel(b)
 		series := m.MonthlyMeanSST(2)
@@ -76,6 +78,7 @@ func BenchmarkFig3SSTClimatology(b *testing.B) {
 // version). Metrics: leading rotated mode variance fraction and the
 // two-basin loading product.
 func BenchmarkFig4TwoBasinVariability(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m := getBenchModel(b)
 		series := m.MonthlyMeanSST(15)
@@ -100,6 +103,7 @@ func BenchmarkTableScaling(b *testing.B) {
 	} {
 		spec := spec
 		b.Run(fmt.Sprintf("atm%d_ocn%d", spec.AtmRanks, spec.OcnRanks), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, _, err := RunTraced(ReducedConfig(), 0.25, spec)
 				if err != nil {
@@ -117,6 +121,7 @@ func BenchmarkTableScaling(b *testing.B) {
 // here single-core) and the advantage over the conventional unsplit
 // formulation (paper: ~10x).
 func BenchmarkTableOceanThroughput(b *testing.B) {
+	b.ReportAllocs()
 	cfg := ocean.DefaultConfig()
 	cfg.NLat, cfg.NLon, cfg.NLev = 64, 64, 8
 	for i := 0; i < b.N; i++ {
@@ -136,6 +141,7 @@ func BenchmarkTableCostRatio(b *testing.B) {
 	m := getBenchModel(b)
 	cfg := m.Config()
 	stepsPerDay := int(86400 / cfg.Atm.Dt)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var atmT, ocnT float64
 		for s := 0; s < stepsPerDay; s++ {
@@ -154,6 +160,7 @@ func BenchmarkTableCostRatio(b *testing.B) {
 // against the conventional (unsplit-ocean) configuration (paper: at least
 // 3x the NCAR CSM's throughput).
 func BenchmarkTableVsConventional(b *testing.B) {
+	b.ReportAllocs()
 	cfg := ReducedConfig()
 	oc := ocean.BaselineConfig()
 	oc.NLat, oc.NLon, oc.NLev = cfg.Ocn.NLat, cfg.Ocn.NLon, cfg.Ocn.NLev
@@ -174,6 +181,7 @@ func BenchmarkTableVsConventional(b *testing.B) {
 // law: atmosphere cost per simulated day grows like the inverse cube of the
 // horizontal spacing. Metric: fitted exponent.
 func BenchmarkTableResolutionScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		costs := map[int]float64{}
 		for _, M := range []int{5, 10} {
@@ -200,6 +208,7 @@ func BenchmarkTableResolutionScaling(b *testing.B) {
 // relative residual of P - E - R against storage change (paper: closed
 // cycle). Metric: relative residual (should be ~0).
 func BenchmarkTableWaterBudget(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m := getBenchModel(b)
 		m.Cpl.ResetBudget()
@@ -237,6 +246,7 @@ func BenchmarkTableOceanAblations(b *testing.B) {
 	for _, tc := range cases {
 		tc := tc
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sec, err := baseline.OceanSecondsPerDay(tc.cfg, nil, 2)
 				if err != nil {
@@ -264,6 +274,7 @@ func BenchmarkCoupledStepParallel(b *testing.B) {
 			}
 			defer m.Close()
 			m.StepDays(0.5) // spin past initialization transients
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m.Step()

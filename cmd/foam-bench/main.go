@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	foam-bench [-run E1,E2,...] [-full]
+//	foam-bench [-run E1,E2,...] [-full] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // By default every experiment runs in a reduced configuration that
 // completes in minutes; -full uses the paper's R15 + 128x128 configuration
@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,7 +36,37 @@ var workers = flag.Int("workers", 1, "shared-memory worker pool size for coupled
 func main() {
 	runList := flag.String("run", "E1,E2,E3,E4,E5,E6,E7,E8,E9,E10,E11", "comma-separated experiment ids")
 	full := flag.Bool("full", false, "use the paper's full configuration (much slower)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the selected experiments")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "foam-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "foam-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "foam-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "foam-bench: %v\n", err)
+			}
+		}()
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*runList, ",") {

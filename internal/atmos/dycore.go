@@ -4,10 +4,17 @@ import (
 	"math"
 	"time"
 
+	"foam/internal/spectral"
 	"foam/internal/sphere"
 )
 
-// work holds per-step grid workspace, allocated once.
+// work holds the per-step working state, allocated once (and rebuilt when
+// the worker pool changes): grid scratch, spectral tendency buffers,
+// per-worker scratch keyed by pool worker id, the spectral workspaces, and
+// the pre-bound pooled phase closures. Binding every pool.Run body here at
+// construction — with per-step values staged through fields rather than
+// captured — is what makes the steady-state step allocation-free: a
+// closure literal at a Run call site would be heap-allocated on every call.
 type work struct {
 	U, V, zg, dg, tg [][]float64 // per level grid fields
 	nU, nV, tSrc     [][]float64
@@ -20,9 +27,54 @@ type work struct {
 	psSrc            []float64
 	qs, dqsdl, hqs   []float64
 	nOf              []int // total wavenumber per spectral index
+
+	// Spectral tendency buffers.
+	nz, nd, nt [][]complex128
+	np         []complex128
+
+	// One spectral workspace per outer pool worker: transforms invoked from
+	// inside a level-parallel Run nest onto the busy pool and execute inline
+	// as worker 0, so concurrent outer workers need disjoint workspaces.
+	// ws[0] doubles as the workspace of top-level (internally parallel)
+	// transform calls.
+	ws []*spectral.Workspace
+
+	// Per-worker scratch, indexed by pool worker id.
+	eGrid        [][]float64
+	specScr      [][]complex128
+	ttil, yv     [][]complex128
+	rhsRe, rhsIm [][]float64
+	luX          [][]float64
+	qNew         [][]float64 // semi-Lagrangian horizontal target
+	colQ         [][]float64 // semi-Lagrangian vertical column
+	dT, dU, dV   [][]float64 // physics increments
+	cols         []*column
+	rad          []*radScratch
+	deepCount    []int
+
+	lats  []float64 // asin(mu) per row (semi-Lagrangian)
+	lnpsG []float64 // grid ln(ps) (physics)
+	diagG []float64 // diagnostics grid scratch
+	diagU []float64
+	diagV []float64
+
+	// Per-step values staged for the phases below.
+	dt         float64
+	si         *SemiImplicit
+	plus       *specState
+	ex         *SurfaceExchange
+	decl, frac float64
+
+	phSynth, phColMass, phColumns, phNonlin, phSpecTend func(worker, lo, hi int)
+	phNpAdd, phThermoAdd, phSolve, phHyper, phFilter    func(worker, lo, hi int)
+	phSLHoriz, phSLVert                                 func(worker, lo, hi int)
+	phPhySynth, phRadiation, phLowest, phPhysCols       func(worker, lo, hi int)
+	phFold                                              func(worker, lo, hi int)
 }
 
-func newWork(nlev, ncell int, m *Model) *work {
+func newWork(m *Model) *work {
+	nlev, ncell := m.cfg.NLev, m.grid.Size()
+	nworkers := m.pool.Workers()
 	w := &work{}
 	alloc := func() [][]float64 {
 		a := make([][]float64, nlev)
@@ -40,6 +92,9 @@ func newWork(nlev, ncell int, m *Model) *work {
 		w.sdot[k] = make([]float64, ncell)
 	}
 	w.psSrc = make([]float64, ncell)
+	w.qs = make([]float64, ncell)
+	w.dqsdl = make([]float64, ncell)
+	w.hqs = make([]float64, ncell)
 	t := m.cfg.Trunc
 	w.nOf = make([]int, t.Count())
 	for mm := 0; mm <= t.M; mm++ {
@@ -47,7 +102,304 @@ func newWork(nlev, ncell int, m *Model) *work {
 			w.nOf[t.Index(mm, n)] = n
 		}
 	}
+	ncf := t.Count()
+	w.nz = make([][]complex128, nlev)
+	w.nd = make([][]complex128, nlev)
+	w.nt = make([][]complex128, nlev)
+	for k := 0; k < nlev; k++ {
+		w.nz[k] = make([]complex128, ncf)
+		w.nd[k] = make([]complex128, ncf)
+		w.nt[k] = make([]complex128, ncf)
+	}
+	w.np = make([]complex128, ncf)
+
+	w.ws = make([]*spectral.Workspace, nworkers)
+	w.eGrid = make([][]float64, nworkers)
+	w.specScr = make([][]complex128, nworkers)
+	w.ttil = make([][]complex128, nworkers)
+	w.yv = make([][]complex128, nworkers)
+	w.rhsRe = make([][]float64, nworkers)
+	w.rhsIm = make([][]float64, nworkers)
+	w.luX = make([][]float64, nworkers)
+	w.qNew = make([][]float64, nworkers)
+	w.colQ = make([][]float64, nworkers)
+	w.dT = make([][]float64, nworkers)
+	w.dU = make([][]float64, nworkers)
+	w.dV = make([][]float64, nworkers)
+	w.cols = make([]*column, nworkers)
+	w.rad = make([]*radScratch, nworkers)
+	for i := 0; i < nworkers; i++ {
+		w.ws[i] = m.tr.NewWorkspace()
+		w.eGrid[i] = make([]float64, ncell)
+		w.specScr[i] = make([]complex128, ncf)
+		w.ttil[i] = make([]complex128, nlev)
+		w.yv[i] = make([]complex128, nlev)
+		w.rhsRe[i] = make([]float64, nlev)
+		w.rhsIm[i] = make([]float64, nlev)
+		w.luX[i] = make([]float64, nlev)
+		w.qNew[i] = make([]float64, ncell)
+		w.colQ[i] = make([]float64, nlev)
+		w.dT[i] = make([]float64, ncell)
+		w.dU[i] = make([]float64, ncell)
+		w.dV[i] = make([]float64, ncell)
+		w.cols[i] = newColumn(nlev)
+		w.rad[i] = newRadScratch(nlev)
+	}
+	w.deepCount = make([]int, nworkers)
+
+	w.lats = make([]float64, m.cfg.NLat)
+	for j := 0; j < m.cfg.NLat; j++ {
+		w.lats[j] = math.Asin(m.geom.mu[j])
+	}
+	w.lnpsG = make([]float64, ncell)
+	w.diagG = make([]float64, ncell)
+	w.diagU = make([]float64, ncell)
+	w.diagV = make([]float64, ncell)
+
+	m.bindPhases(w)
 	return w
+}
+
+// ensureWork returns the step workspace, building it on first use (and
+// after SetPool invalidates it).
+func (m *Model) ensureWork() *work {
+	if m.phy.w == nil {
+		m.phy.w = newWork(m)
+	}
+	return m.phy.w
+}
+
+// bindPhases creates the pooled phase closures once per work lifetime.
+// Per-step inputs reach them through the staged fields of w, never through
+// captured locals.
+func (m *Model) bindPhases(w *work) {
+	nlat, nlon, nlev := m.cfg.NLat, m.cfg.NLon, m.cfg.NLev
+	tr := m.tr
+	vg := m.vg
+	a := sphere.Radius
+	ncf := m.cfg.Trunc.Count()
+
+	// --- Synthesize current state on the grid. Parallel over levels: each
+	// level's transforms are independent and write only that level's fields
+	// (nested transform calls run inline on the busy pool, as worker 0 of
+	// the outer worker's own workspace).
+	w.phSynth = func(worker, k0, k1 int) {
+		ws := w.ws[worker]
+		for k := k0; k < k1; k++ {
+			tr.SynthesizeUVInto(w.U[k], w.V[k], m.cur.vort[k], m.cur.div[k], ws)
+			tr.SynthesizeInto(w.zg[k], m.cur.vort[k], ws)
+			tr.SynthesizeInto(w.dg[k], m.cur.div[k], ws)
+			tr.SynthesizeInto(w.tg[k], m.cur.temp[k], ws)
+		}
+	}
+
+	// --- Column mass/velocity diagnostics.
+	w.phColMass = func(_, k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			for j := 0; j < nlat; j++ {
+				inv := 1 / (a * m.geom.oneMu2[j])
+				for i := 0; i < nlon; i++ {
+					c := j*nlon + i
+					w.vgq[k][c] = (w.U[k][c]*w.dqsdl[c] + w.V[k][c]*w.hqs[c]) * inv
+					w.aCol[k][c] = w.dg[k][c] + w.vgq[k][c]
+				}
+			}
+		}
+	}
+
+	// total integral of A, sigma-dot at half levels, cumulative to full
+	// levels. Each cell's column is independent.
+	w.phColumns = func(_, c0, c1 int) {
+		for c := c0; c < c1; c++ {
+			tot := 0.0
+			for k := 0; k < nlev; k++ {
+				tot += w.aCol[k][c] * vg.DSig[k]
+			}
+			cumHalf := 0.0
+			w.sdot[0][c] = 0
+			for k := 0; k < nlev; k++ {
+				w.cum[k][c] = cumHalf + 0.5*w.aCol[k][c]*vg.DSig[k]
+				cumHalf += w.aCol[k][c] * vg.DSig[k]
+				w.sdot[k+1][c] = -cumHalf + vg.Half[k+1]*tot
+			}
+			w.sdot[nlev][c] = 0
+			w.psSrc[c] = -tot
+			for k := 0; k < nlev; k++ {
+				w.omgp[k][c] = w.vgq[k][c] - w.cum[k][c]/vg.Full[k]
+			}
+		}
+	}
+
+	// --- Nonlinear terms. Writes go to level k only; vadv reads the
+	// neighbouring levels, which are inputs of this phase.
+	w.phNonlin = func(_, k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			for j := 0; j < nlat; j++ {
+				for i := 0; i < nlon; i++ {
+					c := j*nlon + i
+					vaU := m.vadv(w.U, k, c)
+					vaV := m.vadv(w.V, k, c)
+					vaT := m.vadv(w.tg, k, c)
+					tdev := w.tg[k][c] - TRef
+					za := w.zg[k][c] + m.fcor[c]
+					w.nU[k][c] = za*w.V[k][c] - vaU - RDry*tdev/a*w.dqsdl[c]
+					w.nV[k][c] = -za*w.U[k][c] - vaV - RDry*tdev/a*w.hqs[c]
+					w.fluxA[k][c] = w.U[k][c] * tdev
+					w.fluxB[k][c] = w.V[k][c] * tdev
+					w.tSrc[k][c] = tdev*w.dg[k][c] - vaT + Kappa*w.tg[k][c]*w.omgp[k][c]
+				}
+			}
+		}
+	}
+
+	// --- Spectral tendencies. Parallel over levels with per-worker grid
+	// and spectral scratch; every spectral array written belongs to one
+	// level.
+	w.phSpecTend = func(worker, k0, k1 int) {
+		ws := w.ws[worker]
+		eGrid := w.eGrid[worker]
+		scr := w.specScr[worker]
+		for k := k0; k < k1; k++ {
+			tr.AnalyzeDivFormInto(w.nz[k], w.nV[k], w.nU[k], 1, -1, ws)
+			tr.AnalyzeDivFormInto(w.nd[k], w.nU[k], w.nV[k], 1, 1, ws)
+			// Explicit Laplacian part: E + Phi_s.
+			for j := 0; j < nlat; j++ {
+				inv := 1 / (2 * m.geom.oneMu2[j])
+				for i := 0; i < nlon; i++ {
+					c := j*nlon + i
+					eGrid[c] = (w.U[k][c]*w.U[k][c]+w.V[k][c]*w.V[k][c])*inv + m.phiS[c]
+				}
+			}
+			tr.AnalyzeInto(scr, eGrid, ws)
+			tr.Laplacian(scr)
+			for idx := range w.nd[k] {
+				w.nd[k][idx] -= scr[idx]
+			}
+			// Temperature: flux form advection plus grid sources.
+			tr.AnalyzeInto(w.nt[k], w.tSrc[k], ws)
+			tr.AnalyzeDivFormInto(scr, w.fluxA[k], w.fluxB[k], 1, 1, ws)
+			for idx := range w.nt[k] {
+				w.nt[k][idx] -= scr[idx]
+			}
+		}
+	}
+
+	// --- Semi-implicit add-backs (spectral, using the current divergence).
+	w.phNpAdd = func(_, i0, i1 int) {
+		for idx := i0; idx < i1; idx++ {
+			var bD complex128
+			for l := 0; l < nlev; l++ {
+				bD += complex(vg.DSig[l], 0) * m.cur.div[l][idx]
+			}
+			w.np[idx] += bD
+		}
+	}
+	w.phThermoAdd = func(_, k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			arow := vg.ThermoRow(k)
+			for idx := 0; idx < ncf; idx++ {
+				var s complex128
+				for l := 0; l < nlev; l++ {
+					s += complex(arow[l], 0) * m.cur.div[l][idx]
+				}
+				w.nt[k][idx] += s
+			}
+		}
+	}
+
+	// --- Assemble and solve the implicit system per coefficient.
+	// Per-coefficient vertical systems are independent; per-worker scratch,
+	// and the LU solves read only precomputed factors.
+	w.phSolve = func(worker, i0, i1 int) {
+		dt, si, plus := w.dt, w.si, w.plus
+		ttil := w.ttil[worker]
+		yv := w.yv[worker]
+		rhsRe := w.rhsRe[worker]
+		rhsIm := w.rhsIm[worker]
+		luX := w.luX[worker]
+		a2 := a * a
+		for idx := i0; idx < i1; idx++ {
+			n := w.nOf[idx]
+			cn := float64(n*(n+1)) / a2
+			qtil := m.old.lnps[idx] + complex(dt, 0)*w.np[idx]
+			for k := 0; k < nlev; k++ {
+				ttil[k] = m.old.temp[k][idx] + complex(dt, 0)*w.nt[k][idx]
+			}
+			for k := 0; k < nlev; k++ {
+				grow := vg.HydroRow(k)
+				var s complex128
+				for l := 0; l < nlev; l++ {
+					s += complex(grow[l], 0) * ttil[l]
+				}
+				yv[k] = s + complex(RDry*TRef, 0)*qtil
+			}
+			for k := 0; k < nlev; k++ {
+				rhs := m.old.div[k][idx] + complex(dt, 0)*w.nd[k][idx] + complex(dt*cn, 0)*yv[k]
+				rhsRe[k] = real(rhs)
+				rhsIm[k] = imag(rhs)
+			}
+			si.SolveInto(n, rhsRe, luX)
+			si.SolveInto(n, rhsIm, luX)
+			// rhsRe/Im now hold Dbar.
+			var bD complex128
+			for k := 0; k < nlev; k++ {
+				dbar := complex(rhsRe[k], rhsIm[k])
+				plus.div[k][idx] = 2*dbar - m.old.div[k][idx]
+				bD += complex(vg.DSig[k], 0) * dbar
+			}
+			plus.lnps[idx] = 2*(qtil-complex(dt, 0)*bD) - m.old.lnps[idx]
+			for k := 0; k < nlev; k++ {
+				arow := vg.ThermoRow(k)
+				var aD complex128
+				for l := 0; l < nlev; l++ {
+					aD += complex(arow[l], 0) * complex(rhsRe[l], rhsIm[l])
+				}
+				plus.temp[k][idx] = 2*(ttil[k]-complex(dt, 0)*aD) - m.old.temp[k][idx]
+				plus.vort[k][idx] = m.old.vort[k][idx] + complex(2*dt, 0)*w.nz[k][idx]
+			}
+		}
+	}
+
+	// --- Hyperdiffusion: implicit del^4 damping, scale-selectively.
+	w.phHyper = func(_, i0, i1 int) {
+		dt, s := w.dt, w.plus
+		k4 := m.cfg.Diff4
+		a2 := a * a
+		for idx := i0; idx < i1; idx++ {
+			n := w.nOf[idx]
+			cn := float64(n*(n+1)) / a2
+			f := complex(1/(1+2*dt*k4*cn*cn), 0)
+			for k := 0; k < nlev; k++ {
+				s.vort[k][idx] *= f
+				s.div[k][idx] *= f
+				s.temp[k][idx] *= f
+			}
+		}
+	}
+
+	// --- Robert-Asselin filter on the center level (all three per-level
+	// prognostic fields per level).
+	w.phFilter = func(_, k0, k1 int) {
+		al := complex(m.cfg.RobertAlpha, 0)
+		plus := w.plus
+		for k := k0; k < k1; k++ {
+			o, c, n := m.old.vort[k], m.cur.vort[k], plus.vort[k]
+			for i := range c {
+				c[i] += al * (o[i] - 2*c[i] + n[i])
+			}
+			o, c, n = m.old.div[k], m.cur.div[k], plus.div[k]
+			for i := range c {
+				c[i] += al * (o[i] - 2*c[i] + n[i])
+			}
+			o, c, n = m.old.temp[k], m.cur.temp[k], plus.temp[k]
+			for i := range c {
+				c[i] += al * (o[i] - 2*c[i] + n[i])
+			}
+		}
+	}
+
+	m.bindSLPhases(w)
+	m.bindPhysicsPhases(w)
 }
 
 // Step advances the model one time step: dynamics (semi-implicit leapfrog),
@@ -61,9 +413,7 @@ func (m *Model) Step() {
 		dt = m.cfg.Dt / 2
 		si = m.siH
 	}
-	if m.phy.w == nil {
-		m.phy.w = newWork(m.cfg.NLev, m.grid.Size(), m)
-	}
+	m.ensureWork()
 	var t0 time.Time
 	if m.costEnabled {
 		t0 = time.Now()
@@ -85,23 +435,17 @@ func (m *Model) Step() {
 		}
 		m.physicsStep(plus)
 	}
-	m.applyHyperdiffusion(plus, dt)
+	w := m.phy.w
+	if m.cfg.Diff4 > 0 {
+		m.applyHyperdiffusion(plus, dt)
+	}
 
 	// Robert-Asselin filter on the center level, then rotate time levels.
 	if m.step > 0 {
 		al := m.cfg.RobertAlpha
-		filter := func(old, cur, new_ [][]complex128) {
-			m.pool.Run(len(cur), func(_, k0, k1 int) {
-				for k := k0; k < k1; k++ {
-					for i := range cur[k] {
-						cur[k][i] += complex(al, 0) * (old[k][i] - 2*cur[k][i] + new_[k][i])
-					}
-				}
-			})
-		}
-		filter(m.old.vort, m.cur.vort, plus.vort)
-		filter(m.old.div, m.cur.div, plus.div)
-		filter(m.old.temp, m.cur.temp, plus.temp)
+		w.plus = plus
+		m.pool.Run(m.cfg.NLev, w.phFilter)
+		w.plus = nil
 		for i := range m.cur.lnps {
 			m.cur.lnps[i] += complex(al, 0) * (m.old.lnps[i] - 2*m.cur.lnps[i] + plus.lnps[i])
 		}
@@ -128,206 +472,44 @@ func (m *Model) releasePlus(p *specState) { m.phy.plusCache = p }
 // dynStep performs the adiabatic semi-implicit leapfrog update and returns
 // the provisional t+dt state.
 func (m *Model) dynStep(dt float64, si *SemiImplicit) *specState {
-	nlat, nlon, nlev := m.cfg.NLat, m.cfg.NLon, m.cfg.NLev
-	ncell := nlat * nlon
+	nlev := m.cfg.NLev
+	ncell := m.grid.Size()
 	tr := m.tr
 	w := m.phy.w
-	vg := m.vg
-	a := sphere.Radius
 
-	// --- Synthesize current state on the grid. Parallel over levels: each
-	// level's transforms are independent and write only that level's fields
-	// (nested transform calls run inline on the busy pool).
-	m.pool.Run(nlev, func(_, k0, k1 int) {
-		for k := k0; k < k1; k++ {
-			uk, vk := tr.SynthesizeUV(m.cur.vort[k], m.cur.div[k])
-			copy(w.U[k], uk)
-			copy(w.V[k], vk)
-			tr.SynthesizeInto(w.zg[k], m.cur.vort[k])
-			tr.SynthesizeInto(w.dg[k], m.cur.div[k])
-			tr.SynthesizeInto(w.tg[k], m.cur.temp[k])
-		}
-	})
-	w.qs, w.dqsdl, w.hqs = tr.SynthesizeWithDerivs(m.cur.lnps)
+	m.pool.Run(nlev, w.phSynth)
+	tr.SynthesizeWithDerivsInto(w.qs, w.dqsdl, w.hqs, m.cur.lnps, w.ws[0])
 
-	// --- Column mass/velocity diagnostics.
-	m.pool.Run(nlev, func(_, k0, k1 int) {
-		for k := k0; k < k1; k++ {
-			for j := 0; j < nlat; j++ {
-				inv := 1 / (a * m.geom.oneMu2[j])
-				for i := 0; i < nlon; i++ {
-					c := j*nlon + i
-					w.vgq[k][c] = (w.U[k][c]*w.dqsdl[c] + w.V[k][c]*w.hqs[c]) * inv
-					w.aCol[k][c] = w.dg[k][c] + w.vgq[k][c]
-				}
-			}
-		}
-	})
-	// total integral of A, sigma-dot at half levels, cumulative to full
-	// levels. Each cell's column is independent.
-	m.pool.Run(ncell, func(_, c0, c1 int) {
-		for c := c0; c < c1; c++ {
-			tot := 0.0
-			for k := 0; k < nlev; k++ {
-				tot += w.aCol[k][c] * vg.DSig[k]
-			}
-			cumHalf := 0.0
-			w.sdot[0][c] = 0
-			for k := 0; k < nlev; k++ {
-				w.cum[k][c] = cumHalf + 0.5*w.aCol[k][c]*vg.DSig[k]
-				cumHalf += w.aCol[k][c] * vg.DSig[k]
-				w.sdot[k+1][c] = -cumHalf + vg.Half[k+1]*tot
-			}
-			w.sdot[nlev][c] = 0
-			w.psSrc[c] = -tot
-			for k := 0; k < nlev; k++ {
-				w.omgp[k][c] = w.vgq[k][c] - w.cum[k][c]/vg.Full[k]
-			}
-		}
-	})
+	m.pool.Run(nlev, w.phColMass)
+	m.pool.Run(ncell, w.phColumns)
+	m.pool.Run(nlev, w.phNonlin)
+	m.pool.Run(nlev, w.phSpecTend)
+	tr.AnalyzeInto(w.np, w.psSrc, w.ws[0])
 
-	// --- Nonlinear terms. Writes go to level k only; vadv reads the
-	// neighbouring levels, which are inputs of this phase.
-	m.pool.Run(nlev, func(_, k0, k1 int) {
-		for k := k0; k < k1; k++ {
-			for j := 0; j < nlat; j++ {
-				for i := 0; i < nlon; i++ {
-					c := j*nlon + i
-					vaU := m.vadv(w.U, k, c)
-					vaV := m.vadv(w.V, k, c)
-					vaT := m.vadv(w.tg, k, c)
-					tdev := w.tg[k][c] - TRef
-					za := w.zg[k][c] + m.fcor[c]
-					w.nU[k][c] = za*w.V[k][c] - vaU - RDry*tdev/a*w.dqsdl[c]
-					w.nV[k][c] = -za*w.U[k][c] - vaV - RDry*tdev/a*w.hqs[c]
-					w.fluxA[k][c] = w.U[k][c] * tdev
-					w.fluxB[k][c] = w.V[k][c] * tdev
-					w.tSrc[k][c] = tdev*w.dg[k][c] - vaT + Kappa*w.tg[k][c]*w.omgp[k][c]
-				}
-			}
-		}
-	})
-
-	// --- Spectral tendencies. Parallel over levels with per-worker grid
-	// scratch; every spectral array written belongs to one level.
-	nz := make([][]complex128, nlev)
-	nd := make([][]complex128, nlev)
-	nt := make([][]complex128, nlev)
-	m.pool.Run(nlev, func(_, k0, k1 int) {
-		negNU := make([]float64, ncell)
-		eGrid := make([]float64, ncell)
-		for k := k0; k < k1; k++ {
-			for c := 0; c < ncell; c++ {
-				negNU[c] = -w.nU[k][c]
-			}
-			nz[k] = tr.AnalyzeDivForm(w.nV[k], negNU)
-			nd[k] = tr.AnalyzeDivForm(w.nU[k], w.nV[k])
-			// Explicit Laplacian part: E + Phi_s.
-			for j := 0; j < nlat; j++ {
-				inv := 1 / (2 * m.geom.oneMu2[j])
-				for i := 0; i < nlon; i++ {
-					c := j*nlon + i
-					eGrid[c] = (w.U[k][c]*w.U[k][c]+w.V[k][c]*w.V[k][c])*inv + m.phiS[c]
-				}
-			}
-			lapE := tr.Laplacian(tr.Analyze(eGrid))
-			for idx := range nd[k] {
-				nd[k][idx] -= lapE[idx]
-			}
-			// Temperature: flux form advection plus grid sources.
-			adv := tr.AnalyzeDivForm(w.fluxA[k], w.fluxB[k])
-			src := tr.Analyze(w.tSrc[k])
-			nt[k] = src
-			for idx := range nt[k] {
-				nt[k][idx] -= adv[idx]
-			}
-		}
-	})
-	np := tr.Analyze(w.psSrc)
-
-	// --- Semi-implicit add-backs (spectral, using the current divergence).
 	ncf := m.cfg.Trunc.Count()
-	m.pool.Run(ncf, func(_, i0, i1 int) {
-		for idx := i0; idx < i1; idx++ {
-			var bD complex128
-			for l := 0; l < nlev; l++ {
-				bD += complex(vg.DSig[l], 0) * m.cur.div[l][idx]
-			}
-			np[idx] += bD
-		}
-	})
-	m.pool.Run(nlev, func(_, k0, k1 int) {
-		for k := k0; k < k1; k++ {
-			arow := vg.ThermoRow(k)
-			for idx := 0; idx < ncf; idx++ {
-				var s complex128
-				for l := 0; l < nlev; l++ {
-					s += complex(arow[l], 0) * m.cur.div[l][idx]
-				}
-				nt[k][idx] += s
-			}
-		}
-	})
+	m.pool.Run(ncf, w.phNpAdd)
+	m.pool.Run(nlev, w.phThermoAdd)
 
-	// --- Assemble and solve the implicit system per coefficient.
 	var tSI time.Time
 	if m.costEnabled {
 		tSI = time.Now()
 	}
 	plus := m.takePlus()
-	a2 := a * a
-	// Per-coefficient vertical systems are independent; per-worker scratch,
-	// and the LU solves read only precomputed factors.
-	m.pool.Run(ncf, func(_, i0, i1 int) {
-		ttil := make([]complex128, nlev)
-		yv := make([]complex128, nlev)
-		rhsRe := make([]float64, nlev)
-		rhsIm := make([]float64, nlev)
-		for idx := i0; idx < i1; idx++ {
-			n := w.nOf[idx]
-			cn := float64(n*(n+1)) / a2
-			qtil := m.old.lnps[idx] + complex(dt, 0)*np[idx]
-			for k := 0; k < nlev; k++ {
-				ttil[k] = m.old.temp[k][idx] + complex(dt, 0)*nt[k][idx]
-			}
-			for k := 0; k < nlev; k++ {
-				grow := vg.HydroRow(k)
-				var s complex128
-				for l := 0; l < nlev; l++ {
-					s += complex(grow[l], 0) * ttil[l]
-				}
-				yv[k] = s + complex(RDry*TRef, 0)*qtil
-			}
-			for k := 0; k < nlev; k++ {
-				rhs := m.old.div[k][idx] + complex(dt, 0)*nd[k][idx] + complex(dt*cn, 0)*yv[k]
-				rhsRe[k] = real(rhs)
-				rhsIm[k] = imag(rhs)
-			}
-			si.Solve(n, rhsRe)
-			si.Solve(n, rhsIm)
-			// rhsRe/Im now hold Dbar.
-			var bD complex128
-			for k := 0; k < nlev; k++ {
-				dbar := complex(rhsRe[k], rhsIm[k])
-				plus.div[k][idx] = 2*dbar - m.old.div[k][idx]
-				bD += complex(vg.DSig[k], 0) * dbar
-			}
-			plus.lnps[idx] = 2*(qtil-complex(dt, 0)*bD) - m.old.lnps[idx]
-			for k := 0; k < nlev; k++ {
-				arow := vg.ThermoRow(k)
-				var aD complex128
-				for l := 0; l < nlev; l++ {
-					aD += complex(arow[l], 0) * complex(rhsRe[l], rhsIm[l])
-				}
-				plus.temp[k][idx] = 2*(ttil[k]-complex(dt, 0)*aD) - m.old.temp[k][idx]
-				plus.vort[k][idx] = m.old.vort[k][idx] + complex(2*dt, 0)*nz[k][idx]
-			}
-		}
-	})
+	w.dt, w.si, w.plus = dt, si, plus
+	m.pool.Run(ncf, w.phSolve)
+	w.si, w.plus = nil, nil
 	if m.costEnabled {
 		m.lastCost.SemiImplicit = time.Since(tSI).Seconds()
 	}
 	return plus
+}
+
+// applyHyperdiffusion applies the implicit del^4 damping to s.
+func (m *Model) applyHyperdiffusion(s *specState, dt float64) {
+	w := m.ensureWork()
+	w.dt, w.plus = dt, s
+	m.pool.Run(len(w.nOf), w.phHyper)
+	w.plus = nil
 }
 
 // vadv computes the centered vertical advection (sigma-dot dX/dsigma) at
@@ -346,54 +528,43 @@ func (m *Model) vadv(x [][]float64, k, c int) float64 {
 	return 0.5 * (lower + upper)
 }
 
-// applyHyperdiffusion damps vorticity, divergence and temperature with an
-// implicit del^4 factor, scale-selectively.
-func (m *Model) applyHyperdiffusion(s *specState, dt float64) {
-	k4 := m.cfg.Diff4
-	if k4 <= 0 {
-		return
-	}
-	a2 := sphere.Radius * sphere.Radius
-	w := m.phy.w
-	m.pool.Run(len(w.nOf), func(_, i0, i1 int) {
-		for idx := i0; idx < i1; idx++ {
-			n := w.nOf[idx]
-			cn := float64(n*(n+1)) / a2
-			f := complex(1/(1+2*dt*k4*cn*cn), 0)
-			for k := 0; k < m.cfg.NLev; k++ {
-				s.vort[k][idx] *= f
-				s.div[k][idx] *= f
-				s.temp[k][idx] *= f
-			}
-		}
-	})
-}
-
-// updateDiagnostics refreshes the per-step global diagnostics.
+// updateDiagnostics refreshes the per-step global diagnostics without
+// allocating: grid scratch comes from the step workspace.
 func (m *Model) updateDiagnostics() {
-	ps := m.GridPs()
-	m.diag.MeanPs = m.grid.AreaMean(ps)
+	w := m.ensureWork()
+	ws := w.ws[0]
+	m.tr.SynthesizeInto(w.diagG, m.cur.lnps, ws)
+	for c := range w.diagG {
+		w.diagG[c] = math.Exp(w.diagG[c])
+	}
+	m.diag.MeanPs = m.grid.AreaMean(w.diagG)
 	tsum, wsum := 0.0, 0.0
 	for k := 0; k < m.cfg.NLev; k++ {
-		tg := m.tr.Synthesize(m.cur.temp[k])
-		mean := m.grid.AreaMean(tg)
+		m.tr.SynthesizeInto(w.diagG, m.cur.temp[k], ws)
+		mean := m.grid.AreaMean(w.diagG)
 		tsum += mean * m.vg.DSig[k]
 		wsum += m.vg.DSig[k]
 	}
 	m.diag.MeanT = tsum / wsum
 	// Wind maximum at a mid-tropospheric level.
 	k := m.cfg.NLev * 3 / 4
-	u, v := m.GridWinds(k)
+	m.tr.SynthesizeUVInto(w.diagU, w.diagV, m.cur.vort[k], m.cur.div[k], ws)
 	mx, ke := 0.0, 0.0
-	for c := range u {
-		sp := math.Hypot(u[c], v[c])
-		if sp > mx {
-			mx = sp
+	for j := 0; j < m.cfg.NLat; j++ {
+		inv := 1 / math.Sqrt(m.geom.oneMu2[j])
+		for i := 0; i < m.cfg.NLon; i++ {
+			c := j*m.cfg.NLon + i
+			u := w.diagU[c] * inv
+			v := w.diagV[c] * inv
+			sp := math.Hypot(u, v)
+			if sp > mx {
+				mx = sp
+			}
+			ke += 0.5 * sp * sp
 		}
-		ke += 0.5 * sp * sp
 	}
 	m.diag.MaxWind = mx
-	m.diag.KineticMean = ke / float64(len(u))
+	m.diag.KineticMean = ke / float64(m.grid.Size())
 	m.diag.PrecipMean = m.phy.meanPrecip
 	m.diag.EvapMean = m.phy.meanEvap
 }

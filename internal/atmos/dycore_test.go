@@ -200,7 +200,9 @@ func TestTriDiag(t *testing.T) {
 	sup := []float64{-1, -1, -1, 0}
 	rhs := []float64{1, 2, 3, 4}
 	x := append([]float64(nil), rhs...)
-	TriDiag(sub, diag, sup, x)
+	// TriDiag clobbers sup with the forward-sweep coefficients; verify
+	// against a copy.
+	TriDiag(sub, diag, append([]float64(nil), sup...), x)
 	for i := 0; i < 4; i++ {
 		got := diag[i] * x[i]
 		if i > 0 {

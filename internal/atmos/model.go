@@ -254,10 +254,13 @@ func New(cfg Config, boundary Boundary) (*Model, error) {
 
 // SetPool attaches a shared worker pool to the model and its spectral
 // transform. All parallel sections are bit-identical to the serial path
-// (see internal/pool); a nil pool restores serial execution.
+// (see internal/pool); a nil pool restores serial execution. The step
+// workspace (and its per-worker scratch and spectral workspaces) is sized
+// by the pool, so it is invalidated here and rebuilt on the next step.
 func (m *Model) SetPool(p *pool.Pool) {
 	m.pool = p
 	m.tr.SetPool(p)
+	m.phy.w = nil
 }
 
 // Grid returns the transform grid.
@@ -286,7 +289,7 @@ func (m *Model) SetOrography(phiS []float64) {
 	// see exactly the resolved orography (avoids spectral ringing against
 	// an unresolvable surface).
 	spec := m.tr.Analyze(m.phiS)
-	m.tr.SynthesizeInto(m.phiS, spec)
+	m.tr.SynthesizeInto(m.phiS, spec, nil)
 	// Re-balance surface pressure against the new orography.
 	m.initSurfacePressure()
 }

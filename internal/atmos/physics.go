@@ -43,12 +43,18 @@ func newPhysicsState(cfg Config, ncell int) *physicsState {
 	p.qg = make([][]float64, cfg.NLev)
 	p.ug = make([][]float64, cfg.NLev)
 	p.vg = make([][]float64, cfg.NLev)
+	p.baseT = make([][]float64, cfg.NLev)
+	p.baseU = make([][]float64, cfg.NLev)
+	p.baseV = make([][]float64, cfg.NLev)
 	for k := 0; k < cfg.NLev; k++ {
 		p.qr[k] = make([]float64, ncell)
 		p.tg[k] = make([]float64, ncell)
 		p.qg[k] = make([]float64, ncell)
 		p.ug[k] = make([]float64, ncell)
 		p.vg[k] = make([]float64, ncell)
+		p.baseT[k] = make([]float64, ncell)
+		p.baseU[k] = make([]float64, ncell)
+		p.baseV[k] = make([]float64, ncell)
 	}
 	p.swdn = make([]float64, ncell)
 	p.lwdn = make([]float64, ncell)
@@ -84,86 +90,68 @@ func (p *physicsState) init(m *Model) {
 	p.lastEx = ex
 }
 
-// physicsStep applies one interval of column physics to the provisional
-// state plus (temperature, winds) and to the grid moisture in place.
-func (m *Model) physicsStep(plus *specState) {
+// bindPhysicsPhases binds the pooled physics phases into the step workspace
+// (see bindPhases for why these are bound once rather than written as
+// closure literals at the Run call sites).
+func (m *Model) bindPhysicsPhases(w *work) {
 	phy := m.phy
 	cfg := m.cfg
 	nlat, nlon, nlev := cfg.NLat, cfg.NLon, cfg.NLev
-	ncell := nlat * nlon
+	tr := m.tr
 	dt := cfg.Dt
+	kb := nlev - 1
 
 	// Grid fields of the provisional state. Keep pre-physics copies so the
 	// increments can be formed without re-synthesizing afterwards.
-	if phy.baseT == nil {
-		phy.baseT = make([][]float64, nlev)
-		phy.baseU = make([][]float64, nlev)
-		phy.baseV = make([][]float64, nlev)
-		for k := 0; k < nlev; k++ {
-			phy.baseT[k] = make([]float64, ncell)
-			phy.baseU[k] = make([]float64, ncell)
-			phy.baseV[k] = make([]float64, ncell)
-		}
-	}
-	m.pool.Run(nlev, func(_, k0, k1 int) {
+	w.phPhySynth = func(worker, k0, k1 int) {
+		ws := w.ws[worker]
+		plus := w.plus
 		for k := k0; k < k1; k++ {
-			m.tr.SynthesizeInto(phy.tg[k], plus.temp[k])
-			uk, vk := m.tr.SynthesizeUV(plus.vort[k], plus.div[k])
+			tr.SynthesizeInto(phy.tg[k], plus.temp[k], ws)
+			tr.SynthesizeUVInto(phy.baseU[k], phy.baseV[k], plus.vort[k], plus.div[k], ws)
 			copy(phy.baseT[k], phy.tg[k])
-			copy(phy.baseU[k], uk)
-			copy(phy.baseV[k], vk)
 			for j := 0; j < nlat; j++ {
 				inv := 1 / math.Sqrt(m.geom.oneMu2[j])
 				for i := 0; i < nlon; i++ {
 					c := j*nlon + i
-					phy.ug[k][c] = uk[c] * inv
-					phy.vg[k][c] = vk[c] * inv
+					phy.ug[k][c] = phy.baseU[k][c] * inv
+					phy.vg[k][c] = phy.baseV[k][c] * inv
 				}
 			}
 			copy(phy.qg[k], m.q[k])
 		}
-	})
-	lnps := m.tr.Synthesize(plus.lnps)
-	for c := 0; c < ncell; c++ {
-		phy.ps[c] = math.Exp(lnps[c])
 	}
 
-	// Time of day/year for the solar geometry (360-day year).
-	tdays := float64(m.step) * dt / sphere.SecondsPerDay
-	decl := -23.44 * sphere.Deg2Rad * math.Cos(2*math.Pi*(tdays+10)/sphere.DaysPerYear)
-	frac := tdays - math.Floor(tdays)
-
-	// Radiation on its own (longer) interval. Rows are independent: every
-	// radiation column reads shared state and writes only its own cell.
-	if m.step%cfg.RadiationEvery == 0 {
-		m.pool.Run(nlat, func(_, j0, j1 int) {
-			for j := j0; j < j1; j++ {
-				var tRow time.Time
-				if m.costEnabled {
-					tRow = time.Now()
-				}
-				lat := math.Asin(m.geom.mu[j])
-				for i := 0; i < nlon; i++ {
-					c := j*nlon + i
-					lon := 2 * math.Pi * float64(i) / float64(nlon)
-					h := 2*math.Pi*frac + lon - math.Pi
-					cz := math.Sin(lat)*math.Sin(decl) + math.Cos(lat)*math.Cos(decl)*math.Cos(h)
-					if cz < 0 {
-						cz = 0
-					}
-					phy.low.CosZ[c] = cz
-					m.radiationColumn(c, cz)
-				}
-				if m.costEnabled {
-					m.lastCost.PhysRows[j] += time.Since(tRow).Seconds()
-				}
+	// Radiation rows are independent: every radiation column reads shared
+	// state and writes only its own cell.
+	w.phRadiation = func(worker, j0, j1 int) {
+		rs := w.rad[worker]
+		decl, frac := w.decl, w.frac
+		for j := j0; j < j1; j++ {
+			var tRow time.Time
+			if m.costEnabled {
+				tRow = time.Now()
 			}
-		})
+			lat := w.lats[j]
+			for i := 0; i < nlon; i++ {
+				c := j*nlon + i
+				lon := 2 * math.Pi * float64(i) / float64(nlon)
+				h := 2*math.Pi*frac + lon - math.Pi
+				cz := math.Sin(lat)*math.Sin(decl) + math.Cos(lat)*math.Cos(decl)*math.Cos(h)
+				if cz < 0 {
+					cz = 0
+				}
+				phy.low.CosZ[c] = cz
+				m.radiationColumn(c, cz, rs)
+			}
+			if m.costEnabled {
+				m.lastCost.PhysRows[j] += time.Since(tRow).Seconds()
+			}
+		}
 	}
 
 	// Lowest-level state for the surface.
-	kb := nlev - 1
-	m.pool.Run(ncell, func(_, cLo, cHi int) {
+	w.phLowest = func(_, cLo, cHi int) {
 		for c := cLo; c < cHi; c++ {
 			phy.low.T[c] = phy.tg[kb][c]
 			phy.low.Q[c] = phy.qg[kb][c]
@@ -176,29 +164,13 @@ func (m *Model) physicsStep(plus *specState) {
 			phy.low.RainRate[c] = phy.rain[c]
 			phy.low.SnowRate[c] = phy.snow[c]
 		}
-	})
-	var tB time.Time
-	if m.costEnabled {
-		tB = time.Now()
 	}
-	ex := m.boundary.Exchange(phy.low, dt)
-	if m.costEnabled {
-		m.lastCost.Boundary = time.Since(tB).Seconds()
-	}
-	phy.lastEx = ex
 
-	// Column physics. Precipitation restarts each step (the rates handed
-	// to the surface above were last step's). Rows run in parallel with a
-	// per-worker column; every column writes only its own cell. The global
-	// means are accumulated afterwards in a serial ascending-cell pass, the
-	// exact summation order of the serial loop.
-	for c := 0; c < ncell; c++ {
-		phy.rain[c] = 0
-		phy.snow[c] = 0
-	}
-	deepCount := make([]int, m.pool.Workers())
-	m.pool.Run(nlat, func(worker, j0, j1 int) {
-		col := newColumn(nlev)
+	// Column physics rows run in parallel with a per-worker column; every
+	// column writes only its own cell.
+	w.phPhysCols = func(worker, j0, j1 int) {
+		col := w.cols[worker]
+		ex := w.ex
 		for j := j0; j < j1; j++ {
 			var tRow time.Time
 			if m.costEnabled {
@@ -211,7 +183,7 @@ func (m *Model) physicsStep(plus *specState) {
 				col.surfaceAndDiffusion(m, c, ex, dt)
 				col.dryAdjust()
 				if col.convection(m, c, dt) {
-					deepCount[worker]++
+					w.deepCount[worker]++
 				}
 				col.condensation(m, c, dt)
 				col.store(m, c, dt)
@@ -220,41 +192,25 @@ func (m *Model) physicsStep(plus *specState) {
 				m.lastCost.PhysRows[j] += time.Since(tRow).Seconds()
 			}
 		}
-	})
-	phy.convActive = 0
-	for _, n := range deepCount {
-		phy.convActive += n
 	}
-	var sumP, sumE, sumW float64
-	for j := 0; j < nlat; j++ {
-		for i := 0; i < nlon; i++ {
-			c := j*nlon + i
-			w := m.grid.Area(j, i)
-			sumP += (phy.rain[c] + phy.snow[c]) * w
-			sumE += ex.Evap[c] * w
-			sumW += w
-		}
-	}
-	phy.meanPrecip = sumP / sumW
-	phy.meanEvap = sumE / sumW
 
 	// Fold the physics increments back into the spectral state: parallel
 	// over levels with per-worker grid scratch.
-	m.pool.Run(nlev, func(_, k0, k1 int) {
-		dT := make([]float64, ncell)
-		dU := make([]float64, ncell)
-		dV := make([]float64, ncell)
-		negdU := make([]float64, ncell)
+	w.phFold = func(worker, k0, k1 int) {
+		ws := w.ws[worker]
+		plus := w.plus
+		dT, dU, dV := w.dT[worker], w.dU[worker], w.dV[worker]
+		scr := w.specScr[worker]
 		for k := k0; k < k1; k++ {
 			// tg was updated in place by column physics; the spectral
 			// increment is the new grid value minus the pre-physics
 			// synthesis.
-			for c := 0; c < ncell; c++ {
+			for c := range dT {
 				dT[c] = phy.tg[k][c] - phy.baseT[k][c]
 			}
-			spec := m.tr.Analyze(dT)
+			tr.AnalyzeInto(scr, dT, ws)
 			for idx := range plus.temp[k] {
-				plus.temp[k][idx] += spec[idx]
+				plus.temp[k][idx] += scr[idx]
 			}
 			// Momentum increments, converted to U=u cos(lat) images.
 			for j := 0; j < nlat; j++ {
@@ -265,23 +221,108 @@ func (m *Model) physicsStep(plus *specState) {
 					dV[c] = phy.vg[k][c]*cl - phy.baseV[k][c]
 				}
 			}
-			for c := range dU {
-				negdU[c] = -dU[c]
-			}
-			dz := m.tr.AnalyzeDivForm(dV, negdU)
-			dd := m.tr.AnalyzeDivForm(dU, dV)
+			tr.AnalyzeDivFormInto(scr, dV, dU, 1, -1, ws)
 			for idx := range plus.vort[k] {
-				plus.vort[k][idx] += dz[idx]
-				plus.div[k][idx] += dd[idx]
+				plus.vort[k][idx] += scr[idx]
+			}
+			tr.AnalyzeDivFormInto(scr, dU, dV, 1, 1, ws)
+			for idx := range plus.div[k] {
+				plus.div[k][idx] += scr[idx]
 			}
 			copy(m.q[k], phy.qg[k])
 		}
-	})
+	}
+}
+
+// physicsStep applies one interval of column physics to the provisional
+// state plus (temperature, winds) and to the grid moisture in place.
+func (m *Model) physicsStep(plus *specState) {
+	phy := m.phy
+	cfg := m.cfg
+	nlat, nlon, nlev := cfg.NLat, cfg.NLon, cfg.NLev
+	ncell := nlat * nlon
+	dt := cfg.Dt
+	w := phy.w
+	w.plus = plus
+
+	m.pool.Run(nlev, w.phPhySynth)
+	m.tr.SynthesizeInto(w.lnpsG, plus.lnps, w.ws[0])
+	for c := 0; c < ncell; c++ {
+		phy.ps[c] = math.Exp(w.lnpsG[c])
+	}
+
+	// Time of day/year for the solar geometry (360-day year).
+	tdays := float64(m.step) * dt / sphere.SecondsPerDay
+	w.decl = -23.44 * sphere.Deg2Rad * math.Cos(2*math.Pi*(tdays+10)/sphere.DaysPerYear)
+	w.frac = tdays - math.Floor(tdays)
+
+	// Radiation on its own (longer) interval.
+	if m.step%cfg.RadiationEvery == 0 {
+		m.pool.Run(nlat, w.phRadiation)
+	}
+
+	m.pool.Run(ncell, w.phLowest)
+	var tB time.Time
+	if m.costEnabled {
+		tB = time.Now()
+	}
+	ex := m.boundary.Exchange(phy.low, dt)
+	if m.costEnabled {
+		m.lastCost.Boundary = time.Since(tB).Seconds()
+	}
+	phy.lastEx = ex
+	w.ex = ex
+
+	// Column physics. Precipitation restarts each step (the rates handed
+	// to the surface above were last step's). The global means are
+	// accumulated afterwards in a serial ascending-cell pass, the exact
+	// summation order of the serial loop.
+	for c := 0; c < ncell; c++ {
+		phy.rain[c] = 0
+		phy.snow[c] = 0
+	}
+	for i := range w.deepCount {
+		w.deepCount[i] = 0
+	}
+	m.pool.Run(nlat, w.phPhysCols)
+	phy.convActive = 0
+	for _, n := range w.deepCount {
+		phy.convActive += n
+	}
+	var sumP, sumE, sumW float64
+	for j := 0; j < nlat; j++ {
+		for i := 0; i < nlon; i++ {
+			c := j*nlon + i
+			wt := m.grid.Area(j, i)
+			sumP += (phy.rain[c] + phy.snow[c]) * wt
+			sumE += ex.Evap[c] * wt
+			sumW += wt
+		}
+	}
+	phy.meanPrecip = sumP / sumW
+	phy.meanEvap = sumE / sumW
+
+	m.pool.Run(nlev, w.phFold)
+	w.ex = nil
+}
+
+// radScratch is per-worker scratch for radiationColumn.
+type radScratch struct {
+	dtau, cld, wq []float64
+	up, dn        []float64
+}
+
+func newRadScratch(nl int) *radScratch {
+	return &radScratch{
+		dtau: make([]float64, nl), cld: make([]float64, nl), wq: make([]float64, nl),
+		up: make([]float64, nl+1), dn: make([]float64, nl+1),
+	}
 }
 
 // radiationColumn computes the radiative heating profile and surface fluxes
 // for one column, storing them for reuse until the next radiation step.
-func (m *Model) radiationColumn(c int, cosz float64) {
+// rs provides the column work arrays; every entry read is written first.
+func (m *Model) radiationColumn(c int, cosz float64, rs *radScratch) {
 	phy := m.phy
 	nlev := m.cfg.NLev
 	ps := phy.ps[c]
@@ -289,8 +330,8 @@ func (m *Model) radiationColumn(c int, cosz float64) {
 	alb := phy.lastEx.Albedo[c]
 
 	// Layer optical depths (water vapor + well-mixed absorber + cloud).
-	dtau := make([]float64, nlev)
-	cld := make([]float64, nlev)
+	dtau := rs.dtau
+	cld := rs.cld
 	colq := 0.0
 	cldCol := 0.0
 	for k := 0; k < nlev; k++ {
@@ -315,8 +356,8 @@ func (m *Model) radiationColumn(c int, cosz float64) {
 	phy.cloudCol[c] = cldCol
 
 	// Longwave two-stream with linear-in-layer emission.
-	up := make([]float64, nlev+1)
-	dn := make([]float64, nlev+1)
+	up := rs.up
+	dn := rs.dn
 	dn[0] = 0
 	for k := 0; k < nlev; k++ {
 		e := math.Exp(-dtau[k])
@@ -340,7 +381,7 @@ func (m *Model) radiationColumn(c int, cosz float64) {
 	_ = alb
 
 	// Heating rates: LW flux divergence plus distributed SW absorption.
-	wq := make([]float64, nlev)
+	wq := rs.wq
 	wqTot := 0.0
 	for k := 0; k < nlev; k++ {
 		wq[k] = (phy.qg[k][c] + 2e-4) * m.vg.DSig[k]
@@ -355,19 +396,27 @@ func (m *Model) radiationColumn(c int, cosz float64) {
 	}
 }
 
-// column is per-column scratch for the moist physics.
+// column is per-column scratch for the moist physics. The trailing work
+// arrays back the boundary-layer tridiagonal solve and the deep-convection
+// parcel profile, so a column never allocates per cell.
 type column struct {
 	nl         int
 	T, Q, U, V []float64
 	p, dp, z   []float64
 	ps         float64
+
+	sub, diag, sup, rhs []float64
+	buoy, dTd           []float64
 }
 
 func newColumn(nl int) *column {
 	return &column{nl: nl,
 		T: make([]float64, nl), Q: make([]float64, nl),
 		U: make([]float64, nl), V: make([]float64, nl),
-		p: make([]float64, nl), dp: make([]float64, nl), z: make([]float64, nl)}
+		p: make([]float64, nl), dp: make([]float64, nl), z: make([]float64, nl),
+		sub: make([]float64, nl), diag: make([]float64, nl),
+		sup: make([]float64, nl), rhs: make([]float64, nl),
+		buoy: make([]float64, nl), dTd: make([]float64, nl)}
 }
 
 func (col *column) load(m *Model, c int) {
@@ -411,6 +460,43 @@ func (col *column) applyRadiation(m *Model, c int, dt float64) {
 	}
 }
 
+// diffuseField solves the implicit vertical diffusion for one field over
+// levels kTop..nl-1 using the column's tridiagonal work arrays.
+func (col *column) diffuseField(x []float64, isTheta bool, kTop, n int, kmix, dt float64) {
+	sub, diag, sup, rhs := col.sub[:n], col.diag[:n], col.sup[:n], col.rhs[:n]
+	for r := 0; r < n; r++ {
+		k := kTop + r
+		v := x[k]
+		if isTheta {
+			v = x[k] * math.Pow(P00/col.p[k], Kappa)
+		}
+		rhs[r] = v
+		diag[r] = 1
+		sub[r], sup[r] = 0, 0
+		if r > 0 {
+			dz := col.z[k-1] - col.z[k]
+			a := kmix * dt / (dz * dz)
+			sub[r] = -a
+			diag[r] += a
+		}
+		if r < n-1 {
+			dz := col.z[k] - col.z[k+1]
+			a := kmix * dt / (dz * dz)
+			sup[r] = -a
+			diag[r] += a
+		}
+	}
+	TriDiag(sub, diag, sup, rhs)
+	for r := 0; r < n; r++ {
+		k := kTop + r
+		if isTheta {
+			x[k] = rhs[r] * math.Pow(col.p[k]/P00, Kappa)
+		} else {
+			x[k] = rhs[r]
+		}
+	}
+}
+
 // surfaceAndDiffusion applies the surface fluxes to the lowest layer and
 // mixes the boundary layer with an implicit stability-dependent K-profile.
 func (col *column) surfaceAndDiffusion(m *Model, c int, ex *SurfaceExchange, dt float64) {
@@ -439,47 +525,10 @@ func (col *column) surfaceAndDiffusion(m *Model, c int, ex *SurfaceExchange, dt 
 	}
 	// Implicit diffusion in z over levels kTop..nl-1 for T (as potential
 	// temperature), Q, U, V.
-	sub := make([]float64, n)
-	diag := make([]float64, n)
-	sup := make([]float64, n)
-	rhs := make([]float64, n)
-	solve := func(x []float64, isTheta bool) {
-		for r := 0; r < n; r++ {
-			k := kTop + r
-			v := x[k]
-			if isTheta {
-				v = x[k] * math.Pow(P00/col.p[k], Kappa)
-			}
-			rhs[r] = v
-			diag[r] = 1
-			sub[r], sup[r] = 0, 0
-			if r > 0 {
-				dz := col.z[k-1] - col.z[k]
-				a := kmix * dt / (dz * dz)
-				sub[r] = -a
-				diag[r] += a
-			}
-			if r < n-1 {
-				dz := col.z[k] - col.z[k+1]
-				a := kmix * dt / (dz * dz)
-				sup[r] = -a
-				diag[r] += a
-			}
-		}
-		TriDiag(sub, diag, sup, rhs)
-		for r := 0; r < n; r++ {
-			k := kTop + r
-			if isTheta {
-				x[k] = rhs[r] * math.Pow(col.p[k]/P00, Kappa)
-			} else {
-				x[k] = rhs[r]
-			}
-		}
-	}
-	solve(col.T, true)
-	solve(col.Q, false)
-	solve(col.U, false)
-	solve(col.V, false)
+	col.diffuseField(col.T, true, kTop, n, kmix, dt)
+	col.diffuseField(col.Q, false, kTop, n, kmix, dt)
+	col.diffuseField(col.U, false, kTop, n, kmix, dt)
+	col.diffuseField(col.V, false, kTop, n, kmix, dt)
 }
 
 // dryAdjust removes dry static instability by downward-pass pairwise mixing
@@ -551,7 +600,10 @@ func (col *column) zmDeep(m *Model, c int, dt float64) bool {
 	kb := nl - 1
 	tp := col.T[kb]
 	qp := col.Q[kb]
-	buoy := make([]float64, nl)
+	buoy := col.buoy
+	for k := range buoy {
+		buoy[k] = 0
+	}
 	cape := 0.0
 	for k := kb - 1; k >= 0; k-- {
 		// Lift: dry adiabatic unless saturated, then pseudoadiabatic.
@@ -585,7 +637,10 @@ func (col *column) zmDeep(m *Model, c int, dt float64) bool {
 	// Tentative heating where buoyant; moisture sink from the lowest
 	// quarter of the column.
 	heat := 0.0 // column integral, J/m^2
-	dT := make([]float64, nl)
+	dT := col.dTd
+	for k := range dT {
+		dT[k] = 0
+	}
 	for k := 0; k < nl; k++ {
 		if buoy[k] > 0 {
 			dT[k] = f * math.Min(buoy[k], 5)

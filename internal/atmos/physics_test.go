@@ -142,7 +142,7 @@ func TestZMDeepConvectionTriggersOnCAPE(t *testing.T) {
 func TestRadiationColumnSanity(t *testing.T) {
 	m := physModel(t)
 	c := m.cfg.NLon*m.cfg.NLat/2 + 3 // tropical cell
-	m.radiationColumn(c, 0.8)        // high sun
+	m.radiationColumn(c, 0.8, newRadScratch(m.cfg.NLev)) // high sun
 	if m.phy.swdn[c] <= 0 {
 		t.Fatal("no surface shortwave under high sun")
 	}
@@ -153,7 +153,7 @@ func TestRadiationColumnSanity(t *testing.T) {
 		t.Fatalf("surface LW down implausible: %v", m.phy.lwdn[c])
 	}
 	// Night: no shortwave.
-	m.radiationColumn(c, 0)
+	m.radiationColumn(c, 0, newRadScratch(m.cfg.NLev))
 	if m.phy.swdn[c] != 0 {
 		t.Fatalf("night SW %v", m.phy.swdn[c])
 	}
@@ -169,12 +169,12 @@ func TestRadiationGreenhouse(t *testing.T) {
 	// More column moisture must increase downward longwave at the surface.
 	m := physModel(t)
 	c := m.cfg.NLon * m.cfg.NLat / 2
-	m.radiationColumn(c, 0)
+	m.radiationColumn(c, 0, newRadScratch(m.cfg.NLev))
 	dry := m.phy.lwdn[c]
 	for k := 0; k < m.cfg.NLev; k++ {
 		m.phy.qg[k][c] *= 3
 	}
-	m.radiationColumn(c, 0)
+	m.radiationColumn(c, 0, newRadScratch(m.cfg.NLev))
 	moist := m.phy.lwdn[c]
 	if moist <= dry {
 		t.Fatalf("greenhouse broken: LW down %v (moist) <= %v (dry)", moist, dry)
@@ -233,7 +233,7 @@ func TestHyperdiffusionDampsSmallScalesOnly(t *testing.T) {
 	s.vort[0][low] = 1
 	s.vort[0][high] = 1
 	if m.phy.w == nil {
-		m.phy.w = newWork(cfg.NLev, m.grid.Size(), m)
+		m.phy.w = newWork(m)
 	}
 	m.applyHyperdiffusion(s, cfg.Dt)
 	if math.Abs(real(s.vort[0][low])-1) > 0.05 {
@@ -259,7 +259,7 @@ func TestMoistureAdvectionConservesUnderSolidRotation(t *testing.T) {
 		t.Fatal(err)
 	}
 	if m.phy.w == nil {
-		m.phy.w = newWork(cfg.NLev, m.grid.Size(), m)
+		m.phy.w = newWork(m)
 	}
 	// Solid-body zonal wind, no vertical motion.
 	for k := 0; k < cfg.NLev; k++ {

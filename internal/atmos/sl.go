@@ -7,51 +7,40 @@ import (
 	"foam/internal/sphere"
 )
 
-// advectMoisture transports the grid specific humidity with a
-// semi-Lagrangian step in the horizontal (the PCCM2 approach the paper
-// cites) and upstream differencing in the vertical, using the winds and
-// sigma velocity computed by the preceding dynamics step.
-func (m *Model) advectMoisture(plus *specState) {
-	w := m.phy.w
-	if w == nil {
-		return
-	}
+// bindSLPhases binds the semi-Lagrangian transport phases into the step
+// workspace (see bindPhases for why these are bound once).
+func (m *Model) bindSLPhases(w *work) {
 	nlat, nlon, nlev := m.cfg.NLat, m.cfg.NLon, m.cfg.NLev
 	dt := m.cfg.Dt
 	a := sphere.Radius
-
-	lats := make([]float64, nlat)
-	for j := 0; j < nlat; j++ {
-		lats[j] = math.Asin(m.geom.mu[j])
-	}
 	dlon := 2 * math.Pi / float64(nlon)
 
 	// Horizontal step: levels are independent (departure points and the
 	// interpolation both use level-k fields only); per-worker target buffer.
-	m.pool.Run(nlev, func(_, k0, k1 int) {
-		qNew := make([]float64, nlat*nlon)
+	w.phSLHoriz = func(worker, k0, k1 int) {
+		qNew := w.qNew[worker]
 		for k := k0; k < k1; k++ {
 			q := m.q[k]
 			for j := 0; j < nlat; j++ {
 				om2 := m.geom.oneMu2[j]
 				cosl := math.Sqrt(om2)
-				lat := lats[j]
+				lat := w.lats[j]
 				for i := 0; i < nlon; i++ {
 					c := j*nlon + i
 					lam := dlon * float64(i)
 					lamD := lam - w.U[k][c]*dt/(a*om2)
 					latD := lat - w.V[k][c]*dt/(a*cosl)
-					qNew[c] = interpLatLon(q, lats, nlon, latD, lamD)
+					qNew[c] = interpLatLon(q, w.lats, nlon, latD, lamD)
 				}
 			}
 			copy(q, qNew)
 		}
-	})
+	}
 
 	// Vertical upstream transport with the diagnosed sigma velocity:
 	// column-local, parallel over cells with a per-worker column buffer.
-	m.pool.Run(nlat*nlon, func(_, c0, c1 int) {
-		colQ := make([]float64, nlev)
+	w.phSLVert = func(worker, c0, c1 int) {
+		colQ := w.colQ[worker]
 		for c := c0; c < c1; c++ {
 			for k := 0; k < nlev; k++ {
 				colQ[k] = m.q[k][c]
@@ -73,7 +62,20 @@ func (m *Model) advectMoisture(plus *specState) {
 				m.q[k][c] = math.Max(colQ[k]+tend*dt, 1e-9)
 			}
 		}
-	})
+	}
+}
+
+// advectMoisture transports the grid specific humidity with a
+// semi-Lagrangian step in the horizontal (the PCCM2 approach the paper
+// cites) and upstream differencing in the vertical, using the winds and
+// sigma velocity computed by the preceding dynamics step.
+func (m *Model) advectMoisture(*specState) {
+	w := m.phy.w
+	if w == nil {
+		return
+	}
+	m.pool.Run(m.cfg.NLev, w.phSLHoriz)
+	m.pool.Run(m.cfg.NLat*m.cfg.NLon, w.phSLVert)
 }
 
 // interpLatLon bilinearly interpolates a row-major (lat ascending, lon

@@ -176,6 +176,13 @@ func (si *SemiImplicit) Solve(n int, rhs []float64) []float64 {
 	return rhs
 }
 
+// SolveInto is Solve with caller-provided scratch (len >= the number of
+// levels), for the allocation-free step path. Safe to call concurrently as
+// long as each goroutine passes its own scratch.
+func (si *SemiImplicit) SolveInto(n int, rhs, scratch []float64) {
+	si.lus[n].solveInto(rhs, scratch)
+}
+
 // lu is a dense LU factorization with partial pivoting for the small
 // nl x nl vertical systems.
 type lu struct {
@@ -220,8 +227,13 @@ func newLU(m [][]float64) *lu {
 }
 
 func (l *lu) solve(b []float64) {
+	l.solveInto(b, make([]float64, l.n))
+}
+
+// solveInto solves using x (len >= l.n) as permutation scratch.
+func (l *lu) solveInto(b, x []float64) {
 	n := l.n
-	x := make([]float64, n)
+	x = x[:n]
 	for i := 0; i < n; i++ {
 		x[i] = b[l.perm[i]]
 	}
@@ -243,20 +255,21 @@ func (l *lu) solve(b []float64) {
 
 // TriDiag solves a tridiagonal system in place: sub, diag, sup are the
 // three diagonals (sub[0] and sup[n-1] unused); rhs is overwritten with the
-// solution. Used by the implicit vertical diffusion in the physics.
+// solution. sup is clobbered: it holds the forward-sweep coefficients, so
+// the solve needs no scratch allocation. Used by the implicit vertical
+// diffusion in the physics.
 func TriDiag(sub, diag, sup, rhs []float64) {
 	n := len(diag)
-	cp := make([]float64, n)
-	cp[0] = sup[0] / diag[0]
+	sup[0] /= diag[0]
 	rhs[0] /= diag[0]
 	for i := 1; i < n; i++ {
-		m := diag[i] - sub[i]*cp[i-1]
+		m := diag[i] - sub[i]*sup[i-1]
 		if i < n-1 {
-			cp[i] = sup[i] / m
+			sup[i] /= m
 		}
 		rhs[i] = (rhs[i] - sub[i]*rhs[i-1]) / m
 	}
 	for i := n - 2; i >= 0; i-- {
-		rhs[i] -= cp[i] * rhs[i+1]
+		rhs[i] -= sup[i] * rhs[i+1]
 	}
 }

@@ -49,17 +49,28 @@ type Coupler struct {
 	// Ocean-grid metrics for ice drift (lazy).
 	ocnDx, ocnDy, ocnCos []float64
 
-	// Scratch.
+	// Scratch. The buffers below are reused every Exchange/DrainOceanForcing
+	// call so the steady-state coupled step allocates nothing.
 	exch        *atmos.SurfaceExchange
 	atmOnOcn    lowestOnOcn
 	waterBudget WaterBudget
+	runoffNow   []float64
+	iceOut      []*seaice.Output // nil where no ice; points into iceOutBuf
+	iceOutBuf   []seaice.Output
+	drainF      *ocean.Forcing // returned by DrainOceanForcing, overwritten next call
+	meanRunoff  []float64
+	riverOnOcn  []float64
 
 	// Shared-memory parallel flux computation (nil = serial). pieces holds
 	// one pre-weighted flux result per overlap piece; the accumulation into
 	// the atmosphere/ocean arrays stays serial in piece order so the sums
-	// are bit-identical to the serial loop.
+	// are bit-identical to the serial loop. phFlux is bound once in SetPool
+	// (a closure literal per Exchange would allocate every step); exIn stages
+	// its per-call input.
 	pool   *pool.Pool
 	pieces []pieceFlux
+	exIn   *atmos.LowestLevel
+	phFlux func(w, p0, p1 int)
 }
 
 // pieceFlux is the flux contribution of one overlap piece, already
@@ -140,6 +151,12 @@ func New(atmGrid, ocnGrid *sphere.Grid, ocnMask []float64) *Coupler {
 	cp.accRunoff = make([]float64, n)
 	cp.exch = atmos.NewSurfaceExchange(n)
 	m := ocnGrid.Size()
+	cp.runoffNow = make([]float64, n)
+	cp.iceOut = make([]*seaice.Output, m)
+	cp.iceOutBuf = make([]seaice.Output, m)
+	cp.drainF = ocean.NewForcing(m)
+	cp.meanRunoff = make([]float64, n)
+	cp.riverOnOcn = make([]float64, m)
 	cp.atmOnOcn = lowestOnOcn{
 		T: make([]float64, m), Q: make([]float64, m), U: make([]float64, m),
 		V: make([]float64, m), Ps: make([]float64, m), Z: make([]float64, m),
@@ -155,8 +172,15 @@ func New(atmGrid, ocnGrid *sphere.Grid, ocnMask []float64) *Coupler {
 func (cp *Coupler) SetPool(p *pool.Pool) {
 	cp.pool = p
 	cp.pieces = nil
+	cp.phFlux = nil
 	if p != nil && p.Workers() > 1 {
 		cp.pieces = make([]pieceFlux, len(cp.Overlap.Cells))
+		cells := cp.Overlap.Cells
+		cp.phFlux = func(_, p0, p1 int) {
+			for pi := p0; pi < p1; pi++ {
+				cp.pieces[pi] = cp.computePieceFlux(&cells[pi], cp.exIn, cp.iceOut)
+			}
+		}
 	}
 }
 
@@ -225,7 +249,10 @@ func (cp *Coupler) Exchange(in *atmos.LowestLevel, dt float64) *atmos.SurfaceExc
 	}
 
 	// --- Land fraction of every land-flagged cell.
-	runoffNow := make([]float64, n)
+	runoffNow := cp.runoffNow
+	for c := range runoffNow {
+		runoffNow[c] = 0
+	}
 	for j := 0; j < g.NLat(); j++ {
 		for i := 0; i < g.NLon(); i++ {
 			c := g.Index(j, i)
@@ -259,7 +286,10 @@ func (cp *Coupler) Exchange(in *atmos.LowestLevel, dt float64) *atmos.SurfaceExc
 
 	// --- Sea ice on the ocean grid: remap the atmospheric state once.
 	cp.remapLowest(in)
-	iceOut := make([]*seaice.Output, cp.OcnGrid.Size())
+	iceOut := cp.iceOut
+	for oc := range iceOut {
+		iceOut[oc] = nil
+	}
 	for oc := 0; oc < cp.OcnGrid.Size(); oc++ {
 		if cp.ocnMask[oc] == 0 {
 			continue
@@ -276,7 +306,8 @@ func (cp *Coupler) Exchange(in *atmos.LowestLevel, dt float64) *atmos.SurfaceExc
 			out := cp.Ice.Step(oc, iin, dt)
 			melt := cp.Ice.BasalMelt(oc, cp.sstC[oc], dt)
 			out.MeltWater += melt
-			iceOut[oc] = &out
+			cp.iceOutBuf[oc] = out
+			iceOut[oc] = &cp.iceOutBuf[oc]
 		}
 	}
 
@@ -286,11 +317,9 @@ func (cp *Coupler) Exchange(in *atmos.LowestLevel, dt float64) *atmos.SurfaceExc
 	// piece order either way, keeping the sums bit-identical.
 	cells := cp.Overlap.Cells
 	if cp.pieces != nil {
-		cp.pool.Run(len(cells), func(_, p0, p1 int) {
-			for pi := p0; pi < p1; pi++ {
-				cp.pieces[pi] = cp.computePieceFlux(&cells[pi], in, iceOut)
-			}
-		})
+		cp.exIn = in
+		cp.pool.Run(len(cells), cp.phFlux)
+		cp.exIn = nil
 		for pi := range cells {
 			cp.accumulatePiece(&cells[pi], &cp.pieces[pi], ex)
 		}
@@ -421,10 +450,11 @@ func (cp *Coupler) remapLowest(in *atmos.LowestLevel) {
 // DrainOceanForcing returns the averaged ocean forcing accumulated since
 // the last call (the 6-hour coupling interval), including routed river
 // water, and resets the accumulators. dt is the ocean step the forcing will
-// drive.
+// drive. The returned Forcing is owned by the coupler and overwritten by the
+// next call; consume it before draining again.
 func (cp *Coupler) DrainOceanForcing(dt float64) *ocean.Forcing {
 	m := cp.OcnGrid.Size()
-	f := ocean.NewForcing(m)
+	f := cp.drainF
 	steps := float64(cp.accSteps)
 	if steps == 0 {
 		steps = 1
@@ -442,13 +472,14 @@ func (cp *Coupler) DrainOceanForcing(dt float64) *ocean.Forcing {
 	// Route the accumulated runoff through the rivers and inject the mouth
 	// outflow (conservatively remapped to the ocean grid).
 	n := cp.AtmGrid.Size()
-	meanRunoff := make([]float64, n)
+	meanRunoff := cp.meanRunoff
 	for c := 0; c < n; c++ {
 		meanRunoff[c] = cp.accRunoff[c] / steps
 		cp.accRunoff[c] = 0
 	}
 	mouthFlux := cp.River.Step(meanRunoff, dt)
-	riverOnOcn := cp.Overlap.AtmToOcn(mouthFlux)
+	riverOnOcn := cp.riverOnOcn
+	cp.Overlap.AtmToOcnInto(riverOnOcn, mouthFlux)
 	// Renormalize onto wet cells so no river water is lost on dry overlap.
 	atmIn := cp.River.FluxIntegral(mouthFlux)
 	var ocnIn float64

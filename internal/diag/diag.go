@@ -37,8 +37,8 @@ func Gantt(w io.Writer, comms []*mp.Comm, width int) {
 	}
 	fmt.Fprintf(w, "Time allocation per rank (total %.3f s simulated-machine time)\n", tEnd)
 	fmt.Fprintf(w, "  legend: A=atmosphere C=coupler O=ocean .=idle\n")
+	row := make([]byte, width)
 	for r, c := range comms {
-		row := make([]byte, width)
 		for i := range row {
 			row[i] = ' '
 		}

@@ -15,6 +15,7 @@ type rowFilter struct {
 	fft  *spectral.FFT
 	buf  []complex128
 	out  []complex128
+	row  []float64 // staging row for polarFilter
 	nlon int
 }
 
@@ -23,11 +24,13 @@ func newRowFilter(nlon int) *rowFilter {
 		fft:  spectral.NewFFT(nlon),
 		buf:  make([]complex128, nlon),
 		out:  make([]complex128, nlon),
+		row:  make([]float64, nlon),
 		nlon: nlon,
 	}
 }
 
 // apply truncates a single row in place, keeping wavenumbers <= keep.
+// buf and out never alias, so the allocation-free FFT entry points apply.
 func (rf *rowFilter) apply(row []float64, keep int) {
 	n := rf.nlon
 	if keep >= n/2 {
@@ -36,11 +39,11 @@ func (rf *rowFilter) apply(row []float64, keep int) {
 	for i := 0; i < n; i++ {
 		rf.buf[i] = complex(row[i], 0)
 	}
-	rf.fft.Forward(rf.out, rf.buf)
+	rf.fft.ForwardInto(rf.out, rf.buf, nil)
 	for mIdx := keep + 1; mIdx <= n-keep-1; mIdx++ {
 		rf.out[mIdx] = 0
 	}
-	rf.fft.Inverse(rf.buf, rf.out)
+	rf.fft.InverseInto(rf.buf, rf.out, nil)
 	for i := 0; i < n; i++ {
 		row[i] = real(rf.buf[i])
 	}
@@ -55,7 +58,7 @@ func (m *Model) polarFilter(rf *rowFilter, j0, j1 int) {
 	nlon := m.cfg.NLon
 	latF := m.cfg.PolarFilterLat * math.Pi / 180
 	cosF := math.Cos(latF)
-	row := make([]float64, nlon)
+	row := rf.row
 	for j := j0; j < j1; j++ {
 		lat := math.Abs(m.grid.Lats[j])
 		if lat <= latF {

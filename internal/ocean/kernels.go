@@ -33,7 +33,7 @@ func (m *Model) stepRows(f *Forcing, j0, j1 int, sync syncFunc) {
 	// Refresh density before the Richardson mixing so it reflects the
 	// just-advected tracers (and so no hidden state survives a restart).
 	m.density(ge0, ge1)
-	m.verticalMixing(j0, j1, dt)
+	m.verticalMixing(m.mix, j0, j1, dt)
 	m.convectiveAdjust(j0, j1)
 	m.freezeClamp(j0, j1, dt)
 	if sync != nil {

@@ -8,18 +8,14 @@ import "math"
 // steepened per the Peters, Gregg and Toole analysis, which the paper says
 // "appears to improve the tropical Pacific SST field by reducing the model
 // cold bias in the west equatorial Pacific".
-func (m *Model) verticalMixing(j0, j1 int, dt float64) {
+func (m *Model) verticalMixing(ms *mixScratch, j0, j1 int, dt float64) {
 	nlon := m.cfg.NLon
 	nexp := 2.0
 	if m.cfg.SteepMix {
 		nexp = 3.0
 	}
-	nl := m.cfg.NLev
-	kap := make([]float64, nl+1) // at half levels 1..kb-1
-	sub := make([]float64, nl)
-	diag := make([]float64, nl)
-	sup := make([]float64, nl)
-	rhs := make([]float64, nl)
+	kap := ms.kap // at half levels 1..kb-1
+	sub, diag, sup, rhs := ms.sub, ms.diag, ms.sup, ms.rhs
 	for j := j0; j < j1; j++ {
 		for i := 0; i < nlon; i++ {
 			c := j*nlon + i
@@ -72,6 +68,20 @@ func (m *Model) verticalMixing(j0, j1 int, dt float64) {
 	}
 }
 
+// mixScratch is the column scratch of verticalMixing; concurrent phase
+// workers each use their own (see Model.wmix).
+type mixScratch struct {
+	kap, sub, diag, sup, rhs []float64
+}
+
+func newMixScratch(nl int) *mixScratch {
+	return &mixScratch{
+		kap: make([]float64, nl+1),
+		sub: make([]float64, nl), diag: make([]float64, nl),
+		sup: make([]float64, nl), rhs: make([]float64, nl),
+	}
+}
+
 // convectiveAdjust removes static instability by pairwise mixing passes,
 // conserving column heat and salt.
 func (m *Model) convectiveAdjust(j0, j1 int) {
@@ -114,20 +124,21 @@ func densityOf(t, s float64) float64 {
 	return Rho0 * (-1.67e-4*td - 0.78e-5*td*td + 7.6e-4*(s-35))
 }
 
-// TriDiagOc solves a tridiagonal system in place (Thomas algorithm).
+// TriDiagOc solves a tridiagonal system in place (Thomas algorithm). sup is
+// clobbered: it holds the forward-sweep coefficients, so the solve needs no
+// scratch allocation.
 func TriDiagOc(sub, diag, sup, rhs []float64) {
 	n := len(diag)
-	cp := make([]float64, n)
-	cp[0] = sup[0] / diag[0]
+	sup[0] /= diag[0]
 	rhs[0] /= diag[0]
 	for i := 1; i < n; i++ {
-		mm := diag[i] - sub[i]*cp[i-1]
+		mm := diag[i] - sub[i]*sup[i-1]
 		if i < n-1 {
-			cp[i] = sup[i] / mm
+			sup[i] /= mm
 		}
 		rhs[i] = (rhs[i] - sub[i]*rhs[i-1]) / mm
 	}
 	for i := n - 2; i >= 0; i-- {
-		rhs[i] -= cp[i] * rhs[i+1]
+		rhs[i] -= sup[i] * rhs[i+1]
 	}
 }

@@ -73,13 +73,16 @@ type Model struct {
 	lastStepSeconds float64
 
 	fft *rowFilter
+	mix *mixScratch // serial-driver vertical-mixing scratch
 
 	// Shared-memory parallel execution (nil pool = serial). The per-worker
 	// scratch replaces scr/scr2/fft where concurrent phases would collide.
 	pool  *pool.Pool
-	wscr  [][]float64  // per-worker full-domain scratch (biharmonic lap, tracer tend)
-	wcol  [][]float64  // per-worker column flux buffers (NLev entries)
-	wfilt []*rowFilter // per-worker polar-filter FFT workspaces
+	wscr  [][]float64   // per-worker full-domain scratch (biharmonic lap, tracer tend)
+	wcol  [][]float64   // per-worker column flux buffers (NLev entries)
+	wfilt []*rowFilter  // per-worker polar-filter FFT workspaces
+	wmix  []*mixScratch // per-worker vertical-mixing scratch
+	shPh  *sharedPhases // pre-bound pool phases (see shared.go)
 }
 
 // New builds an ocean model with the given bathymetry (kmt: active levels
@@ -156,6 +159,7 @@ func New(cfg Config, kmt []int) (*Model, error) {
 	m.scr2 = make([]float64, n)
 	m.iceFlux = make([]float64, n)
 	m.fft = newRowFilter(cfg.NLon)
+	m.mix = newMixScratch(cfg.NLev)
 	m.initState()
 	return m, nil
 }
@@ -288,7 +292,7 @@ func (m *Model) StepCount() int { return m.step }
 // shared.go). Pass nil to return to the serial driver.
 func (m *Model) SetPool(p *pool.Pool) {
 	m.pool = p
-	m.wscr, m.wcol, m.wfilt = nil, nil, nil
+	m.wscr, m.wcol, m.wfilt, m.wmix, m.shPh = nil, nil, nil, nil, nil
 	if p == nil || p.Workers() == 1 {
 		return
 	}
@@ -297,11 +301,14 @@ func (m *Model) SetPool(p *pool.Pool) {
 	m.wscr = make([][]float64, nw)
 	m.wcol = make([][]float64, nw)
 	m.wfilt = make([]*rowFilter, nw)
+	m.wmix = make([]*mixScratch, nw)
 	for w := 0; w < nw; w++ {
 		m.wscr[w] = make([]float64, n)
 		m.wcol[w] = make([]float64, m.cfg.NLev)
 		m.wfilt[w] = newRowFilter(m.cfg.NLon)
+		m.wmix[w] = newMixScratch(m.cfg.NLev)
 	}
+	m.shPh = m.bindSharedPhases()
 }
 
 // Step advances one tracer interval (DtTracer) under the given forcing.

@@ -24,6 +24,13 @@
 // a worker) all execute fn(0, 0, n) inline on the calling goroutine — the
 // exact serial path, not a 1-block parallel path — so Workers=1 is
 // serial execution by construction, and nesting cannot deadlock.
+//
+// Allocation contract. Run itself allocates nothing: dispatch hands each
+// persistent worker an empty-struct wakeup on its private channel and the
+// worker derives its block from the staged (fn, n, nw) fields, so the only
+// allocation a pooled phase can incur is the caller's own fn value. Pass a
+// func stored once at construction time (not a fresh closure literal) and a
+// pooled phase is allocation-free; see DESIGN.md section 9.
 package pool
 
 import (
@@ -36,8 +43,16 @@ import (
 // New. A nil *Pool is valid everywhere and means "serial".
 type Pool struct {
 	n    int
-	jobs []chan func()
+	jobs []chan struct{}
+	wg   sync.WaitGroup
 	busy atomic.Bool
+
+	// Staged call state, valid between the wakeup sends of one Run and the
+	// matching wg.Wait: the channel send/receive pair orders the writes
+	// below before any worker reads them.
+	fn   func(worker, lo, hi int)
+	curN int
+	curW int
 }
 
 // New returns a pool with the given number of persistent workers.
@@ -51,13 +66,19 @@ func New(workers int) *Pool {
 	if workers == 1 {
 		return p
 	}
-	p.jobs = make([]chan func(), workers)
+	p.jobs = make([]chan struct{}, workers)
 	for w := 0; w < workers; w++ {
-		ch := make(chan func(), 1)
+		ch := make(chan struct{}, 1)
 		p.jobs[w] = ch
+		w := w
 		go func() {
-			for f := range ch {
-				f()
+			for range ch {
+				nw := p.curW
+				lo, hi := p.curN*w/nw, p.curN*(w+1)/nw
+				if lo < hi {
+					p.fn(w, lo, hi)
+				}
+				p.wg.Done()
 			}
 		}()
 	}
@@ -91,20 +112,13 @@ func (p *Pool) Run(n int, fn func(worker, lo, hi int)) {
 	if nw > n {
 		nw = n
 	}
-	var wg sync.WaitGroup
+	p.fn, p.curN, p.curW = fn, n, nw
+	p.wg.Add(nw)
 	for w := 0; w < nw; w++ {
-		lo, hi := n*w/nw, n*(w+1)/nw
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		w, lo, hi := w, lo, hi
-		p.jobs[w] <- func() {
-			defer wg.Done()
-			fn(w, lo, hi)
-		}
+		p.jobs[w] <- struct{}{}
 	}
-	wg.Wait()
+	p.wg.Wait()
+	p.fn = nil
 }
 
 // Close stops the persistent workers. The pool must be idle; Run must not

@@ -28,6 +28,9 @@ type Model struct {
 	// outflux accumulates freshwater delivered to ocean cells (on the same
 	// grid) during the last step, kg/m^2/s.
 	outflux []float64
+
+	// out is the per-step outflow scratch (m^3 shipped per cell).
+	out []float64
 }
 
 // New builds a river model over a prepared network.
@@ -38,6 +41,7 @@ func New(net *data.RiverNetwork) *Model {
 		grid:    net.Grid,
 		Volume:  make([]float64, n),
 		outflux: make([]float64, n),
+		out:     make([]float64, n),
 	}
 }
 
@@ -72,8 +76,9 @@ func (m *Model) Step(runoff []float64, dt float64) []float64 {
 	}
 	// Outflow F = V*u/d, applied synchronously (explicit step); the factor
 	// is capped at 1 so a cell cannot ship more water than it holds.
-	out := make([]float64, n)
+	out := m.out
 	for c := 0; c < n; c++ {
+		out[c] = 0
 		if m.net.Dir[c] == data.DirOcean || m.Volume[c] <= 0 {
 			continue
 		}

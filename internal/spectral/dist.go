@@ -39,7 +39,7 @@ func (d *DistTransform) Analyze(grid []float64) []complex128 {
 	for j := d.j0; j < d.j1; j++ {
 		tr.fft.AnalyzeReal(row, grid[j*tr.NLon:(j+1)*tr.NLon], t.M)
 		wj := tr.w[j]
-		p := tr.pTab[j]
+		p := tr.pRow(j)
 		for m := 0; m <= t.M; m++ {
 			f := row[m] * complex(wj, 0)
 			off := tr.pl.Offset(m)
@@ -71,7 +71,7 @@ func (d *DistTransform) Synthesize(grid []float64, spec []complex128) {
 	t := tr.Trunc
 	coefs := make([]complex128, t.M+1)
 	for j := d.j0; j < d.j1; j++ {
-		p := tr.pTab[j]
+		p := tr.pRow(j)
 		for m := 0; m <= t.M; m++ {
 			off := tr.pl.Offset(m)
 			base := t.Index(m, m)

@@ -79,6 +79,70 @@ func (f *FFT) transform(dst, src []complex128, inverse bool) {
 	f.recurse(dst, work, f.n, 1, 0, inverse)
 }
 
+// transformNoAlias is transform for callers that guarantee dst and src do
+// not overlap: recurse only reads src, so the defensive copy (and the
+// direct path's tmp buffer) can be skipped. The arithmetic is identical to
+// transform, so results are bit-identical.
+func (f *FFT) transformNoAlias(dst, src []complex128, inverse bool) {
+	if len(dst) != f.n || len(src) != f.n {
+		panic("spectral: FFT buffer length mismatch")
+	}
+	if f.factors == nil {
+		for k := 0; k < f.n; k++ {
+			sum := complex(0, 0)
+			for j := 0; j < f.n; j++ {
+				t := (j * k) % f.n
+				w := f.twiddle[t]
+				if inverse {
+					w = cmplx.Conj(w)
+				}
+				sum += w * src[j]
+			}
+			dst[k] = sum
+		}
+		return
+	}
+	f.recurse(dst, src, f.n, 1, 0, inverse)
+}
+
+// FFTScratch holds the working storage of the allocation-free *Into FFT
+// entry points. One scratch serves one concurrent caller; per-worker use
+// requires one scratch per worker (see Workspace).
+type FFTScratch struct {
+	a, b []complex128 // length n each; never aliased with caller buffers
+}
+
+// NewScratch allocates scratch sized for this transform length.
+func (f *FFT) NewScratch() *FFTScratch {
+	return &FFTScratch{a: make([]complex128, f.n), b: make([]complex128, f.n)}
+}
+
+// ForwardInto is Forward without per-call allocation. dst and src must not
+// alias each other or the scratch buffers.
+func (f *FFT) ForwardInto(dst, src []complex128, s *FFTScratch) {
+	checkNoAliasC(dst, src, "ForwardInto dst/src")
+	f.transformNoAlias(dst, src, false)
+}
+
+// InverseInto is Inverse without per-call allocation. dst and src must not
+// alias each other or the scratch buffers.
+func (f *FFT) InverseInto(dst, src []complex128, s *FFTScratch) {
+	checkNoAliasC(dst, src, "InverseInto dst/src")
+	f.transformNoAlias(dst, src, true)
+	inv := complex(1/float64(f.n), 0)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// checkNoAliasC panics when two complex slices share their first element —
+// the aliasing the no-copy paths cannot tolerate.
+func checkNoAliasC(a, b []complex128, what string) {
+	if len(a) > 0 && len(b) > 0 && &a[0] == &b[0] {
+		panic("spectral: " + what + " must not alias")
+	}
+}
+
 // recurse performs a decimation-in-time mixed-radix FFT of length size over
 // work[off], work[off+stride], ... writing the result contiguously into
 // dst[0:size] of the caller's region. depth indexes into f.factors.
@@ -175,5 +239,53 @@ func (f *FFT) SynthesizeReal(dst []float64, coefs []complex128) {
 	// Inverse applies 1/n; synthesis needs the plain sum, so undo it.
 	for j := 0; j < f.n; j++ {
 		dst[j] = real(out[j]) * float64(f.n)
+	}
+}
+
+// AnalyzeRealInto is AnalyzeReal without per-call allocation: the complex
+// staging and output buffers come from s. Bit-identical to AnalyzeReal.
+func (f *FFT) AnalyzeRealInto(dst []complex128, x []float64, mmax int, s *FFTScratch) {
+	if len(x) != f.n {
+		panic("spectral: AnalyzeReal input length mismatch")
+	}
+	if mmax >= (f.n+1)/2 {
+		panic(fmt.Sprintf("spectral: mmax %d too large for n=%d", mmax, f.n))
+	}
+	buf, out := s.a, s.b
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	f.transformNoAlias(out, buf, false)
+	scale := complex(1/float64(f.n), 0)
+	for m := 0; m <= mmax; m++ {
+		dst[m] = out[m] * scale
+	}
+}
+
+// SynthesizeRealInto is SynthesizeReal without per-call allocation.
+// Bit-identical to SynthesizeReal: the inverse transform's 1/n scaling and
+// the *n undo are applied in the same order.
+func (f *FFT) SynthesizeRealInto(dst []float64, coefs []complex128, s *FFTScratch) {
+	if len(dst) != f.n {
+		panic("spectral: SynthesizeReal output length mismatch")
+	}
+	mmax := len(coefs) - 1
+	if mmax >= (f.n+1)/2 {
+		panic(fmt.Sprintf("spectral: SynthesizeReal coefs length %d too large for n=%d", len(coefs), f.n))
+	}
+	buf, out := s.a, s.b
+	buf[0] = complex(real(coefs[0]), 0)
+	for m := 1; m <= mmax; m++ {
+		buf[m] = coefs[m]
+		buf[f.n-m] = cmplx.Conj(coefs[m])
+	}
+	for i := mmax + 1; i < f.n-mmax; i++ {
+		buf[i] = 0
+	}
+	f.transformNoAlias(out, buf, true)
+	inv := complex(1/float64(f.n), 0)
+	n := float64(f.n)
+	for j := 0; j < f.n; j++ {
+		dst[j] = real(out[j]*inv) * n
 	}
 }

@@ -50,10 +50,14 @@ func (t Truncation) GridFor() (nlat, nlon int) {
 	return nlat, nlon
 }
 
+// smoothPrimes are the factors a transform grid dimension may contain (the
+// FFT's mixed radices).
+var smoothPrimes = [...]int{2, 3, 5}
+
 func smoothAtLeast(n int) int {
 	for v := n; ; v++ {
 		m := v
-		for _, p := range []int{2, 3, 5} {
+		for _, p := range smoothPrimes {
 			for m%p == 0 {
 				m /= p
 			}
@@ -75,18 +79,29 @@ func smoothAtLeast(n int) int {
 // zonal wavenumbers (each spectral coefficient belongs to exactly one m, so
 // its latitude accumulation order is the serial one regardless of worker
 // count) — both bit-identical to the serial loops.
+//
+// The *Into entry points do not allocate: all working storage lives in a
+// caller-supplied Workspace. The allocating convenience methods (Analyze,
+// Synthesize, ...) wrap them with a throwaway workspace and are meant for
+// construction-time and test code, not the per-step hot path.
 type Transform struct {
 	Trunc      Truncation
 	NLat, NLon int
 
-	mu, w  []float64 // Gaussian nodes (sin lat) and weights
-	fft    *FFT
-	pl     *Legendre   // table layout up to NMax+1
-	pTab   [][]float64 // per-latitude P̄ tables (n up to NMax+1)
-	hTab   [][]float64 // per-latitude H tables (n up to NMax), layout of hl
-	hl     *Legendre   // layout helper for hTab
-	oneMu2 []float64   // 1 - mu^2 per latitude
-	pool   *pool.Pool  // nil = serial
+	mu, w []float64 // Gaussian nodes (sin lat) and weights
+	fft   *FFT
+	pl    *Legendre // table layout up to NMax+1
+	hl    *Legendre // layout helper for hTab
+
+	// Legendre tables, flattened: row j of pTab is the pl layout evaluated
+	// at mu[j], stored at pTab[j*pStride : (j+1)*pStride]; likewise hTab
+	// holds H = (1-mu^2) dP̄/dmu rows of hStride values. One contiguous
+	// block per table keeps latitude sweeps cache-friendly.
+	pTab, hTab       []float64
+	pStride, hStride int
+
+	oneMu2 []float64  // 1 - mu^2 per latitude
+	pool   *pool.Pool // nil = serial
 }
 
 // NewTransform builds transform tables for a truncation on an
@@ -100,59 +115,132 @@ func NewTransform(t Truncation, nlat, nlon int) *Transform {
 		fft: NewFFT(nlon)}
 	tr.pl = NewLegendre(t.M, t.NMax()+1)
 	tr.hl = NewLegendre(t.M, t.NMax())
-	tr.pTab = make([][]float64, nlat)
-	tr.hTab = make([][]float64, nlat)
+	tr.pStride = tr.pl.TableSize()
+	tr.hStride = tr.hl.TableSize()
+	tr.pTab = make([]float64, nlat*tr.pStride)
+	tr.hTab = make([]float64, nlat*tr.hStride)
 	tr.oneMu2 = make([]float64, nlat)
 	for j := 0; j < nlat; j++ {
-		tr.pTab[j] = tr.pl.Eval(nil, nodes[j])
-		tr.hTab[j] = EvalDeriv(nil, tr.pTab[j], tr.pl, t.M, t.NMax())
+		tr.pl.Eval(tr.pTab[j*tr.pStride:(j+1)*tr.pStride], nodes[j])
+		EvalDeriv(tr.hTab[j*tr.hStride:(j+1)*tr.hStride], tr.pRow(j), tr.pl, t.M, t.NMax())
 		tr.oneMu2[j] = 1 - nodes[j]*nodes[j]
 	}
 	return tr
 }
 
+// pRow and hRow return latitude j's slice of the flattened Legendre tables.
+func (tr *Transform) pRow(j int) []float64 {
+	return tr.pTab[j*tr.pStride : (j+1)*tr.pStride]
+}
+func (tr *Transform) hRow(j int) []float64 {
+	return tr.hTab[j*tr.hStride : (j+1)*tr.hStride]
+}
+
 // SetPool attaches a worker pool to run the transform stages on. A nil
-// pool restores serial execution.
+// pool restores serial execution. Workspaces created before SetPool are
+// sized for the old worker count and must be rebuilt.
 func (tr *Transform) SetPool(p *pool.Pool) { tr.pool = p }
 
 // Mu returns sin(latitude) for row j; Weight the Gaussian weight.
 func (tr *Transform) Mu(j int) float64     { return tr.mu[j] }
 func (tr *Transform) Weight(j int) float64 { return tr.w[j] }
 
-// fourierRows computes the Fourier coefficients F_m for every latitude row.
-// Result layout: [j][m].
-func (tr *Transform) fourierRows(grid []float64) [][]complex128 {
-	if len(grid) != tr.NLat*tr.NLon {
-		panic("spectral: grid size mismatch")
-	}
-	rows := make([][]complex128, tr.NLat)
-	tr.pool.Run(tr.NLat, func(_, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			rows[j] = make([]complex128, tr.Trunc.M+1)
-			tr.fft.AnalyzeReal(rows[j], grid[j*tr.NLon:(j+1)*tr.NLon], tr.Trunc.M)
-		}
-	})
-	return rows
+// Workspace holds every buffer the *Into transform entry points need: the
+// flat row-major Fourier-row staging area, spectral scratch, and per-worker
+// coefficient rows + FFT scratch keyed by the pool worker id (so pooled
+// runs write disjoint storage and stay bit-identical to serial).
+//
+// A Workspace belongs to the Transform that created it and to one caller
+// at a time: two goroutines may not share one Workspace, and a caller that
+// invokes transforms from *inside* an outer pool.Run must hold one
+// Workspace per outer worker (the nested transform runs inline as worker 0,
+// so outer workers would otherwise collide on per[0]). See DESIGN.md §9.
+type Workspace struct {
+	tr *Transform
+
+	rows  []complex128 // flat Fourier rows, stride M+1, one row per latitude
+	rowsB []complex128 // second flat row buffer (div-form analyses)
+	psi   []complex128 // streamfunction scratch (SynthesizeUV)
+	chi   []complex128 // velocity-potential scratch (SynthesizeUV)
+	per   []wsPerWorker
+
+	// Staged arguments for the pooled phases below. The *Into entry point
+	// stages its arguments here, runs the phases, then clears the fields;
+	// the phase funcs themselves are bound once at NewWorkspace so pooled
+	// calls allocate nothing.
+	grid, gridB  []float64
+	spec         []complex128
+	f, dfdl, hmu []float64
+	gU, gV       []float64
+	accA, accB   []complex128
+	signA, signB float64
+
+	phFourier  func(w, lo, hi int)
+	phFourierB func(w, lo, hi int)
+	phAccum    func(w, lo, hi int)
+	phAccumDiv func(w, lo, hi int)
+	phSynth    func(w, lo, hi int)
+	phDerivs   func(w, lo, hi int)
+	phUV       func(w, lo, hi int)
 }
 
-// Analyze computes spectral coefficients from a grid field.
-func (tr *Transform) Analyze(grid []float64) []complex128 {
-	rows := tr.fourierRows(grid)
-	spec := make([]complex128, tr.Trunc.Count())
-	tr.analyzeRows(spec, rows)
-	return spec
+type wsPerWorker struct {
+	c1, c2, c3 []complex128 // coefficient rows, length M+1
+	fft        *FFTScratch
 }
 
-func (tr *Transform) analyzeRows(spec []complex128, rows [][]complex128) {
+// NewWorkspace allocates a workspace sized for this transform and its
+// current pool's worker count. Create workspaces after SetPool.
+func (tr *Transform) NewWorkspace() *Workspace {
 	t := tr.Trunc
-	// Parallel over m: each coefficient (m,n) is accumulated by the one
-	// worker owning m, in the same ascending-j order as the serial loop.
-	tr.pool.Run(t.M+1, func(_, m0, m1 int) {
+	mm := t.M + 1
+	ws := &Workspace{
+		tr:    tr,
+		rows:  make([]complex128, tr.NLat*mm),
+		rowsB: make([]complex128, tr.NLat*mm),
+		psi:   make([]complex128, t.Count()),
+		chi:   make([]complex128, t.Count()),
+		per:   make([]wsPerWorker, tr.pool.Workers()),
+	}
+	for w := range ws.per {
+		ws.per[w] = wsPerWorker{
+			c1:  make([]complex128, mm),
+			c2:  make([]complex128, mm),
+			c3:  make([]complex128, mm),
+			fft: tr.fft.NewScratch(),
+		}
+	}
+	ws.bindPhases()
+	return ws
+}
+
+// bindPhases creates the pooled phase closures once. They read their
+// arguments from the staged fields, never from captured per-call state.
+func (ws *Workspace) bindPhases() {
+	tr := ws.tr
+	t := tr.Trunc
+	mm := t.M + 1
+
+	fourier := func(dst []complex128, grid []float64, w, lo, hi int) {
+		s := ws.per[w].fft
+		for j := lo; j < hi; j++ {
+			tr.fft.AnalyzeRealInto(dst[j*mm:(j+1)*mm], grid[j*tr.NLon:(j+1)*tr.NLon], t.M, s)
+		}
+	}
+	ws.phFourier = func(w, lo, hi int) { fourier(ws.rows, ws.grid, w, lo, hi) }
+	ws.phFourierB = func(w, lo, hi int) { fourier(ws.rowsB, ws.gridB, w, lo, hi) }
+
+	// Analysis accumulation, parallel over m: each coefficient (m,n) is
+	// accumulated by the one worker owning m, in the same ascending-j order
+	// as the serial loop.
+	ws.phAccum = func(_, m0, m1 int) {
+		spec := ws.spec
 		for j := 0; j < tr.NLat; j++ {
 			wj := tr.w[j]
-			p := tr.pTab[j]
+			p := tr.pRow(j)
+			row := ws.rows[j*mm : (j+1)*mm]
 			for m := m0; m < m1; m++ {
-				f := rows[j][m] * complex(wj, 0)
+				f := row[m] * complex(wj, 0)
 				off := tr.pl.Offset(m)
 				base := t.Index(m, m)
 				for k := 0; k <= t.K; k++ {
@@ -160,26 +248,39 @@ func (tr *Transform) analyzeRows(spec []complex128, rows [][]complex128) {
 				}
 			}
 		}
-	})
-}
-
-// Synthesize reconstructs a grid field from spectral coefficients.
-func (tr *Transform) Synthesize(spec []complex128) []float64 {
-	grid := make([]float64, tr.NLat*tr.NLon)
-	tr.SynthesizeInto(grid, spec)
-	return grid
-}
-
-// SynthesizeInto writes the synthesis into an existing buffer.
-func (tr *Transform) SynthesizeInto(grid []float64, spec []complex128) {
-	t := tr.Trunc
-	if len(spec) != t.Count() {
-		panic("spectral: spectral size mismatch")
 	}
-	tr.pool.Run(tr.NLat, func(_, lo, hi int) {
-		coefs := make([]complex128, t.M+1)
+
+	// Div-form accumulation over staged row buffers accA/accB with the
+	// signs folded into the per-row scalars (exact: IEEE negation commutes
+	// with every linear operation here bit-for-bit).
+	ws.phAccumDiv = func(_, m0, m1 int) {
+		spec := ws.spec
+		inva := 1 / sphere.Radius
+		for j := 0; j < tr.NLat; j++ {
+			wj := tr.w[j] / tr.oneMu2[j] * inva
+			p := tr.pRow(j)
+			h := tr.hRow(j)
+			rowA := ws.accA[j*mm : (j+1)*mm]
+			rowB := ws.accB[j*mm : (j+1)*mm]
+			for m := m0; m < m1; m++ {
+				fa := rowA[m] * complex(0, ws.signA*(float64(m)*wj))
+				fb := rowB[m] * complex(ws.signB*wj, 0)
+				offP := tr.pl.Offset(m)
+				offH := tr.hl.Offset(m)
+				base := t.Index(m, m)
+				for k := 0; k <= t.K; k++ {
+					spec[base+k] += fa*complex(p[offP+k], 0) - fb*complex(h[offH+k], 0)
+				}
+			}
+		}
+	}
+
+	ws.phSynth = func(w, lo, hi int) {
+		pw := &ws.per[w]
+		coefs := pw.c1
+		spec := ws.spec
 		for j := lo; j < hi; j++ {
-			p := tr.pTab[j]
+			p := tr.pRow(j)
 			for m := 0; m <= t.M; m++ {
 				off := tr.pl.Offset(m)
 				base := t.Index(m, m)
@@ -189,30 +290,17 @@ func (tr *Transform) SynthesizeInto(grid []float64, spec []complex128) {
 				}
 				coefs[m] = sum
 			}
-			tr.fft.SynthesizeReal(grid[j*tr.NLon:(j+1)*tr.NLon], coefs)
+			tr.fft.SynthesizeRealInto(ws.grid[j*tr.NLon:(j+1)*tr.NLon], coefs, pw.fft)
 		}
-	})
-}
+	}
 
-// SynthesizeWithDerivs returns the grid field together with its plain
-// longitude derivative df/dlambda and the weighted meridional derivative
-// (1-mu^2) df/dmu. The advective operator on the sphere is then
-//
-//	u·grad f = (U*dfdl + V*hmu) / (a*(1-mu^2))
-//
-// with U = u cos(lat), V = v cos(lat).
-func (tr *Transform) SynthesizeWithDerivs(spec []complex128) (f, dfdl, hmu []float64) {
-	t := tr.Trunc
-	f = make([]float64, tr.NLat*tr.NLon)
-	dfdl = make([]float64, tr.NLat*tr.NLon)
-	hmu = make([]float64, tr.NLat*tr.NLon)
-	tr.pool.Run(tr.NLat, func(_, lo, hi int) {
-		cf := make([]complex128, t.M+1)
-		cd := make([]complex128, t.M+1)
-		ch := make([]complex128, t.M+1)
+	ws.phDerivs = func(w, lo, hi int) {
+		pw := &ws.per[w]
+		cf, cd, ch := pw.c1, pw.c2, pw.c3
+		spec := ws.spec
 		for j := lo; j < hi; j++ {
-			p := tr.pTab[j]
-			h := tr.hTab[j]
+			p := tr.pRow(j)
+			h := tr.hRow(j)
 			for m := 0; m <= t.M; m++ {
 				offP := tr.pl.Offset(m)
 				offH := tr.hl.Offset(m)
@@ -227,48 +315,19 @@ func (tr *Transform) SynthesizeWithDerivs(spec []complex128) (f, dfdl, hmu []flo
 				cd[m] = complex(0, float64(m)) * sf
 				ch[m] = sh
 			}
-			tr.fft.SynthesizeReal(f[j*tr.NLon:(j+1)*tr.NLon], cf)
-			tr.fft.SynthesizeReal(dfdl[j*tr.NLon:(j+1)*tr.NLon], cd)
-			tr.fft.SynthesizeReal(hmu[j*tr.NLon:(j+1)*tr.NLon], ch)
+			tr.fft.SynthesizeRealInto(ws.f[j*tr.NLon:(j+1)*tr.NLon], cf, pw.fft)
+			tr.fft.SynthesizeRealInto(ws.dfdl[j*tr.NLon:(j+1)*tr.NLon], cd, pw.fft)
+			tr.fft.SynthesizeRealInto(ws.hmu[j*tr.NLon:(j+1)*tr.NLon], ch, pw.fft)
 		}
-	})
-	return f, dfdl, hmu
-}
+	}
 
-// SynthesizeUV computes the grid wind images U = u cos(lat), V = v cos(lat)
-// from spectral relative vorticity and divergence via the streamfunction /
-// velocity-potential relations
-//
-//	psi = -a^2 zeta / (n(n+1)),  chi = -a^2 D / (n(n+1))
-//	U = (d chi/d lambda - H(psi)) / a,  V = (d psi/d lambda + H(chi)) / a.
-func (tr *Transform) SynthesizeUV(vort, div []complex128) (U, V []float64) {
-	t := tr.Trunc
-	if len(vort) != t.Count() || len(div) != t.Count() {
-		panic("spectral: SynthesizeUV size mismatch")
-	}
-	psi := make([]complex128, t.Count())
-	chi := make([]complex128, t.Count())
-	a2 := sphere.Radius * sphere.Radius
-	for m := 0; m <= t.M; m++ {
-		for n := m; n <= m+t.K; n++ {
-			if n == 0 {
-				continue
-			}
-			idx := t.Index(m, n)
-			s := complex(-a2/float64(n*(n+1)), 0)
-			psi[idx] = s * vort[idx]
-			chi[idx] = s * div[idx]
-		}
-	}
-	U = make([]float64, tr.NLat*tr.NLon)
-	V = make([]float64, tr.NLat*tr.NLon)
-	inva := complex(1/sphere.Radius, 0)
-	tr.pool.Run(tr.NLat, func(_, lo, hi int) {
-		cu := make([]complex128, t.M+1)
-		cv := make([]complex128, t.M+1)
+	ws.phUV = func(w, lo, hi int) {
+		pw := &ws.per[w]
+		cu, cv := pw.c1, pw.c2
+		inva := complex(1/sphere.Radius, 0)
 		for j := lo; j < hi; j++ {
-			p := tr.pTab[j]
-			h := tr.hTab[j]
+			p := tr.pRow(j)
+			h := tr.hRow(j)
 			for m := 0; m <= t.M; m++ {
 				offP := tr.pl.Offset(m)
 				offH := tr.hl.Offset(m)
@@ -277,76 +336,254 @@ func (tr *Transform) SynthesizeUV(vort, div []complex128) (U, V []float64) {
 				for k := 0; k <= t.K; k++ {
 					pv := complex(p[offP+k], 0)
 					hv := complex(h[offH+k], 0)
-					sPsi += psi[base+k] * pv
-					sChi += chi[base+k] * pv
-					hPsi += psi[base+k] * hv
-					hChi += chi[base+k] * hv
+					sPsi += ws.psi[base+k] * pv
+					sChi += ws.chi[base+k] * pv
+					hPsi += ws.psi[base+k] * hv
+					hChi += ws.chi[base+k] * hv
 				}
 				im := complex(0, float64(m))
 				cu[m] = (im*sChi - hPsi) * inva
 				cv[m] = (im*sPsi + hChi) * inva
 			}
-			tr.fft.SynthesizeReal(U[j*tr.NLon:(j+1)*tr.NLon], cu)
-			tr.fft.SynthesizeReal(V[j*tr.NLon:(j+1)*tr.NLon], cv)
+			tr.fft.SynthesizeRealInto(ws.gU[j*tr.NLon:(j+1)*tr.NLon], cu, pw.fft)
+			tr.fft.SynthesizeRealInto(ws.gV[j*tr.NLon:(j+1)*tr.NLon], cv, pw.fft)
 		}
-	})
-	return U, V
+	}
 }
 
-// AnalyzeDivForm computes the spectral coefficients of
-//
-//	(1/(a(1-mu^2))) dA/dlambda + (1/a) dB/dmu
-//
-// from grid fields A and B, using integration by parts for the meridional
-// term so no grid derivative of B is required. This is the primitive from
-// which the vorticity and divergence tendencies are assembled:
-//
-//	vorticity tendency   = -AnalyzeDivForm(A, B)
-//	divergence tendency  = +AnalyzeDivForm(B, A-negated)  (i.e. swap and negate)
-func (tr *Transform) AnalyzeDivForm(A, B []float64) []complex128 {
-	t := tr.Trunc
-	rowsA := tr.fourierRows(A)
-	rowsB := tr.fourierRows(B)
-	spec := make([]complex128, t.Count())
-	inva := 1 / sphere.Radius
-	// Parallel over m, like analyzeRows: per-coefficient accumulation order
-	// stays ascending in j for every worker count.
-	tr.pool.Run(t.M+1, func(_, m0, m1 int) {
-		for j := 0; j < tr.NLat; j++ {
-			wj := tr.w[j] / tr.oneMu2[j] * inva
-			p := tr.pTab[j]
-			h := tr.hTab[j]
-			for m := m0; m < m1; m++ {
-				fa := rowsA[j][m] * complex(0, float64(m)*wj)
-				fb := rowsB[j][m] * complex(wj, 0)
-				offP := tr.pl.Offset(m)
-				offH := tr.hl.Offset(m)
-				base := t.Index(m, m)
-				for k := 0; k <= t.K; k++ {
-					spec[base+k] += fa*complex(p[offP+k], 0) - fb*complex(h[offH+k], 0)
-				}
-			}
-		}
-	})
+// ready validates a workspace (nil allocates a throwaway one — the
+// allocating convenience path).
+func (tr *Transform) ready(ws *Workspace) *Workspace {
+	if ws == nil {
+		return tr.NewWorkspace()
+	}
+	if ws.tr != tr {
+		panic("spectral: Workspace used with a Transform other than its creator")
+	}
+	if nw := tr.pool.Workers(); nw > len(ws.per) {
+		panic(fmt.Sprintf("spectral: Workspace sized for %d workers used with a %d-worker pool; rebuild workspaces after SetPool", len(ws.per), nw))
+	}
+	return ws
+}
+
+func (tr *Transform) checkGrid(g []float64, what string) {
+	if len(g) != tr.NLat*tr.NLon {
+		panic(fmt.Sprintf("spectral: %s grid length %d, want %d", what, len(g), tr.NLat*tr.NLon))
+	}
+}
+
+func (tr *Transform) checkSpec(s []complex128, what string) {
+	if len(s) != tr.Trunc.Count() {
+		panic(fmt.Sprintf("spectral: %s spectral length %d, want %d", what, len(s), tr.Trunc.Count()))
+	}
+}
+
+// checkNoAliasF panics when two float slices share their first element:
+// distinct destination buffers are required wherever a phase writes them in
+// the same pass.
+func checkNoAliasF(a, b []float64, what string) {
+	if len(a) > 0 && len(b) > 0 && &a[0] == &b[0] {
+		panic("spectral: " + what + " must not alias")
+	}
+}
+
+// AnalyzeInto computes spectral coefficients from a grid field without
+// allocating: Fourier rows land in the workspace's flat row buffer, then
+// the Legendre accumulation fills spec (which is zeroed first).
+func (tr *Transform) AnalyzeInto(spec []complex128, grid []float64, ws *Workspace) {
+	ws = tr.ready(ws)
+	tr.checkGrid(grid, "AnalyzeInto")
+	tr.checkSpec(spec, "AnalyzeInto")
+	ws.grid = grid
+	tr.pool.Run(tr.NLat, ws.phFourier)
+	for i := range spec {
+		spec[i] = 0
+	}
+	ws.spec = spec
+	tr.pool.Run(tr.Trunc.M+1, ws.phAccum)
+	ws.grid, ws.spec = nil, nil
+}
+
+// Analyze computes spectral coefficients from a grid field (allocating
+// convenience wrapper; not for the hot path).
+func (tr *Transform) Analyze(grid []float64) []complex128 {
+	spec := make([]complex128, tr.Trunc.Count())
+	tr.AnalyzeInto(spec, grid, nil)
 	return spec
 }
 
-// VortDivTend assembles the rotational-form tendencies used by the
+// Synthesize reconstructs a grid field from spectral coefficients
+// (allocating convenience wrapper).
+func (tr *Transform) Synthesize(spec []complex128) []float64 {
+	grid := make([]float64, tr.NLat*tr.NLon)
+	tr.SynthesizeInto(grid, spec, nil)
+	return grid
+}
+
+// SynthesizeInto writes the synthesis into an existing grid buffer. With a
+// non-nil workspace the call does not allocate.
+func (tr *Transform) SynthesizeInto(grid []float64, spec []complex128, ws *Workspace) {
+	ws = tr.ready(ws)
+	tr.checkGrid(grid, "SynthesizeInto")
+	tr.checkSpec(spec, "SynthesizeInto")
+	ws.grid, ws.spec = grid, spec
+	tr.pool.Run(tr.NLat, ws.phSynth)
+	ws.grid, ws.spec = nil, nil
+}
+
+// SynthesizeWithDerivsInto is the allocation-free form of
+// SynthesizeWithDerivs: f, dfdl and hmu must be distinct grid-sized
+// buffers.
+func (tr *Transform) SynthesizeWithDerivsInto(f, dfdl, hmu []float64, spec []complex128, ws *Workspace) {
+	ws = tr.ready(ws)
+	tr.checkGrid(f, "SynthesizeWithDerivsInto f")
+	tr.checkGrid(dfdl, "SynthesizeWithDerivsInto dfdl")
+	tr.checkGrid(hmu, "SynthesizeWithDerivsInto hmu")
+	tr.checkSpec(spec, "SynthesizeWithDerivsInto")
+	checkNoAliasF(f, dfdl, "SynthesizeWithDerivsInto f/dfdl")
+	checkNoAliasF(f, hmu, "SynthesizeWithDerivsInto f/hmu")
+	checkNoAliasF(dfdl, hmu, "SynthesizeWithDerivsInto dfdl/hmu")
+	ws.f, ws.dfdl, ws.hmu, ws.spec = f, dfdl, hmu, spec
+	tr.pool.Run(tr.NLat, ws.phDerivs)
+	ws.f, ws.dfdl, ws.hmu, ws.spec = nil, nil, nil, nil
+}
+
+// SynthesizeWithDerivs returns the grid field together with its plain
+// longitude derivative df/dlambda and the weighted meridional derivative
+// (1-mu^2) df/dmu. The advective operator on the sphere is then
+//
+//	u·grad f = (U*dfdl + V*hmu) / (a*(1-mu^2))
+//
+// with U = u cos(lat), V = v cos(lat). Allocating convenience wrapper.
+func (tr *Transform) SynthesizeWithDerivs(spec []complex128) (f, dfdl, hmu []float64) {
+	f = make([]float64, tr.NLat*tr.NLon)
+	dfdl = make([]float64, tr.NLat*tr.NLon)
+	hmu = make([]float64, tr.NLat*tr.NLon)
+	tr.SynthesizeWithDerivsInto(f, dfdl, hmu, spec, nil)
+	return f, dfdl, hmu
+}
+
+// SynthesizeUVInto computes the grid wind images U = u cos(lat),
+// V = v cos(lat) from spectral relative vorticity and divergence via the
+// streamfunction / velocity-potential relations
+//
+//	psi = -a^2 zeta / (n(n+1)),  chi = -a^2 D / (n(n+1))
+//	U = (d chi/d lambda - H(psi)) / a,  V = (d psi/d lambda + H(chi)) / a.
+//
+// U and V must be distinct grid-sized buffers; vort and div are read-only
+// and may alias. With a non-nil workspace the call does not allocate.
+func (tr *Transform) SynthesizeUVInto(U, V []float64, vort, div []complex128, ws *Workspace) {
+	ws = tr.ready(ws)
+	tr.checkGrid(U, "SynthesizeUVInto U")
+	tr.checkGrid(V, "SynthesizeUVInto V")
+	tr.checkSpec(vort, "SynthesizeUVInto vort")
+	tr.checkSpec(div, "SynthesizeUVInto div")
+	checkNoAliasF(U, V, "SynthesizeUVInto U/V")
+	t := tr.Trunc
+	a2 := sphere.Radius * sphere.Radius
+	for m := 0; m <= t.M; m++ {
+		for n := m; n <= m+t.K; n++ {
+			idx := t.Index(m, n)
+			if n == 0 {
+				ws.psi[idx] = 0
+				ws.chi[idx] = 0
+				continue
+			}
+			s := complex(-a2/float64(n*(n+1)), 0)
+			ws.psi[idx] = s * vort[idx]
+			ws.chi[idx] = s * div[idx]
+		}
+	}
+	ws.gU, ws.gV = U, V
+	tr.pool.Run(tr.NLat, ws.phUV)
+	ws.gU, ws.gV = nil, nil
+}
+
+// SynthesizeUV is the allocating convenience wrapper of SynthesizeUVInto.
+func (tr *Transform) SynthesizeUV(vort, div []complex128) (U, V []float64) {
+	U = make([]float64, tr.NLat*tr.NLon)
+	V = make([]float64, tr.NLat*tr.NLon)
+	tr.SynthesizeUVInto(U, V, vort, div, nil)
+	return U, V
+}
+
+// AnalyzeDivFormInto computes the spectral coefficients of
+//
+//	(signA/(a(1-mu^2))) dA/dlambda + (signB/a) dB/dmu
+//
+// from grid fields A and B, using integration by parts for the meridional
+// term so no grid derivative of B is required. The sign parameters (each
+// ±1) fold the negations the tendency assembly needs into the per-row
+// scalars — bit-identical to negating the grids, without touching them.
+// A and B are read-only and may alias; spec is zeroed first. With a
+// non-nil workspace the call does not allocate.
+func (tr *Transform) AnalyzeDivFormInto(spec []complex128, A, B []float64, signA, signB float64, ws *Workspace) {
+	ws = tr.ready(ws)
+	tr.checkGrid(A, "AnalyzeDivFormInto A")
+	tr.checkGrid(B, "AnalyzeDivFormInto B")
+	tr.checkSpec(spec, "AnalyzeDivFormInto")
+	ws.grid, ws.gridB = A, B
+	tr.pool.Run(tr.NLat, ws.phFourier)
+	tr.pool.Run(tr.NLat, ws.phFourierB)
+	ws.grid, ws.gridB = nil, nil
+	tr.accumDiv(spec, ws.rows, ws.rowsB, signA, signB, ws)
+}
+
+// accumDiv runs the div-form Legendre accumulation over already-computed
+// flat Fourier-row buffers.
+func (tr *Transform) accumDiv(spec, rowsA, rowsB []complex128, signA, signB float64, ws *Workspace) {
+	for i := range spec {
+		spec[i] = 0
+	}
+	ws.spec, ws.accA, ws.accB = spec, rowsA, rowsB
+	ws.signA, ws.signB = signA, signB
+	tr.pool.Run(tr.Trunc.M+1, ws.phAccumDiv)
+	ws.spec, ws.accA, ws.accB = nil, nil, nil
+}
+
+// AnalyzeDivForm is the allocating convenience wrapper of
+// AnalyzeDivFormInto. The vorticity and divergence tendencies are
+//
+//	vorticity tendency   = AnalyzeDivForm(A, B, -1, -1)
+//	divergence tendency  = AnalyzeDivForm(B, A, +1, -1)
+func (tr *Transform) AnalyzeDivForm(A, B []float64, signA, signB float64) []complex128 {
+	spec := make([]complex128, tr.Trunc.Count())
+	tr.AnalyzeDivFormInto(spec, A, B, signA, signB, nil)
+	return spec
+}
+
+// VortDivTendInto assembles the rotational-form tendencies used by the
 // dynamical core: given grid fluxes A = U*X and B = V*X (for vorticity
-// advection X = absolute vorticity, etc.) it returns
+// advection X = absolute vorticity, etc.) it computes
 //
 //	vort = -(1/(a(1-mu^2))) dA/dlambda - (1/a) dB/dmu
 //	div  = +(1/(a(1-mu^2))) dB/dlambda - (1/a) dA/dmu
+//
+// vort and div must be distinct; A and B are read-only. The Fourier rows
+// of A and B are computed once and shared by both accumulations, halving
+// the FFT work of two separate AnalyzeDivForm calls.
+func (tr *Transform) VortDivTendInto(vort, div []complex128, A, B []float64, ws *Workspace) {
+	ws = tr.ready(ws)
+	tr.checkGrid(A, "VortDivTendInto A")
+	tr.checkGrid(B, "VortDivTendInto B")
+	tr.checkSpec(vort, "VortDivTendInto vort")
+	tr.checkSpec(div, "VortDivTendInto div")
+	if len(vort) > 0 && len(div) > 0 && &vort[0] == &div[0] {
+		panic("spectral: VortDivTendInto vort/div must not alias")
+	}
+	ws.grid, ws.gridB = A, B
+	tr.pool.Run(tr.NLat, ws.phFourier)
+	tr.pool.Run(tr.NLat, ws.phFourierB)
+	ws.grid, ws.gridB = nil, nil
+	tr.accumDiv(vort, ws.rows, ws.rowsB, -1, -1, ws)
+	tr.accumDiv(div, ws.rowsB, ws.rows, 1, -1, ws)
+}
+
+// VortDivTend is the allocating convenience wrapper of VortDivTendInto.
 func (tr *Transform) VortDivTend(A, B []float64) (vort, div []complex128) {
-	vort = tr.AnalyzeDivForm(A, B)
-	for i := range vort {
-		vort[i] = -vort[i]
-	}
-	negA := make([]float64, len(A))
-	for i := range A {
-		negA[i] = -A[i]
-	}
-	div = tr.AnalyzeDivForm(B, negA)
+	vort = make([]complex128, tr.Trunc.Count())
+	div = make([]complex128, tr.Trunc.Count())
+	tr.VortDivTendInto(vort, div, A, B, nil)
 	return vort, div
 }
 

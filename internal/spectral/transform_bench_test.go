@@ -1,0 +1,77 @@
+package spectral
+
+import "testing"
+
+// BenchmarkTransform* micro-benchmarks time the workspace-backed hot-path
+// entry points at the paper's R15 resolution (48x40 grid). EXPERIMENTS.md
+// records the before/after numbers against the allocating implementations
+// they replaced.
+
+func benchSetup() (tr *Transform, grid, grid2 []float64, spec []complex128, ws *Workspace) {
+	tr, grid, grid2, spec = testFields(R15)
+	ws = tr.NewWorkspace()
+	return
+}
+
+func BenchmarkTransformAnalyze(b *testing.B) {
+	tr, grid, _, _, ws := benchSetup()
+	out := make([]complex128, tr.Trunc.Count())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.AnalyzeInto(out, grid, ws)
+	}
+}
+
+func BenchmarkTransformSynthesize(b *testing.B) {
+	tr, _, _, spec, ws := benchSetup()
+	out := make([]float64, tr.NLat*tr.NLon)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SynthesizeInto(out, spec, ws)
+	}
+}
+
+func BenchmarkTransformSynthesizeWithDerivs(b *testing.B) {
+	tr, _, _, spec, ws := benchSetup()
+	n := tr.NLat * tr.NLon
+	f, dfdl, hmu := make([]float64, n), make([]float64, n), make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SynthesizeWithDerivsInto(f, dfdl, hmu, spec, ws)
+	}
+}
+
+func BenchmarkTransformSynthesizeUV(b *testing.B) {
+	tr, _, _, spec, ws := benchSetup()
+	n := tr.NLat * tr.NLon
+	U, V := make([]float64, n), make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SynthesizeUVInto(U, V, spec, spec, ws)
+	}
+}
+
+func BenchmarkTransformAnalyzeDivForm(b *testing.B) {
+	tr, grid, grid2, _, ws := benchSetup()
+	out := make([]complex128, tr.Trunc.Count())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.AnalyzeDivFormInto(out, grid, grid2, 1, -1, ws)
+	}
+}
+
+func BenchmarkTransformVortDivTend(b *testing.B) {
+	tr, grid, grid2, _, ws := benchSetup()
+	vort := make([]complex128, tr.Trunc.Count())
+	div := make([]complex128, tr.Trunc.Count())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.VortDivTendInto(vort, div, grid, grid2, ws)
+	}
+}

@@ -326,14 +326,8 @@ func TestUVDivergenceIdentity(t *testing.T) {
 	// div part: 1/(a(1-mu2)) dV/dl - 1/a dU/dmu ... careful: divergence of
 	// (u,v) is 1/(a(1-mu2)) dU/dl + 1/a dV/dmu; and vorticity is
 	// 1/(a(1-mu2)) dV/dl - 1/a dU/dmu.
-	divBack := tr.AnalyzeDivForm(U, V)
-	vortGrid := make([]float64, len(U))
-	_ = vortGrid
-	negU := make([]float64, len(U))
-	for i := range U {
-		negU[i] = -U[i]
-	}
-	vortBack := tr.AnalyzeDivForm(V, negU)
+	divBack := tr.AnalyzeDivForm(U, V, 1, 1)
+	vortBack := tr.AnalyzeDivForm(V, U, 1, -1)
 	for i := range zeta {
 		if cmplx.Abs(divBack[i]-div[i]) > 1e-9*(1+cmplx.Abs(div[i])) {
 			t.Fatalf("divergence identity fails at %d: %v vs %v", i, divBack[i], div[i])
