@@ -218,7 +218,7 @@ func runE4(full bool) {
 			fmt.Println("error:", err)
 			return
 		}
-		if base == 0 {
+		if base <= 0 {
 			base = res.Speedup / float64(spec.AtmRanks+spec.OcnRanks)
 		}
 		fmt.Printf("%6d %6d %6d %11.0fx %12.1f %9.2f\n",

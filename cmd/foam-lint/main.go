@@ -1,0 +1,150 @@
+// Command foam-lint runs FOAM-Go's project-specific static-analysis
+// suite (internal/analysis): the compile-time enforcement of the
+// determinism and zero-allocation invariants.
+//
+// Usage:
+//
+//	foam-lint [-json] [./...]
+//
+// The module containing the current directory is loaded in full (every
+// non-test package); an optional trailing pattern restricts which
+// packages are *reported on* — "./..." (the default) means everything,
+// "./internal/..." only that subtree. Analysis always sees the whole
+// module so cross-package hot-path traversal is never truncated.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Text output
+// is one "path:line:col: message [analyzer]" line per finding, sorted by
+// (path, line, column) so CI logs diff cleanly; -json emits the same
+// findings as a JSON array.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"foam/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: foam-lint [-json] [pattern]\n\npatterns: ./... (default), or a subtree like ./internal/...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	pattern := "./..."
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		pattern = flag.Arg(0)
+	default:
+		flag.Usage()
+		return 2
+	}
+	sub, ok := patternDir(pattern)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "foam-lint: unsupported pattern %q (want ./... or ./dir/...)\n", pattern)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "foam-lint:", err)
+		return 2
+	}
+	root, modPath, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "foam-lint:", err)
+		return 2
+	}
+	prog, err := analysis.LoadModule(root, modPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "foam-lint:", err)
+		return 2
+	}
+
+	diags := prog.Run(analysis.Analyzers())
+	scope, err := filepath.Abs(filepath.Join(cwd, sub))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "foam-lint:", err)
+		return 2
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Pos.Filename == scope || strings.HasPrefix(d.Pos.Filename, scope+string(filepath.Separator)) {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+
+	// Report paths relative to the working directory: stable across
+	// checkouts, so CI logs from different machines diff cleanly.
+	for i := range diags {
+		if rel, rerr := filepath.Rel(cwd, diags[i].Pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
+
+	if *jsonOut {
+		type jsonDiag struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     filepath.ToSlash(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "foam-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "foam-lint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// patternDir maps a package pattern to the directory subtree it covers,
+// relative to the working directory. Only rooted "..." patterns are
+// supported: this linter analyzes modules, not arbitrary package lists.
+func patternDir(pattern string) (string, bool) {
+	switch pattern {
+	case "./...", "...", ".":
+		return ".", true
+	}
+	if rest, ok := strings.CutSuffix(pattern, "/..."); ok {
+		if rest == "" {
+			return "", false
+		}
+		return filepath.FromSlash(rest), true
+	}
+	return "", false
+}

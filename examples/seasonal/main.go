@@ -51,7 +51,7 @@ func main() {
 				}
 			}
 		}
-		if den == 0 {
+		if den <= 0 {
 			return math.NaN()
 		}
 		return num / den

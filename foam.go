@@ -226,7 +226,7 @@ func regionMean(g *sphere.Grid, mask, f []float64, lat0, lat1, lon0, lon1 float6
 			}
 		}
 	}
-	if den == 0 {
+	if den <= 0 {
 		return 0
 	}
 	return num / den

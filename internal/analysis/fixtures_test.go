@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden-fixture harness. Every package under testdata/src is loaded
+// as one module named "foam", the full analyzer suite (plus the pragma
+// parser) runs once, and each fixture file's "// want" comments are
+// matched 1:1 against the diagnostics produced on that line:
+//
+//	expr() // want `regex` `another regex`
+//
+// A want comment may carry a line offset — // want(-1) `re` expects the
+// diagnostic on the previous line — which is how comment-only lines
+// (malformed pragmas) are annotated. A line with diagnostics but no
+// matching want, or a want with no matching diagnostic, fails the test.
+
+var wantMarker = regexp.MustCompile("// want(\\(([+-]?\\d+)\\))? ")
+
+var wantArg = regexp.MustCompile("`([^`]*)`")
+
+type wantKey struct {
+	file string
+	line int
+}
+
+func parseWants(t *testing.T, root string) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[wantKey][]*regexp.Regexp)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, werr error) error {
+		if werr != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return werr
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantMarker.FindStringSubmatchIndex(line)
+			if m == nil {
+				continue
+			}
+			offset := 0
+			if m[4] >= 0 {
+				fmt.Sscanf(line[m[4]:m[5]], "%d", &offset)
+			}
+			rest := line[m[1]:]
+			args := wantArg.FindAllStringSubmatch(rest, -1)
+			if len(args) == 0 {
+				return fmt.Errorf("%s:%d: want comment with no `regex` arguments", path, i+1)
+			}
+			key := wantKey{file: path, line: i + 1 + offset}
+			for _, a := range args {
+				re, cerr := regexp.Compile(a[1])
+				if cerr != nil {
+					return fmt.Errorf("%s:%d: bad want regex: %v", path, i+1, cerr)
+				}
+				wants[key] = append(wants[key], re)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func loadFixtures(t *testing.T) (*Program, []Diagnostic) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadModule(root, "foam")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	return prog, prog.Run(Analyzers())
+}
+
+func TestFixtures(t *testing.T) {
+	prog, diags := loadFixtures(t)
+	wants := parseWants(t, prog.RootDir)
+
+	got := make(map[wantKey][]Diagnostic)
+	for _, d := range diags {
+		key := wantKey{file: d.Pos.Filename, line: d.Pos.Line}
+		got[key] = append(got[key], d)
+	}
+
+	// One subtest per fixture package so a failure names the analyzer
+	// scenario it belongs to.
+	for _, pkg := range prog.Packages {
+		pkg := pkg
+		name := strings.TrimPrefix(pkg.Path, "foam/")
+		t.Run(strings.ReplaceAll(name, "/", "_"), func(t *testing.T) {
+			keys := make(map[wantKey]bool)
+			for k := range wants {
+				if filepath.Dir(k.file) == pkg.Dir {
+					keys[k] = true
+				}
+			}
+			for k := range got {
+				if filepath.Dir(k.file) == pkg.Dir {
+					keys[k] = true
+				}
+			}
+			for k := range keys {
+				checkLine(t, prog.RootDir, k, wants[k], got[k])
+			}
+		})
+	}
+}
+
+func checkLine(t *testing.T, root string, k wantKey, res []*regexp.Regexp, ds []Diagnostic) {
+	t.Helper()
+	rel := k.file
+	if r, err := filepath.Rel(root, k.file); err == nil {
+		rel = r
+	}
+	if len(res) != len(ds) {
+		t.Errorf("%s:%d: %d diagnostic(s), %d want(s):\n  diags: %v\n  wants: %v",
+			rel, k.line, len(ds), len(res), messages(ds), res)
+		return
+	}
+	used := make([]bool, len(ds))
+	for _, re := range res {
+		found := false
+		for i, d := range ds {
+			if !used[i] && re.MatchString(d.Message) {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q among %v", rel, k.line, re, messages(ds))
+		}
+	}
+}
+
+func messages(ds []Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = "[" + d.Analyzer + "] " + d.Message
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AnalyzerFloatCmp flags == and != between floating-point (or complex)
+// operands. Exact float equality is almost always a latent bug in a
+// model whose fields are the results of long arithmetic chains; where an
+// exact comparison is genuinely intended — a sentinel written as a
+// constant and never computed — say so with
+// //foam:allow floatcmp <reason>. Test files are not analyzed, so test
+// helpers comparing exact expected values are unaffected.
+var AnalyzerFloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "reports == and != on floating-point operands",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(prog *Program, report func(Diagnostic)) {
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(node ast.Node) bool {
+				be, ok := node.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(info.TypeOf(be.X)) || isFloat(info.TypeOf(be.Y)) {
+					report(Diagnostic{
+						Pos:     prog.position(be.Pos()),
+						Message: "floating-point " + be.Op.String() + " comparison; use an ordered comparison or an epsilon",
+					})
+				}
+				return true
+			})
+		}
+	}
+}

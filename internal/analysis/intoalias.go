@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerIntoAlias protects the *Into convention introduced in PR 2:
+// every zero-allocation entry point takes caller-owned destination
+// buffers, and none of them tolerates a destination that aliases a
+// source (the kernels read sources while writing destinations). The
+// analyzer flags any call to a function whose name ends in "Into" where
+// two reference-typed arguments (slices, pointers, maps) are
+// syntactically identical expressions — the aliasing that is provable
+// without a points-to analysis, and in practice the way the bug is
+// written (AnalyzeInto(buf, buf, ws)).
+var AnalyzerIntoAlias = &Analyzer{
+	Name: "intoalias",
+	Doc:  "reports *Into calls whose destination syntactically aliases a source argument",
+	Run:  runIntoAlias,
+}
+
+func runIntoAlias(prog *Program, report func(Diagnostic)) {
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(call)
+				if len(name) <= len("Into") || !strings.HasSuffix(name, "Into") {
+					return true
+				}
+				// A conversion like T.Into(x) cannot happen; only calls
+				// with a real signature qualify.
+				if _, ok := info.TypeOf(call.Fun).(*types.Signature); !ok {
+					return true
+				}
+				var rendered []string
+				for _, arg := range call.Args {
+					if referenceLike(info.TypeOf(arg)) {
+						rendered = append(rendered, types.ExprString(arg))
+					} else {
+						rendered = append(rendered, "")
+					}
+				}
+				for i := 0; i < len(rendered); i++ {
+					if rendered[i] == "" {
+						continue
+					}
+					for j := i + 1; j < len(rendered); j++ {
+						if rendered[i] == rendered[j] {
+							report(Diagnostic{
+								Pos: prog.position(call.Args[j].Pos()),
+								Message: fmt.Sprintf("%s aliases another argument of %s; *Into destinations must not alias sources",
+									rendered[j], name),
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}

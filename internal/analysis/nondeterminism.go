@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// AnalyzerNondeterminism enforces the PR 1 contract in packages annotated
+// //foam:deterministic: the numerical result must be bit-identical run to
+// run and for any worker count, so nothing in the package may depend on
+// iteration order, scheduling, or the wall clock. Flagged constructs:
+//
+//   - range over a map (iteration order is deliberately randomized)
+//   - time.Now / time.Since (wall-clock reads; purely diagnostic timing
+//     must carry a //foam:allow nondeterminism pragma with its reason)
+//   - importing math/rand or math/rand/v2
+//   - select with more than one case (case choice is randomized)
+var AnalyzerNondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "reports order-, schedule-, and clock-dependent constructs in //foam:deterministic packages",
+	Run:  runNondeterminism,
+}
+
+func runNondeterminism(prog *Program, report func(Diagnostic)) {
+	for _, pkg := range prog.Packages {
+		if !pkg.Deterministic {
+			continue
+		}
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					report(Diagnostic{
+						Pos:     prog.position(imp.Pos()),
+						Message: fmt.Sprintf("deterministic package imports %s", path),
+					})
+				}
+			}
+			ast.Inspect(file, func(node ast.Node) bool {
+				switch s := node.(type) {
+				case *ast.RangeStmt:
+					if t := info.TypeOf(s.X); t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok {
+							report(Diagnostic{
+								Pos:     prog.position(s.Pos()),
+								Message: "range over a map in a deterministic package; iteration order is randomized",
+							})
+						}
+					}
+				case *ast.CallExpr:
+					if fn := staticCallee(info, s); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+						if fn.Name() == "Now" || fn.Name() == "Since" {
+							report(Diagnostic{
+								Pos:     prog.position(s.Pos()),
+								Message: fmt.Sprintf("time.%s reads the wall clock in a deterministic package", fn.Name()),
+							})
+						}
+					}
+				case *ast.SelectStmt:
+					if len(s.Body.List) > 1 {
+						report(Diagnostic{
+							Pos:     prog.position(s.Pos()),
+							Message: "multi-case select in a deterministic package; case choice is randomized",
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+}

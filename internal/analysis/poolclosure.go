@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerPoolClosure guards the exact regression class PR 2 swept out by
+// hand: a function literal — or a bound method value, which also
+// allocates — materialized at a (*pool.Pool).Run call site costs one heap
+// allocation per call, on every step, at every phase. Phases must be
+// bound once at construction time (a stored func field is free to pass)
+// and only referenced at the Run site.
+var AnalyzerPoolClosure = &Analyzer{
+	Name: "poolclosure",
+	Doc:  "reports function literals and method values at pool.Run call sites",
+	Run:  runPoolClosure,
+}
+
+func runPoolClosure(prog *Program, report func(Diagnostic)) {
+	for _, pkg := range prog.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isPoolRun(info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					switch a := ast.Unparen(arg).(type) {
+					case *ast.FuncLit:
+						report(Diagnostic{
+							Pos:     prog.position(a.Pos()),
+							Message: "function literal at pool.Run call site allocates a closure per call; bind the phase at construction time",
+						})
+					case *ast.SelectorExpr:
+						if sel, ok := info.Selections[a]; ok && sel.Kind() == types.MethodVal {
+							report(Diagnostic{
+								Pos: prog.position(a.Pos()),
+								Message: fmt.Sprintf("method value %s at pool.Run call site allocates per call; bind it once at construction time",
+									a.Sel.Name),
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isPoolRun reports whether call invokes the Run method of the module's
+// pool.Pool (matched by package path suffix so fixture stubs under
+// testdata resolve the same way).
+func isPoolRun(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Name() != "Run" || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/pool")
+}

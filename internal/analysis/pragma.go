@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The //foam: pragma vocabulary. Directives use the compiler-pragma
+// convention: no space between // and foam:, attached as doc comments.
+//
+//	//foam:hotpath                — on a func declaration
+//	//foam:hotphases              — on a func declaration (phase binder)
+//	//foam:coldpath               — on a func declaration
+//	//foam:deterministic          — in a package doc comment
+//	//foam:allow <analyzer> <reason...> — anywhere; suppresses the named
+//	      analyzer on the comment's line and the line directly below it
+//
+// Anything else that looks like a foam directive — an unknown verb,
+// trailing junk, a misplaced attachment, a missing reason — is reported
+// as a diagnostic from the "pragma" pseudo-analyzer rather than being
+// silently ignored: a pragma that does not parse is an invariant that is
+// not enforced.
+
+const pragmaAnalyzer = "pragma"
+
+// allowRange is one //foam:allow suppression: analyzer name plus the
+// (file, line) it was written on. It covers that line and the next, so it
+// works both as a trailing comment on the offending statement and as a
+// comment on its own line directly above it.
+type allowRange struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type pragmaInfo struct {
+	hot    map[*types.Func]bool
+	phases map[*types.Func]bool
+	cold   map[*types.Func]bool
+	allow  []allowRange
+	diags  []Diagnostic
+}
+
+func (pi *pragmaInfo) suppressed(d Diagnostic) bool {
+	for _, a := range pi.allow {
+		if a.analyzer == d.Analyzer && a.file == d.Pos.Filename &&
+			(d.Pos.Line == a.line || d.Pos.Line == a.line+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectPragmas scans every comment of every loaded file, binds the
+// well-formed directives to their functions and packages, and turns every
+// malformed or misplaced one into a diagnostic.
+func collectPragmas(prog *Program) *pragmaInfo {
+	pi := &pragmaInfo{
+		hot:    make(map[*types.Func]bool),
+		phases: make(map[*types.Func]bool),
+		cold:   make(map[*types.Func]bool),
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			pi.collectFile(prog, pkg, file)
+		}
+	}
+	return pi
+}
+
+func (pi *pragmaInfo) collectFile(prog *Program, pkg *Package, file *ast.File) {
+	report := func(pos token.Pos, format string, args ...any) {
+		pi.diags = append(pi.diags, Diagnostic{
+			Pos:      prog.position(pos),
+			Analyzer: pragmaAnalyzer,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	// consumed marks directive comments that are legitimately attached to
+	// a declaration; any directive left over at the end is misplaced.
+	consumed := make(map[*ast.Comment]bool)
+
+	// Package attachment: //foam:deterministic in the package doc.
+	if file.Doc != nil {
+		for _, c := range file.Doc.List {
+			verb, args, ok := splitDirective(c.Text)
+			if !ok {
+				continue
+			}
+			consumed[c] = true
+			switch verb {
+			case "deterministic":
+				if args != "" {
+					report(c.Pos(), "//foam:deterministic takes no arguments (got %q)", args)
+					continue
+				}
+				pkg.Deterministic = true
+			case "allow":
+				pi.parseAllow(prog, c, report)
+			case "hotpath", "hotphases", "coldpath":
+				report(c.Pos(), "//foam:%s must be attached to a function declaration, not the package doc", verb)
+			default:
+				report(c.Pos(), "unknown foam directive //foam:%s", verb)
+			}
+		}
+	}
+
+	// Function attachment: //foam:hotpath and //foam:coldpath in doc
+	// comments of func declarations.
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+		for _, c := range fd.Doc.List {
+			verb, args, ok := splitDirective(c.Text)
+			if !ok {
+				continue
+			}
+			consumed[c] = true
+			switch verb {
+			case "hotpath", "hotphases", "coldpath":
+				if args != "" {
+					report(c.Pos(), "//foam:%s takes no arguments (got %q)", verb, args)
+					continue
+				}
+				if obj == nil {
+					report(c.Pos(), "//foam:%s on an undeclared function", verb)
+					continue
+				}
+				switch verb {
+				case "hotpath":
+					pi.hot[obj] = true
+				case "hotphases":
+					pi.phases[obj] = true
+				case "coldpath":
+					pi.cold[obj] = true
+				}
+				n := 0
+				for _, on := range []bool{pi.hot[obj], pi.phases[obj], pi.cold[obj]} {
+					if on {
+						n++
+					}
+				}
+				if n > 1 {
+					report(c.Pos(), "%s carries conflicting foam annotations (hotpath/hotphases/coldpath are mutually exclusive)", fd.Name.Name)
+				}
+			case "deterministic":
+				report(c.Pos(), "//foam:deterministic must be in the package doc comment, not on a function")
+			case "allow":
+				pi.parseAllow(prog, c, report)
+			default:
+				report(c.Pos(), "unknown foam directive //foam:%s", verb)
+			}
+		}
+	}
+
+	// Everything else: free-floating comments, trailing comments, comments
+	// inside function bodies. Only //foam:allow is meaningful there.
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if consumed[c] {
+				continue
+			}
+			if spaced, ok := strings.CutPrefix(c.Text, "// "); ok {
+				if strings.HasPrefix(spaced, "foam:") {
+					report(c.Pos(), "malformed foam directive: no space allowed between // and foam: (write //%s)", strings.TrimSpace(spaced))
+					continue
+				}
+			}
+			verb, _, ok := splitDirective(c.Text)
+			if !ok {
+				continue
+			}
+			switch verb {
+			case "allow":
+				pi.parseAllow(prog, c, report)
+			case "hotpath", "hotphases", "coldpath":
+				report(c.Pos(), "misplaced //foam:%s: it must be the doc comment of a function declaration", verb)
+			case "deterministic":
+				report(c.Pos(), "misplaced //foam:deterministic: it must be in the package doc comment")
+			default:
+				report(c.Pos(), "unknown foam directive //foam:%s", verb)
+			}
+		}
+	}
+}
+
+// parseAllow parses "//foam:allow <analyzer> <reason...>" and records the
+// suppression. The analyzer must be one of the suite's names and the
+// reason is mandatory: an unexplained suppression is indistinguishable
+// from a silenced bug.
+func (pi *pragmaInfo) parseAllow(prog *Program, c *ast.Comment, report func(token.Pos, string, ...any)) {
+	_, args, _ := splitDirective(c.Text)
+	name, reason, _ := strings.Cut(args, " ")
+	if name == "" {
+		report(c.Pos(), "//foam:allow needs an analyzer name and a reason: //foam:allow <analyzer> <reason>")
+		return
+	}
+	if !analyzerNames[name] {
+		report(c.Pos(), "//foam:allow names unknown analyzer %q", name)
+		return
+	}
+	if strings.TrimSpace(reason) == "" {
+		report(c.Pos(), "//foam:allow %s is missing its reason", name)
+		return
+	}
+	pos := prog.position(c.Pos())
+	pi.allow = append(pi.allow, allowRange{file: pos.Filename, line: pos.Line, analyzer: name})
+}
+
+// splitDirective returns (verb, args, true) for a comment of the form
+// //foam:verb [args...]; ok is false for ordinary comments.
+func splitDirective(text string) (verb, args string, ok bool) {
+	rest, found := strings.CutPrefix(text, "//foam:")
+	if !found {
+		return "", "", false
+	}
+	verb, args, _ = strings.Cut(rest, " ")
+	return verb, strings.TrimSpace(args), true
+}

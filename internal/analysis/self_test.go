@@ -1,0 +1,60 @@
+package analysis
+
+import "testing"
+
+// TestRepoLintClean runs the full suite over this repository itself: the
+// annotated hot paths, the deterministic packages, and every //foam:
+// directive must parse and hold. A finding here is a real invariant
+// violation (or a stale pragma), not a test artifact.
+func TestRepoLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, modPath, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	prog, err := LoadModule(root, modPath)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	diags := prog.Run(Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("foam-lint found %d violation(s) in the repository", len(diags))
+	}
+
+	// The invariants the suite exists for are actually annotated: the
+	// coupled step must be reachable as a hot root and the physics
+	// packages must be marked deterministic.
+	var hotRoots, phaseBinders int
+	for _, n := range prog.funcs {
+		if n.hot {
+			hotRoots++
+		}
+		if n.phases {
+			phaseBinders++
+		}
+	}
+	if hotRoots < 10 {
+		t.Errorf("only %d //foam:hotpath roots; the step machinery should provide at least 10", hotRoots)
+	}
+	if phaseBinders < 5 {
+		t.Errorf("only %d //foam:hotphases binders; atmos, ocean, coupler and spectral bind phases", phaseBinders)
+	}
+	for _, path := range []string{
+		"foam/internal/spectral", "foam/internal/atmos", "foam/internal/ocean",
+		"foam/internal/coupler", "foam/internal/river", "foam/internal/pool",
+	} {
+		pkg := prog.Lookup(path)
+		if pkg == nil {
+			t.Errorf("package %s not loaded", path)
+			continue
+		}
+		if !pkg.Deterministic {
+			t.Errorf("package %s is not marked //foam:deterministic", path)
+		}
+	}
+}

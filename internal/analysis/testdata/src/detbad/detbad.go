@@ -1,0 +1,36 @@
+// Package detbad exercises every construct the nondeterminism analyzer
+// flags inside an annotated package.
+//
+//foam:deterministic
+package detbad
+
+import (
+	"math/rand" // want `deterministic package imports math/rand`
+	"time"
+)
+
+// Accum sums map values in whatever order the runtime picks.
+func Accum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `range over a map in a deterministic package`
+		s += v
+	}
+	return s
+}
+
+// Stamp reads the wall clock twice over.
+func Stamp() float64 {
+	t0 := time.Now()    // want `time.Now reads the wall clock`
+	d := time.Since(t0) // want `time.Since reads the wall clock`
+	return d.Seconds() + rand.Float64()
+}
+
+// Race picks whichever channel is ready first.
+func Race(a, b chan int) int {
+	select { // want `multi-case select in a deterministic package`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,33 @@
+// Package detok is deterministic code written the approved way; it must
+// produce no diagnostics.
+//
+//foam:deterministic
+package detok
+
+import "time"
+
+// Accum iterates a slice: order is defined.
+func Accum(vs []float64) float64 {
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+// Wait blocks on exactly one channel: a single-case select is ordered.
+func Wait(done chan struct{}) {
+	select {
+	case <-done:
+	}
+}
+
+// Timed measures wall time for an off-line diagnostic that never feeds
+// model state; the pragma records the audit.
+func Timed(f func()) float64 {
+	//foam:allow nondeterminism wall-clock cost diagnostic, never feeds model state
+	t0 := time.Now()
+	f()
+	//foam:allow nondeterminism wall-clock cost diagnostic, never feeds model state
+	return time.Since(t0).Seconds()
+}

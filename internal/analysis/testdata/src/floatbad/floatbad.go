@@ -1,0 +1,27 @@
+// Package floatbad compares floating-point values for exact equality.
+package floatbad
+
+// Mask mimics the wet/dry masks of the coupler.
+type Mask struct {
+	w []float64
+}
+
+// Wet tests mask cells the buggy way.
+func (m *Mask) Wet(c int) bool {
+	return m.w[c] != 0 // want `floating-point != comparison`
+}
+
+// Same compares computed values exactly.
+func Same(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// NaN spells IsNaN by hand.
+func NaN(x float64) bool {
+	return x != x // want `floating-point != comparison`
+}
+
+// Close compares complex values exactly.
+func Close(a, b complex128) bool {
+	return a == b // want `floating-point == comparison`
+}

@@ -1,0 +1,25 @@
+// Package floatok compares floats the approved ways; it must produce no
+// diagnostics.
+package floatok
+
+import "math"
+
+// Wet tests a 0/1 mask with an ordered comparison.
+func Wet(w []float64, c int) bool {
+	return w[c] > 0
+}
+
+// Close compares with an epsilon.
+func Close(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12
+}
+
+// Sentinel compares against an exact constant sentinel that is stored,
+// never computed; the pragma records the audit.
+func Sentinel(x float64) bool {
+	//foam:allow floatcmp exact sentinel constant, stored and never computed
+	return x == -9999
+}
+
+// Ints may compare freely.
+func Ints(a, b int) bool { return a == b }

@@ -1,0 +1,59 @@
+// Package hotbad exercises every construct the hotpathalloc analyzer
+// flags inside an annotated function.
+package hotbad
+
+import "fmt"
+
+// State carries preallocated workspaces like the real models do.
+type State struct {
+	buf   []float64
+	table map[string]int
+	box   interface{}
+}
+
+//foam:hotpath
+func (s *State) Step(n int) {
+	b := make([]float64, n)  // want `make allocates`
+	p := new(State)          // want `new allocates`
+	s.buf = append(s.buf, 1) // want `append may grow`
+	f := func() {}           // want `function literal allocates a closure`
+	m := map[string]int{}    // want `map literal allocates`
+	sl := []float64{1, 2}    // want `slice literal allocates`
+	ptr := &State{}          // want `address-taken composite literal`
+	msg := "a" + "b"         // want `string concatenation allocates`
+	s.table["k"] = 1         // want `map write may allocate`
+	fmt.Println(n)           // want `variadic call allocates`
+	s.box = n                // want `assignment boxes a concrete value`
+	bs := []byte("convert")  // want `string/slice conversion copies`
+	for j := 0; j < n; j++ {
+		defer fmt.Print() // want `defer inside a loop`
+	}
+	go s.helper() // want `go statement allocates a goroutine`
+	_ = b
+	_ = p
+	_ = f
+	_ = m
+	_ = sl
+	_ = ptr
+	_ = msg
+	_ = bs
+}
+
+// helper is reached from Step, so its body is checked too.
+func (s *State) helper() {
+	s.buf = append(s.buf, 2) // want `append may grow`
+}
+
+// boxed returns into an interface result.
+//
+//foam:hotpath
+func boxed(n int) interface{} {
+	return n // want `return boxes a concrete value`
+}
+
+// notHot contains the same constructs but no annotation and no hot
+// caller, so it must produce no diagnostics.
+func notHot(n int) []float64 {
+	out := make([]float64, n)
+	return append(out, 1)
+}

@@ -1,0 +1,25 @@
+// Package hotcross verifies that hotpathalloc traversal crosses package
+// boundaries: the annotated root lives here, the violation lives in
+// package hotcrossdep.
+package hotcross
+
+import "foam/hotcrossdep"
+
+// Model wraps the dependency's kernel state.
+type Model struct {
+	k hotcrossdep.Kernel
+}
+
+// Step is the hot root: it statically calls (and binds by method value)
+// functions in another package whose bodies allocate.
+//
+//foam:hotpath
+func (m *Model) Step() {
+	m.k.Apply(4)
+	run(m.k.Tendency) // want `method value allocates a bound-method closure`
+}
+
+// run stands in for the pool dispatch: the method value passed above is
+// an edge the traversal must follow even though it is never called
+// directly here.
+func run(fn func(int)) { fn(0) }

@@ -1,0 +1,25 @@
+// Package hotcrossdep holds the callees of the hotcross fixture; none of
+// its functions carry annotations of their own, so every diagnostic here
+// proves the cross-package traversal worked.
+package hotcrossdep
+
+// Kernel is stepped from another package's hot root.
+type Kernel struct {
+	buf []float64
+}
+
+// Apply is called directly from hotcross.(*Model).Step.
+func (k *Kernel) Apply(n int) {
+	k.buf = make([]float64, n) // want `make allocates`
+}
+
+// Tendency is only referenced as a method value from the hot root, never
+// called directly: the traversal must follow references, not just calls.
+func (k *Kernel) Tendency(i int) {
+	k.buf = append(k.buf, float64(i)) // want `append may grow`
+}
+
+// Build allocates but is unreachable from any hot root: no diagnostic.
+func Build(n int) *Kernel {
+	return &Kernel{buf: make([]float64, n)}
+}

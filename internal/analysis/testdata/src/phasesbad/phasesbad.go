@@ -1,0 +1,34 @@
+// Package phasesbad exercises //foam:hotphases: the binder itself may
+// allocate (it runs once at construction), but every outermost function
+// literal it binds is a hot root and is checked like a hotpath body.
+package phasesbad
+
+type model struct {
+	buf    []float64
+	phases []func(lo, hi int)
+}
+
+// bindPhases allocates freely in its own body — that is the point of the
+// pragma — but the closures it binds run every step and may not.
+//
+//foam:hotphases
+func (m *model) bindPhases() {
+	scratch := make([]float64, 64) // binder body: allowed
+	m.phases = append(m.phases, func(lo, hi int) {
+		tmp := make([]float64, hi-lo) // want `hot path \(root phasesbad\.\(\*model\)\.bindPhases\$1\): make allocates`
+		copy(tmp, scratch[lo:hi])
+		m.buf = append(m.buf, tmp...) // want `hot path \(root phasesbad\.\(\*model\)\.bindPhases\$1\): append may grow`
+	})
+	m.phases = append(m.phases, func(lo, hi int) {
+		m.kernel(lo, hi)
+	})
+}
+
+// kernel is reached from a bound phase, so it is hot by traversal even
+// though it carries no annotation of its own.
+func (m *model) kernel(lo, hi int) {
+	row := new([8]float64) // want `hot path \(root phasesbad\.\(\*model\)\.bindPhases\$2\): new allocates`
+	for i := lo; i < hi; i++ {
+		m.buf[i] += row[i%8]
+	}
+}

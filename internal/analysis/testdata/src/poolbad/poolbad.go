@@ -1,0 +1,27 @@
+// Package poolbad reproduces the regression class PR 2 swept out by
+// hand: phases materialized at the pool.Run call site.
+package poolbad
+
+import "foam/internal/pool"
+
+// Model mimics a component model with a worker pool.
+type Model struct {
+	p   *pool.Pool
+	buf []float64
+}
+
+// Step dispatches phases the expensive way.
+func (m *Model) Step() {
+	m.p.Run(len(m.buf), func(worker, lo, hi int) { // want `function literal at pool.Run call site`
+		for i := lo; i < hi; i++ {
+			m.buf[i] = 0
+		}
+	})
+	m.p.Run(len(m.buf), m.clear) // want `method value clear at pool.Run call site`
+}
+
+func (m *Model) clear(worker, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		m.buf[i] = 0
+	}
+}

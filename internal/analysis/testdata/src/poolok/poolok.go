@@ -1,0 +1,30 @@
+// Package poolok shows the construction-time binding discipline the
+// poolclosure analyzer demands; it must produce no diagnostics.
+package poolok
+
+import "foam/internal/pool"
+
+// Model binds its phases once, at construction.
+type Model struct {
+	p       *pool.Pool
+	buf     []float64
+	phClear func(worker, lo, hi int)
+}
+
+// New binds the phase; the method value here is a one-time cost.
+func New(p *pool.Pool, n int) *Model {
+	m := &Model{p: p, buf: make([]float64, n)}
+	m.phClear = m.clear
+	return m
+}
+
+// Step only references the pre-bound field: allocation-free dispatch.
+func (m *Model) Step() {
+	m.p.Run(len(m.buf), m.phClear)
+}
+
+func (m *Model) clear(worker, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		m.buf[i] = 0
+	}
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// staticCallee resolves a call to the *types.Func it statically invokes:
+// a plain function, a package-qualified function, or a concrete method.
+// Calls through function values and interface methods return nil — they
+// are not statically resolvable, which is exactly why the hot-path
+// analyzer also follows method-value references (see hotpathalloc.go).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is a floating-point or
+// complex basic type (including untyped float constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isString reports whether t's underlying type is a string type.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// referenceLike reports whether two arguments of type t can alias the
+// same storage: slices, pointers, and maps.
+func referenceLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map:
+		return true
+	}
+	return false
+}
+
+// calleeName returns the bare name of the called function or method, or
+// "" when the callee is not a simple identifier or selector.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -116,6 +116,7 @@ type specState struct {
 	lnps []complex128   // [coef]
 }
 
+//foam:coldpath
 func newSpecState(nlev, ncoef int) *specState {
 	s := &specState{lnps: make([]complex128, ncoef)}
 	s.vort = make([][]complex128, nlev)

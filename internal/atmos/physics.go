@@ -36,6 +36,7 @@ type physicsState struct {
 	low                 *LowestLevel
 }
 
+//foam:coldpath
 func newPhysicsState(cfg Config, ncell int) *physicsState {
 	p := &physicsState{cfg: cfg}
 	p.qr = make([][]float64, cfg.NLev)
@@ -93,6 +94,8 @@ func (p *physicsState) init(m *Model) {
 // bindPhysicsPhases binds the pooled physics phases into the step workspace
 // (see bindPhases for why these are bound once rather than written as
 // closure literals at the Run call sites).
+//
+//foam:hotphases
 func (m *Model) bindPhysicsPhases(w *work) {
 	phy := m.phy
 	cfg := m.cfg
@@ -130,6 +133,7 @@ func (m *Model) bindPhysicsPhases(w *work) {
 		for j := j0; j < j1; j++ {
 			var tRow time.Time
 			if m.costEnabled {
+				//foam:allow nondeterminism wall-clock cost trace feeds the load-balance diagnostic, never the simulation state
 				tRow = time.Now()
 			}
 			lat := w.lats[j]
@@ -145,6 +149,7 @@ func (m *Model) bindPhysicsPhases(w *work) {
 				m.radiationColumn(c, cz, rs)
 			}
 			if m.costEnabled {
+				//foam:allow nondeterminism wall-clock cost trace feeds the load-balance diagnostic, never the simulation state
 				m.lastCost.PhysRows[j] += time.Since(tRow).Seconds()
 			}
 		}
@@ -174,6 +179,7 @@ func (m *Model) bindPhysicsPhases(w *work) {
 		for j := j0; j < j1; j++ {
 			var tRow time.Time
 			if m.costEnabled {
+				//foam:allow nondeterminism wall-clock cost trace feeds the load-balance diagnostic, never the simulation state
 				tRow = time.Now()
 			}
 			for i := 0; i < nlon; i++ {
@@ -189,6 +195,7 @@ func (m *Model) bindPhysicsPhases(w *work) {
 				col.store(m, c, dt)
 			}
 			if m.costEnabled {
+				//foam:allow nondeterminism wall-clock cost trace feeds the load-balance diagnostic, never the simulation state
 				m.lastCost.PhysRows[j] += time.Since(tRow).Seconds()
 			}
 		}
@@ -264,10 +271,12 @@ func (m *Model) physicsStep(plus *specState) {
 	m.pool.Run(ncell, w.phLowest)
 	var tB time.Time
 	if m.costEnabled {
+		//foam:allow nondeterminism wall-clock cost trace feeds the load-balance diagnostic, never the simulation state
 		tB = time.Now()
 	}
 	ex := m.boundary.Exchange(phy.low, dt)
 	if m.costEnabled {
+		//foam:allow nondeterminism wall-clock cost trace feeds the load-balance diagnostic, never the simulation state
 		m.lastCost.Boundary = time.Since(tB).Seconds()
 	}
 	phy.lastEx = ex
@@ -312,6 +321,7 @@ type radScratch struct {
 	up, dn        []float64
 }
 
+//foam:coldpath
 func newRadScratch(nl int) *radScratch {
 	return &radScratch{
 		dtau: make([]float64, nl), cld: make([]float64, nl), wq: make([]float64, nl),
@@ -409,6 +419,7 @@ type column struct {
 	buoy, dTd           []float64
 }
 
+//foam:coldpath
 func newColumn(nl int) *column {
 	return &column{nl: nl,
 		T: make([]float64, nl), Q: make([]float64, nl),

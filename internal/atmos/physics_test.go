@@ -141,7 +141,7 @@ func TestZMDeepConvectionTriggersOnCAPE(t *testing.T) {
 
 func TestRadiationColumnSanity(t *testing.T) {
 	m := physModel(t)
-	c := m.cfg.NLon*m.cfg.NLat/2 + 3 // tropical cell
+	c := m.cfg.NLon*m.cfg.NLat/2 + 3                     // tropical cell
 	m.radiationColumn(c, 0.8, newRadScratch(m.cfg.NLev)) // high sun
 	if m.phy.swdn[c] <= 0 {
 		t.Fatal("no surface shortwave under high sun")

@@ -3,6 +3,8 @@
 // levels (the PCCM2 lineage the paper describes), with semi-implicit
 // leapfrog time stepping, horizontal hyperdiffusion, semi-Lagrangian
 // moisture transport, and simplified CCM2/CCM3-style column physics.
+//
+//foam:deterministic
 package atmos
 
 import (
@@ -209,6 +211,7 @@ func newLU(m [][]float64) *lu {
 				p = r
 			}
 		}
+		//foam:allow floatcmp only an exactly-zero pivot makes the elimination divide by zero
 		if a[p][col] == 0 {
 			panic("atmos: singular semi-implicit matrix")
 		}

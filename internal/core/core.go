@@ -172,6 +172,8 @@ func (m *Model) StepCount() int { return m.step }
 func (m *Model) SimTime() float64 { return float64(m.step) * m.cfg.Atm.Dt }
 
 // Step advances one atmosphere step, calling the ocean on schedule.
+//
+//foam:hotpath
 func (m *Model) Step() {
 	m.Atm.Step()
 	m.step++
@@ -185,6 +187,8 @@ func (m *Model) Step() {
 }
 
 // StepDays advances whole simulated days.
+//
+//foam:hotpath
 func (m *Model) StepDays(days float64) {
 	steps := int(days * sphere.SecondsPerDay / m.cfg.Atm.Dt)
 	for s := 0; s < steps; s++ {

@@ -194,7 +194,7 @@ func replayTrace(m *Model, traces []stepTrace, spec ParallelSpec) *TraceResult {
 			// Ocean rank.
 			o := r - nAtm
 			for _, tr := range traces {
-				if tr.oceanStep == 0 {
+				if tr.oceanStep <= 0 {
 					continue
 				}
 				for a := 0; a < nAtm; a++ {

@@ -101,6 +101,7 @@ func New(atmGrid, ocnGrid *sphere.Grid, ocnMask []float64) *Coupler {
 	cp := &Coupler{AtmGrid: atmGrid, OcnGrid: ocnGrid}
 	cp.Overlap = BuildOverlap(atmGrid, ocnGrid)
 	cp.ocnMask = append([]float64(nil), ocnMask...)
+	cp.initOcnGeometry()
 
 	// Land cells on the atmosphere grid: synthetic-Earth land, plus any
 	// cell with no wet-ocean overlap (polar caps beyond the ocean domain
@@ -169,6 +170,8 @@ func New(atmGrid, ocnGrid *sphere.Grid, ocnMask []float64) *Coupler {
 // flux computation. The result is bit-identical to the serial loop: fluxes
 // are computed concurrently into per-piece slots, then accumulated serially
 // in piece order. Pass nil to return to the serial loop.
+//
+//foam:hotphases
 func (cp *Coupler) SetPool(p *pool.Pool) {
 	cp.pool = p
 	cp.pieces = nil
@@ -195,6 +198,8 @@ func (cp *Coupler) SetSST(sst []float64) { copy(cp.sstC, sst) }
 func (cp *Coupler) SetIceFormation(fl []float64) { copy(cp.iceForm, fl) }
 
 // AbsorbOcean refreshes the mirrored ocean state from a local ocean model.
+//
+//foam:hotpath
 func (cp *Coupler) AbsorbOcean(oc *ocean.Model) {
 	cp.SetSST(oc.SST())
 	cp.SetIceFormation(oc.IceFormation())
@@ -203,28 +208,36 @@ func (cp *Coupler) AbsorbOcean(oc *ocean.Model) {
 // AdvectIce drifts the sea ice with the ocean surface currents over one
 // coupling interval (free drift; the dynamic extension the paper flags as
 // future work).
+//
+//foam:hotpath
 func (cp *Coupler) AdvectIce(u, v []float64, dt float64) {
 	g := cp.OcnGrid
+	cp.Ice.Advect(u, v, cp.ocnMask, cp.ocnDx, cp.ocnDy, cp.ocnCos, g.NLat(), g.NLon(), dt)
+}
+
+// initOcnGeometry precomputes the per-row ocean-grid spacings the ice
+// drift uses, once, at construction.
+//
+//foam:coldpath
+func (cp *Coupler) initOcnGeometry() {
+	g := cp.OcnGrid
 	nlat, nlon := g.NLat(), g.NLon()
-	if cp.ocnDx == nil {
-		cp.ocnDx = make([]float64, nlat)
-		cp.ocnDy = make([]float64, nlat)
-		cp.ocnCos = make([]float64, nlat)
-		dlon := 2 * math.Pi / float64(nlon)
-		for j := 0; j < nlat; j++ {
-			cp.ocnCos[j] = math.Cos(g.Lats[j])
-			cp.ocnDx[j] = sphere.Radius * cp.ocnCos[j] * dlon
-			switch {
-			case j == 0:
-				cp.ocnDy[j] = sphere.Radius * (g.Lats[1] - g.Lats[0])
-			case j == nlat-1:
-				cp.ocnDy[j] = sphere.Radius * (g.Lats[j] - g.Lats[j-1])
-			default:
-				cp.ocnDy[j] = sphere.Radius * 0.5 * (g.Lats[j+1] - g.Lats[j-1])
-			}
+	cp.ocnDx = make([]float64, nlat)
+	cp.ocnDy = make([]float64, nlat)
+	cp.ocnCos = make([]float64, nlat)
+	dlon := 2 * math.Pi / float64(nlon)
+	for j := 0; j < nlat; j++ {
+		cp.ocnCos[j] = math.Cos(g.Lats[j])
+		cp.ocnDx[j] = sphere.Radius * cp.ocnCos[j] * dlon
+		switch {
+		case j == 0:
+			cp.ocnDy[j] = sphere.Radius * (g.Lats[1] - g.Lats[0])
+		case j == nlat-1:
+			cp.ocnDy[j] = sphere.Radius * (g.Lats[j] - g.Lats[j-1])
+		default:
+			cp.ocnDy[j] = sphere.Radius * 0.5 * (g.Lats[j+1] - g.Lats[j-1])
 		}
 	}
-	cp.Ice.Advect(u, v, cp.ocnMask, cp.ocnDx, cp.ocnDy, cp.ocnCos, nlat, nlon, dt)
 }
 
 // Budget returns the accumulated water budget terms.
@@ -234,6 +247,8 @@ func (cp *Coupler) Budget() WaterBudget { return cp.waterBudget }
 func (cp *Coupler) ResetBudget() { cp.waterBudget = WaterBudget{} }
 
 // Exchange implements atmos.Boundary: one atmosphere-step surface exchange.
+//
+//foam:hotpath
 func (cp *Coupler) Exchange(in *atmos.LowestLevel, dt float64) *atmos.SurfaceExchange {
 	g := cp.AtmGrid
 	ex := cp.exch
@@ -291,7 +306,7 @@ func (cp *Coupler) Exchange(in *atmos.LowestLevel, dt float64) *atmos.SurfaceExc
 		iceOut[oc] = nil
 	}
 	for oc := 0; oc < cp.OcnGrid.Size(); oc++ {
-		if cp.ocnMask[oc] == 0 {
+		if cp.ocnMask[oc] < 0.5 {
 			continue
 		}
 		if cp.Ice.Present(oc) || cp.iceForm[oc] > 0 {
@@ -335,7 +350,7 @@ func (cp *Coupler) Exchange(in *atmos.LowestLevel, dt float64) *atmos.SurfaceExc
 	// weights already sum to one; ensure surface temperature is sane where
 	// nothing contributed (should not happen).
 	for c := 0; c < n; c++ {
-		if ex.TSurf[c] == 0 {
+		if ex.TSurf[c] <= 0 {
 			ex.TSurf[c] = 273
 			ex.Albedo[c] = 0.3
 		}
@@ -348,11 +363,11 @@ func (cp *Coupler) Exchange(in *atmos.LowestLevel, dt float64) *atmos.SurfaceExc
 // state, so pieces can be computed concurrently.
 func (cp *Coupler) computePieceFlux(piece *OverlapCell, in *atmos.LowestLevel, iceOut []*seaice.Output) pieceFlux {
 	oc := piece.Ocn
-	if oc < 0 || cp.ocnMask[oc] == 0 {
+	if oc < 0 || cp.ocnMask[oc] < 0.5 {
 		return pieceFlux{}
 	}
 	a := piece.Atm
-	if cp.wetAtmArea[a] == 0 {
+	if cp.wetAtmArea[a] <= 0 {
 		return pieceFlux{}
 	}
 	wAtm := piece.Area / cp.wetAtmArea[a] * (1 - cp.landFrac[a])
@@ -452,11 +467,13 @@ func (cp *Coupler) remapLowest(in *atmos.LowestLevel) {
 // water, and resets the accumulators. dt is the ocean step the forcing will
 // drive. The returned Forcing is owned by the coupler and overwritten by the
 // next call; consume it before draining again.
+//
+//foam:hotpath
 func (cp *Coupler) DrainOceanForcing(dt float64) *ocean.Forcing {
 	m := cp.OcnGrid.Size()
 	f := cp.drainF
 	steps := float64(cp.accSteps)
-	if steps == 0 {
+	if steps <= 0 {
 		steps = 1
 	}
 	for c := 0; c < m; c++ {
@@ -487,7 +504,7 @@ func (cp *Coupler) DrainOceanForcing(dt float64) *ocean.Forcing {
 	for j := 0; j < og.NLat(); j++ {
 		for i := 0; i < og.NLon(); i++ {
 			c := og.Index(j, i)
-			if cp.ocnMask[c] == 0 {
+			if cp.ocnMask[c] < 0.5 {
 				riverOnOcn[c] = 0
 				continue
 			}

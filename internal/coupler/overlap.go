@@ -10,6 +10,8 @@
 // states, and the results are area-averaged back to each grid. No state
 // variable is ever interpolated to a single grid, and the exchange is
 // conservative by construction.
+//
+//foam:deterministic
 package coupler
 
 import (
@@ -154,12 +156,14 @@ func (ov *Overlap) AtmToOcn(field []float64) []float64 {
 }
 
 // AtmToOcnInto writes the remap into dst.
+//
+//foam:hotpath
 func (ov *Overlap) AtmToOcnInto(dst, field []float64) {
 	for c := range dst {
 		dst[c] = 0
 	}
 	for _, cell := range ov.Cells {
-		if cell.Ocn < 0 || ov.OcnArea[cell.Ocn] == 0 {
+		if cell.Ocn < 0 || ov.OcnArea[cell.Ocn] <= 0 {
 			continue
 		}
 		dst[cell.Ocn] += field[cell.Atm] * cell.Area / ov.OcnArea[cell.Ocn]
@@ -172,7 +176,7 @@ func (ov *Overlap) AtmToOcnInto(dst, field []float64) {
 func (ov *Overlap) OcnToAtm(field []float64) []float64 {
 	out := make([]float64, ov.atmGrid.Size())
 	for _, cell := range ov.Cells {
-		if cell.Ocn < 0 || ov.AtmArea[cell.Atm] == 0 {
+		if cell.Ocn < 0 || ov.AtmArea[cell.Atm] <= 0 {
 			continue
 		}
 		out[cell.Atm] += field[cell.Ocn] * cell.Area / ov.AtmArea[cell.Atm]

@@ -168,11 +168,11 @@ func (m *Model) gradX(field []float64, j, i, k int) float64 {
 		ww = 0
 	}
 	switch {
-	case we == 1 && ww == 1:
+	case we > 0.5 && ww > 0.5:
 		return (field[ie] - field[iw]) / (2 * m.dx[j])
-	case we == 1:
+	case we > 0.5:
 		return (field[ie] - field[c]) / m.dx[j]
-	case ww == 1:
+	case ww > 0.5:
 		return (field[c] - field[iw]) / m.dx[j]
 	default:
 		return 0
@@ -192,11 +192,11 @@ func (m *Model) gradY(field []float64, j, i, k int) float64 {
 		ws = 0
 	}
 	switch {
-	case wn == 1 && ws == 1:
+	case wn > 0.5 && ws > 0.5:
 		return (field[jn] - field[js]) / (m.dy[j] * 2)
-	case wn == 1:
+	case wn > 0.5:
 		return (field[jn] - field[c]) / m.dy[j]
-	case ws == 1:
+	case ws > 0.5:
 		return (field[c] - field[js]) / m.dy[j]
 	default:
 		return 0
@@ -1062,5 +1062,3 @@ func (m *Model) unsplitFreeSurface(f *Forcing, j0, j1 int, dt float64) {
 		}
 	}
 }
-
-

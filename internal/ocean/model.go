@@ -315,13 +315,17 @@ func (m *Model) SetPool(p *pool.Pool) {
 // This is the serial driver; the parallel driver in parallel.go invokes the
 // same kernels over row blocks, and the shared-memory driver in shared.go
 // re-sequences them as pool phases.
+//
+//foam:hotpath
 func (m *Model) Step(f *Forcing) {
+	//foam:allow nondeterminism wall-clock cost trace feeds the load-balance diagnostic, never the simulation state
 	t0 := time.Now()
 	if m.wscr != nil {
 		m.stepShared(f)
 	} else {
 		m.stepRows(f, 1, m.cfg.NLat-1, nil)
 	}
+	//foam:allow nondeterminism wall-clock cost trace feeds the load-balance diagnostic, never the simulation state
 	m.lastStepSeconds = time.Since(t0).Seconds()
 	m.step++
 	m.updateDiagnostics()
@@ -338,7 +342,7 @@ func (m *Model) updateDiagnostics() {
 	var sumT, areaT, maxSp, ke, ice float64
 	n := m.cfg.NLat * m.cfg.NLon
 	for c := 0; c < n; c++ {
-		if m.mask[c] == 0 {
+		if m.mask[c] < 0.5 {
 			continue
 		}
 		j := c / m.cfg.NLon
@@ -358,7 +362,7 @@ func (m *Model) updateDiagnostics() {
 	m.diag.IceFlux = ice / math.Max(areaT, 1)
 	var meanEta, th, sa float64
 	for c := 0; c < n; c++ {
-		if m.mask[c] == 0 {
+		if m.mask[c] < 0.5 {
 			continue
 		}
 		j := c / m.cfg.NLon

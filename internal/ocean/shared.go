@@ -69,6 +69,8 @@ type sharedPhases struct {
 // and shift by one: they write rows [1, nlat-1) while the closed boundary
 // rows stay untouched, as in the serial driver. Full phases cover every
 // row, matching the serial ghost-extended ranges ge0=0, ge1=nlat.
+//
+//foam:hotphases
 func (m *Model) bindSharedPhases() *sharedPhases {
 	ph := &sharedPhases{}
 	dt := m.cfg.DtTracer

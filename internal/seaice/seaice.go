@@ -4,6 +4,8 @@
 // conductive coupling to an ocean clamped at -1.92 C, formation treated as
 // a freshwater flux out of the ocean, and atmosphere-ice stress divided by
 // 15 before being passed to the ocean.
+//
+//foam:deterministic
 package seaice
 
 import (
@@ -39,11 +41,13 @@ type Model struct {
 	n     int
 	Thick []float64 // ice thickness, m (water equivalent)
 	TSurf []float64 // ice surface temperature, K
+	tend  []float64 // advection tendency scratch, reused every call
 }
 
 // New creates an ice-free model for n cells.
 func New(n int) *Model {
-	m := &Model{n: n, Thick: make([]float64, n), TSurf: make([]float64, n)}
+	m := &Model{n: n, Thick: make([]float64, n), TSurf: make([]float64, n),
+		tend: make([]float64, n)}
 	for c := range m.TSurf {
 		m.TSurf[c] = FreezePoint
 	}
@@ -185,14 +189,17 @@ func (m *Model) BasalMelt(c int, sstC, dt float64) float64 {
 func (m *Model) Advect(u, v, mask []float64, dx, dy, cosLat []float64, nlat, nlon int, dt float64) {
 	const driftFactor = 0.7 // ice drifts slower than the surface water
 	thick := m.Thick
-	tend := make([]float64, len(thick))
+	tend := m.tend
+	for c := range tend {
+		tend[c] = 0
+	}
 	// East faces.
 	for j := 0; j < nlat; j++ {
 		lim := 0.45 * dx[j] / dt
 		for i := 0; i < nlon; i++ {
 			c := j*nlon + i
 			ie := j*nlon + (i+1)%nlon
-			if mask[c] == 0 || mask[ie] == 0 {
+			if mask[c] < 0.5 || mask[ie] < 0.5 {
 				continue
 			}
 			uf := driftFactor * 0.5 * (u[c] + u[ie])
@@ -218,7 +225,7 @@ func (m *Model) Advect(u, v, mask []float64, dx, dy, cosLat []float64, nlat, nlo
 		for i := 0; i < nlon; i++ {
 			c := j*nlon + i
 			jn := (j+1)*nlon + i
-			if mask[c] == 0 || mask[jn] == 0 {
+			if mask[c] < 0.5 || mask[jn] < 0.5 {
 				continue
 			}
 			vf := driftFactor * 0.5 * (v[c] + v[jn])

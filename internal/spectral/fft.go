@@ -4,6 +4,8 @@
 // truncation, together with the derivative operators the dynamical core
 // needs. A transpose-based distributed transform mirrors the parallel
 // spectral transform algorithms of Foster and Worley cited by the paper.
+//
+//foam:deterministic
 package spectral
 
 import (
@@ -113,12 +115,16 @@ type FFTScratch struct {
 }
 
 // NewScratch allocates scratch sized for this transform length.
+//
+//foam:coldpath
 func (f *FFT) NewScratch() *FFTScratch {
 	return &FFTScratch{a: make([]complex128, f.n), b: make([]complex128, f.n)}
 }
 
 // ForwardInto is Forward without per-call allocation. dst and src must not
 // alias each other or the scratch buffers.
+//
+//foam:hotpath
 func (f *FFT) ForwardInto(dst, src []complex128, s *FFTScratch) {
 	checkNoAliasC(dst, src, "ForwardInto dst/src")
 	f.transformNoAlias(dst, src, false)
@@ -126,6 +132,8 @@ func (f *FFT) ForwardInto(dst, src []complex128, s *FFTScratch) {
 
 // InverseInto is Inverse without per-call allocation. dst and src must not
 // alias each other or the scratch buffers.
+//
+//foam:hotpath
 func (f *FFT) InverseInto(dst, src []complex128, s *FFTScratch) {
 	checkNoAliasC(dst, src, "InverseInto dst/src")
 	f.transformNoAlias(dst, src, true)
@@ -244,6 +252,8 @@ func (f *FFT) SynthesizeReal(dst []float64, coefs []complex128) {
 
 // AnalyzeRealInto is AnalyzeReal without per-call allocation: the complex
 // staging and output buffers come from s. Bit-identical to AnalyzeReal.
+//
+//foam:hotpath
 func (f *FFT) AnalyzeRealInto(dst []complex128, x []float64, mmax int, s *FFTScratch) {
 	if len(x) != f.n {
 		panic("spectral: AnalyzeReal input length mismatch")
@@ -265,6 +275,8 @@ func (f *FFT) AnalyzeRealInto(dst []complex128, x []float64, mmax int, s *FFTScr
 // SynthesizeRealInto is SynthesizeReal without per-call allocation.
 // Bit-identical to SynthesizeReal: the inverse transform's 1/n scaling and
 // the *n undo are applied in the same order.
+//
+//foam:hotpath
 func (f *FFT) SynthesizeRealInto(dst []float64, coefs []complex128, s *FFTScratch) {
 	if len(dst) != f.n {
 		panic("spectral: SynthesizeReal output length mismatch")

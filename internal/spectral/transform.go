@@ -191,6 +191,8 @@ type wsPerWorker struct {
 
 // NewWorkspace allocates a workspace sized for this transform and its
 // current pool's worker count. Create workspaces after SetPool.
+//
+//foam:coldpath
 func (tr *Transform) NewWorkspace() *Workspace {
 	t := tr.Trunc
 	mm := t.M + 1
@@ -216,6 +218,8 @@ func (tr *Transform) NewWorkspace() *Workspace {
 
 // bindPhases creates the pooled phase closures once. They read their
 // arguments from the staged fields, never from captured per-call state.
+//
+//foam:hotphases
 func (ws *Workspace) bindPhases() {
 	tr := ws.tr
 	t := tr.Trunc
@@ -390,6 +394,8 @@ func checkNoAliasF(a, b []float64, what string) {
 // AnalyzeInto computes spectral coefficients from a grid field without
 // allocating: Fourier rows land in the workspace's flat row buffer, then
 // the Legendre accumulation fills spec (which is zeroed first).
+//
+//foam:hotpath
 func (tr *Transform) AnalyzeInto(spec []complex128, grid []float64, ws *Workspace) {
 	ws = tr.ready(ws)
 	tr.checkGrid(grid, "AnalyzeInto")
@@ -422,6 +428,8 @@ func (tr *Transform) Synthesize(spec []complex128) []float64 {
 
 // SynthesizeInto writes the synthesis into an existing grid buffer. With a
 // non-nil workspace the call does not allocate.
+//
+//foam:hotpath
 func (tr *Transform) SynthesizeInto(grid []float64, spec []complex128, ws *Workspace) {
 	ws = tr.ready(ws)
 	tr.checkGrid(grid, "SynthesizeInto")
@@ -434,6 +442,8 @@ func (tr *Transform) SynthesizeInto(grid []float64, spec []complex128, ws *Works
 // SynthesizeWithDerivsInto is the allocation-free form of
 // SynthesizeWithDerivs: f, dfdl and hmu must be distinct grid-sized
 // buffers.
+//
+//foam:hotpath
 func (tr *Transform) SynthesizeWithDerivsInto(f, dfdl, hmu []float64, spec []complex128, ws *Workspace) {
 	ws = tr.ready(ws)
 	tr.checkGrid(f, "SynthesizeWithDerivsInto f")
@@ -472,6 +482,8 @@ func (tr *Transform) SynthesizeWithDerivs(spec []complex128) (f, dfdl, hmu []flo
 //
 // U and V must be distinct grid-sized buffers; vort and div are read-only
 // and may alias. With a non-nil workspace the call does not allocate.
+//
+//foam:hotpath
 func (tr *Transform) SynthesizeUVInto(U, V []float64, vort, div []complex128, ws *Workspace) {
 	ws = tr.ready(ws)
 	tr.checkGrid(U, "SynthesizeUVInto U")
@@ -517,6 +529,8 @@ func (tr *Transform) SynthesizeUV(vort, div []complex128) (U, V []float64) {
 // scalars — bit-identical to negating the grids, without touching them.
 // A and B are read-only and may alias; spec is zeroed first. With a
 // non-nil workspace the call does not allocate.
+//
+//foam:hotpath
 func (tr *Transform) AnalyzeDivFormInto(spec []complex128, A, B []float64, signA, signB float64, ws *Workspace) {
 	ws = tr.ready(ws)
 	tr.checkGrid(A, "AnalyzeDivFormInto A")
@@ -562,6 +576,8 @@ func (tr *Transform) AnalyzeDivForm(A, B []float64, signA, signB float64) []comp
 // vort and div must be distinct; A and B are read-only. The Fourier rows
 // of A and B are computed once and shared by both accumulations, halving
 // the FFT work of two separate AnalyzeDivForm calls.
+//
+//foam:hotpath
 func (tr *Transform) VortDivTendInto(vort, div []complex128, A, B []float64, ws *Workspace) {
 	ws = tr.ready(ws)
 	tr.checkGrid(A, "VortDivTendInto A")

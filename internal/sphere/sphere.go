@@ -218,7 +218,7 @@ func (g *Grid) AreaMeanMasked(field []float64, mask []bool) float64 {
 			den += g.area[k]
 		}
 	}
-	if den == 0 {
+	if den <= 0 {
 		return 0
 	}
 	return num / den

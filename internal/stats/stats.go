@@ -409,7 +409,7 @@ func PatternCorrelation(a, b, w []float64) float64 {
 		caa += da * da * w[i]
 		cbb += db * db * w[i]
 	}
-	if caa == 0 || cbb == 0 {
+	if caa <= 0 || cbb <= 0 {
 		return 0
 	}
 	return cab / math.Sqrt(caa*cbb)
