@@ -1,27 +1,39 @@
 // Command foam-lint runs FOAM-Go's project-specific static-analysis
 // suite (internal/analysis): the compile-time enforcement of the
-// determinism and zero-allocation invariants.
+// determinism, zero-allocation, phase-safety, and grid-shape invariants.
 //
 // Usage:
 //
-//	foam-lint [-json] [./...]
+//	foam-lint [-json|-sarif] [-fix] [-baseline file] [pattern ...]
 //
 // The module containing the current directory is loaded in full (every
-// non-test package); an optional trailing pattern restricts which
-// packages are *reported on* — "./..." (the default) means everything,
-// "./internal/..." only that subtree. Analysis always sees the whole
-// module so cross-package hot-path traversal is never truncated.
+// non-test package); optional trailing patterns restrict which packages
+// are *reported on* — "./..." (the default) means everything,
+// "./internal/..." only that subtree. Several patterns are a union of
+// scopes, and a finding inside overlapping patterns is reported once.
+// Analysis always sees the whole module so cross-package hot-path
+// traversal is never truncated.
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure. Text output
-// is one "path:line:col: message [analyzer]" line per finding, sorted by
-// (path, line, column) so CI logs diff cleanly; -json emits the same
-// findings as a JSON array.
+// -fix applies the suggested fixes (floatcmp ordered-form rewrites,
+// //foam: directive normalization) to the files in place; fixed
+// findings are not reported, so a run that fixes everything exits 0.
+//
+// -baseline reads a committed findings file with ratchet semantics:
+// listed findings are suppressed, new findings fail, and stale entries
+// (fixed findings still listed) fail until removed from the file.
+//
+// Exit status: 0 clean, 1 findings or stale baseline entries, 2 usage
+// or load failure. Text output is one "path:line:col: message
+// [analyzer]" line per finding, sorted by (path, line, column) so CI
+// logs diff cleanly; -json emits the same findings as a JSON array and
+// -sarif as a SARIF 2.1.0 log for CI inline annotations.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,61 +42,104 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: foam-lint [-json] [pattern]\n\npatterns: ./... (default), or a subtree like ./internal/...\n")
-		flag.PrintDefaults()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("foam-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place and report only what remains")
+	baselinePath := fs.String("baseline", "", "baseline findings file with ratchet semantics")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: foam-lint [-json|-sarif] [-fix] [-baseline file] [pattern ...]\n\npatterns: ./... (default), or subtrees like ./internal/...\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "foam-lint: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
-	pattern := "./..."
-	switch flag.NArg() {
-	case 0:
-	case 1:
-		pattern = flag.Arg(0)
-	default:
-		flag.Usage()
-		return 2
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
 	}
-	sub, ok := patternDir(pattern)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "foam-lint: unsupported pattern %q (want ./... or ./dir/...)\n", pattern)
-		return 2
+	var subs []string
+	for _, p := range patterns {
+		sub, ok := patternDir(p)
+		if !ok {
+			fmt.Fprintf(stderr, "foam-lint: unsupported pattern %q (want ./... or ./dir/...)\n", p)
+			return 2
+		}
+		subs = append(subs, sub)
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "foam-lint:", err)
+		fmt.Fprintln(stderr, "foam-lint:", err)
 		return 2
 	}
 	root, modPath, err := analysis.FindModuleRoot(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "foam-lint:", err)
+		fmt.Fprintln(stderr, "foam-lint:", err)
 		return 2
 	}
 	prog, err := analysis.LoadModule(root, modPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "foam-lint:", err)
+		fmt.Fprintln(stderr, "foam-lint:", err)
 		return 2
 	}
 
 	diags := prog.Run(analysis.Analyzers())
-	scope, err := filepath.Abs(filepath.Join(cwd, sub))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "foam-lint:", err)
-		return 2
+
+	// Union of pattern scopes, each finding kept once: overlapping
+	// patterns (./... plus an explicit subtree) must not double-report.
+	var scopes []string
+	for _, sub := range subs {
+		scope, aerr := filepath.Abs(filepath.Join(cwd, sub))
+		if aerr != nil {
+			fmt.Fprintln(stderr, "foam-lint:", aerr)
+			return 2
+		}
+		scopes = append(scopes, scope)
 	}
+	seen := make(map[string]bool)
 	kept := diags[:0]
 	for _, d := range diags {
-		if d.Pos.Filename == scope || strings.HasPrefix(d.Pos.Filename, scope+string(filepath.Separator)) {
-			kept = append(kept, d)
+		inScope := false
+		for _, scope := range scopes {
+			if d.Pos.Filename == scope || strings.HasPrefix(d.Pos.Filename, scope+string(filepath.Separator)) {
+				inScope = true
+				break
+			}
 		}
+		if !inScope {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s:%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, d)
 	}
 	diags = kept
+
+	if *fix {
+		remaining, applied, ferr := analysis.ApplyFixes(diags)
+		if ferr != nil {
+			fmt.Fprintln(stderr, "foam-lint:", ferr)
+			return 2
+		}
+		if applied > 0 {
+			fmt.Fprintf(stderr, "foam-lint: applied %d fix(es)\n", applied)
+		}
+		diags = remaining
+	}
 
 	// Report paths relative to the working directory: stable across
 	// checkouts, so CI logs from different machines diff cleanly.
@@ -94,7 +149,27 @@ func run() int {
 		}
 	}
 
-	if *jsonOut {
+	var stale []string
+	if *baselinePath != "" {
+		data, rerr := os.ReadFile(*baselinePath)
+		if rerr != nil {
+			fmt.Fprintln(stderr, "foam-lint:", rerr)
+			return 2
+		}
+		base := analysis.ParseBaseline(data)
+		diags, stale = base.Apply(diags, func(d analysis.Diagnostic) string {
+			d.Pos.Filename = filepath.ToSlash(d.Pos.Filename)
+			return d.String()
+		})
+	}
+
+	switch {
+	case *sarifOut:
+		if err := analysis.WriteSARIF(stdout, diags, analysis.Analyzers()); err != nil {
+			fmt.Fprintln(stderr, "foam-lint:", err)
+			return 2
+		}
+	case *jsonOut:
 		type jsonDiag struct {
 			Analyzer string `json:"analyzer"`
 			File     string `json:"file"`
@@ -112,20 +187,23 @@ func run() int {
 				Message:  d.Message,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "\t")
 		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, "foam-lint:", err)
+			fmt.Fprintln(stderr, "foam-lint:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
-	if len(diags) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "foam-lint: %d finding(s)\n", len(diags))
+	for _, e := range stale {
+		fmt.Fprintf(stderr, "foam-lint: stale baseline entry (fixed finding, remove it): %s\n", e)
+	}
+	if len(diags) > 0 || len(stale) > 0 {
+		if len(diags) > 0 && !*jsonOut && !*sarifOut {
+			fmt.Fprintf(stderr, "foam-lint: %d finding(s)\n", len(diags))
 		}
 		return 1
 	}

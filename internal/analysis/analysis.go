@@ -21,7 +21,7 @@
 //	//foam:allow <name> <reason>
 //	                      suppress one analyzer on this line and the next
 //
-// and five analyzers enforce them:
+// and seven analyzers enforce them:
 //
 //	hotpathalloc    allocating constructs reachable from a hotpath root
 //	poolclosure     function literals or method values at pool.Run sites
@@ -29,6 +29,10 @@
 //	                packages
 //	intoalias       *Into calls whose dst syntactically aliases a source
 //	floatcmp        == / != on floating-point operands
+//	phasesafety     pool phases whose symbolic write sets can overlap
+//	                across workers under the block decomposition
+//	fieldshape      flat grid buffers indexed or copied with another
+//	                grid's dimensions
 //
 // Malformed //foam: directives are diagnostics too (analyzer "pragma"),
 // never silently ignored.
@@ -43,10 +47,23 @@ import (
 )
 
 // Diagnostic is one finding. Position is resolved (file, line, column).
+// Fix, when non-nil, is a mechanical rewrite that resolves the finding;
+// foam-lint -fix applies it.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fix      *Fix
+}
+
+// Fix is a single-range replacement in the diagnostic's file, expressed
+// as byte offsets so it can be applied without re-parsing. Only
+// rewrites that provably preserve behavior get a Fix: the floatcmp
+// ordered-form rewrites (exact under NaN, side-effect-free operands
+// only) and //foam: directive normalization.
+type Fix struct {
+	Start, End int // byte offsets into Pos.Filename, half-open
+	NewText    string
 }
 
 // String renders the diagnostic in the canonical path:line:col form used
@@ -114,6 +131,8 @@ func Analyzers() []*Analyzer {
 		AnalyzerNondeterminism,
 		AnalyzerIntoAlias,
 		AnalyzerFloatCmp,
+		AnalyzerPhaseSafety,
+		AnalyzerFieldShape,
 	}
 }
 
@@ -126,6 +145,8 @@ var analyzerNames = map[string]bool{
 	"nondeterminism": true,
 	"intoalias":      true,
 	"floatcmp":       true,
+	"phasesafety":    true,
+	"fieldshape":     true,
 }
 
 // Run executes the given analyzers over the program and returns the

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// Baseline is a committed set of accepted findings with ratchet
+// semantics: a finding listed in the baseline is suppressed, a finding
+// not listed fails the build, and a baseline entry that no longer
+// matches any finding is stale and fails the build too — fixing a
+// finding forces its removal from the file, so the baseline can only
+// shrink. Entries are canonical diagnostic lines
+// ("path:line:col: message [analyzer]", slash-separated paths relative
+// to the module root); blank lines and #-comments are ignored.
+type Baseline struct {
+	entries map[string]bool
+}
+
+// ParseBaseline reads a baseline file's contents.
+func ParseBaseline(data []byte) *Baseline {
+	b := &Baseline{entries: make(map[string]bool)}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.entries[line] = true
+	}
+	return b
+}
+
+// Len returns the number of entries.
+func (b *Baseline) Len() int { return len(b.entries) }
+
+// Apply splits diags into the findings not covered by the baseline and
+// the stale baseline entries matched by no finding. canon renders a
+// diagnostic in the baseline's canonical form.
+func (b *Baseline) Apply(diags []Diagnostic, canon func(Diagnostic) string) (fresh []Diagnostic, stale []string) {
+	matched := make(map[string]bool)
+	for _, d := range diags {
+		key := canon(d)
+		if b.entries[key] {
+			matched[key] = true
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for e := range b.entries {
+		if !matched[e] {
+			stale = append(stale, e)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}

@@ -1,0 +1,745 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerFieldShape tracks grid shapes through allocations and flags
+// buffers indexed or copied with a different grid's dimensions. FOAM's
+// hot state lives in flat row-major slices — ocean fields are
+// NLat*NLon, spectral grids NLat*NLon on the transform grid, atmosphere
+// state NLev*NLat*NLon — and nothing in the type system distinguishes
+// one flat []float64 from another, so an ocean buffer indexed with an
+// atmosphere stride compiles cleanly and reads garbage.
+//
+// The analyzer records, for every struct field, package-level variable,
+// and local assigned from make, the multiplicative decomposition of the
+// allocation size as a list of named dimensions: grid-dimension
+// constants (by constant identity and value) and struct-field
+// dimensions like cfg.NLon (by owning struct type). At every index
+// expression over a shaped flat buffer it decomposes the index into
+// row-major sum-of-product form and checks each product term: a term's
+// named factors must include at least one dimension compatible with the
+// buffer's shape — same constant, same owning struct, or a value that
+// matches a dimension or a contiguous inner-dimension product.
+// copy calls and range loops whose source and destination shapes
+// resolve to provably different total lengths, or to dimensions drawn
+// entirely from different grid structs, are flagged the same way.
+// Shapes also propagate one call deep: a shaped buffer passed to a
+// static module function (the *Into entry points) has the callee's
+// index arithmetic over that parameter checked against the caller's
+// shape.
+//
+// Anything the analyzer cannot resolve — unknown sizes, reallocated
+// locals, conflicting per-field allocation sites, plain element
+// accesses — is silently accepted; only provable cross-grid mixing is
+// reported.
+var AnalyzerFieldShape = &Analyzer{
+	Name: "fieldshape",
+	Doc:  "reports flat grid buffers allocated with one grid's shape but indexed or copied with another's",
+	Run:  runFieldShape,
+}
+
+// gdim is one named grid dimension of an allocation size.
+type gdim struct {
+	key    string // identity of the source constant or field, "" when anonymous
+	sKey   string // owning struct type when the dimension is a struct field
+	val    int64
+	hasVal bool
+}
+
+func (d gdim) known() bool { return d.key != "" || d.hasVal }
+
+// display renders the dimension for messages: the short name of its
+// source, or its value.
+func (d gdim) display() string {
+	if d.key != "" {
+		if i := strings.LastIndexByte(d.key, '/'); i >= 0 {
+			return d.key[i+1:]
+		}
+		return d.key
+	}
+	return strconv.FormatInt(d.val, 10)
+}
+
+func shapeString(sh []gdim) string {
+	parts := make([]string, len(sh))
+	for i, d := range sh {
+		parts[i] = d.display()
+	}
+	return strings.Join(parts, "*")
+}
+
+// shapeInfo is the merged allocation knowledge for one storage object:
+// its own shape and, for slice-of-slice fields populated element-wise,
+// the element shape. Conflicting allocation sites poison the slot.
+type shapeInfo struct {
+	own, elem       []gdim
+	ownBad, elemBad bool
+}
+
+func sameShape(a, b []gdim) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fnScope resolves expressions inside one function body to dimensions,
+// following locals that are assigned exactly once.
+type fnScope struct {
+	pkg    *Package
+	single map[types.Object]ast.Expr // single-assignment RHS; nil = reassigned
+}
+
+const dimDepth = 8
+
+func newFnScope(pkg *Package, body ast.Node) *fnScope {
+	s := &fnScope{pkg: pkg, single: make(map[types.Object]ast.Expr)}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil || id.Name == "_" {
+			return
+		}
+		if _, seen := s.single[obj]; seen {
+			s.single[obj] = nil
+			return
+		}
+		s.single[obj] = rhs
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			oneToOne := len(st.Lhs) == len(st.Rhs)
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if oneToOne {
+					record(id, st.Rhs[i])
+				} else {
+					record(id, nil)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(st.X).(*ast.Ident); ok {
+				record(id, nil)
+				record(id, nil) // force reassigned
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{st.Key, st.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					record(id, nil)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range st.Names {
+				if i < len(st.Values) {
+					record(id, st.Values[i])
+				} else {
+					record(id, nil)
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+func (s *fnScope) obj(id *ast.Ident) types.Object {
+	if o := s.pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return s.pkg.Info.Defs[id]
+}
+
+func objKey(obj types.Object) string {
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// dimOf resolves expr to a single named dimension.
+func (s *fnScope) dimOf(expr ast.Expr, depth int) (gdim, bool) {
+	if depth > dimDepth {
+		return gdim{}, false
+	}
+	expr = ast.Unparen(expr)
+	var d gdim
+	if tv, ok := s.pkg.Info.Types[expr]; ok && tv.Value != nil {
+		if v, ok := constInt(tv); ok {
+			d.val, d.hasVal = int64(v), true
+		}
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		switch obj := s.obj(e).(type) {
+		case *types.Const:
+			d.key = objKey(obj)
+			return d, d.known()
+		case *types.Var:
+			if rhs, ok := s.single[obj]; ok && rhs != nil {
+				return s.dimOf(rhs, depth+1)
+			}
+		}
+	case *ast.SelectorExpr:
+		if c, ok := s.obj(e.Sel).(*types.Const); ok {
+			d.key = objKey(c)
+			return d, d.known()
+		}
+		if sel, ok := s.pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			recv := sel.Recv()
+			if p, ok := recv.Underlying().(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				d.sKey = objKey(named.Obj())
+				d.key = d.sKey + "." + e.Sel.Name
+				return d, true
+			}
+		}
+	case *ast.CallExpr:
+		// Conversions like int(n).
+		if tv, ok := s.pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return s.dimOf(e.Args[0], depth+1)
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && len(e.Args) == 1 {
+			if b, ok := s.pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "len" {
+				// len(x) of a buffer is not a grid dimension; give up.
+				return gdim{}, false
+			}
+		}
+	}
+	return d, d.known()
+}
+
+// flattenDims decomposes expr as a product of named dimensions,
+// following single-assignment locals, or reports failure.
+func (s *fnScope) flattenDims(expr ast.Expr, depth int, out *[]gdim) bool {
+	if depth > dimDepth {
+		return false
+	}
+	expr = ast.Unparen(expr)
+	if be, ok := expr.(*ast.BinaryExpr); ok && be.Op == token.MUL {
+		return s.flattenDims(be.X, depth+1, out) && s.flattenDims(be.Y, depth+1, out)
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if v, ok := s.obj(id).(*types.Var); ok {
+			if rhs, ok := s.single[v]; ok && rhs != nil {
+				if ast.Unparen(rhs) != expr {
+					return s.flattenDims(rhs, depth+1, out)
+				}
+			}
+		}
+	}
+	d, ok := s.dimOf(expr, depth)
+	if !ok {
+		return false
+	}
+	*out = append(*out, d)
+	return true
+}
+
+// shapeOfMake resolves a make call's length argument to a shape.
+func (s *fnScope) shapeOfMake(call *ast.CallExpr) []gdim {
+	if len(call.Args) < 2 {
+		return nil
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := s.pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+			return nil
+		}
+	} else {
+		return nil
+	}
+	if _, ok := s.pkg.Info.TypeOf(call).Underlying().(*types.Slice); !ok {
+		return nil
+	}
+	var sh []gdim
+	if !s.flattenDims(call.Args[1], 0, &sh) {
+		return nil
+	}
+	return sh
+}
+
+// ---- allocation collection ----
+
+func mergeShape(shapes map[types.Object]*shapeInfo, obj types.Object, sh []gdim, elem bool) {
+	si := shapes[obj]
+	if si == nil {
+		si = &shapeInfo{}
+		shapes[obj] = si
+	}
+	if elem {
+		if si.elem == nil && !si.elemBad {
+			si.elem = sh
+		} else if !sameShape(si.elem, sh) {
+			si.elem, si.elemBad = nil, true
+		}
+		return
+	}
+	if si.own == nil && !si.ownBad {
+		si.own = sh
+	} else if !sameShape(si.own, sh) {
+		si.own, si.ownBad = nil, true
+	}
+}
+
+// allocTarget resolves the storage object an allocation is assigned to:
+// struct field (through any selector chain), package-level variable, or
+// local. The second result is true for element-wise allocation
+// (field[k] = make(...)).
+func allocTarget(sc *fnScope, lhs ast.Expr) (types.Object, bool) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if v, ok := sc.obj(e).(*types.Var); ok {
+			return v, false
+		}
+	case *ast.SelectorExpr:
+		if v, ok := sc.obj(e.Sel).(*types.Var); ok {
+			return v, false
+		}
+	case *ast.IndexExpr:
+		obj, elem := allocTarget(sc, e.X)
+		if obj != nil && !elem {
+			return obj, true
+		}
+	}
+	return nil, false
+}
+
+func collectShapes(prog *Program) map[types.Object]*shapeInfo {
+	shapes := make(map[types.Object]*shapeInfo)
+	collectBody := func(pkg *Package, body ast.Node) {
+		sc := newFnScope(pkg, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					return true
+				}
+				for i, lhs := range st.Lhs {
+					call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					sh := sc.shapeOfMake(call)
+					if sh == nil {
+						continue
+					}
+					if obj, elem := allocTarget(sc, lhs); obj != nil {
+						mergeShape(shapes, obj, sh, elem)
+					}
+				}
+			case *ast.CompositeLit:
+				if _, ok := pkg.Info.TypeOf(st).Underlying().(*types.Struct); !ok {
+					return true
+				}
+				for _, elt := range st.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					call, ok := ast.Unparen(kv.Value).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					sh := sc.shapeOfMake(call)
+					if sh == nil {
+						continue
+					}
+					if v, ok := pkg.Info.Uses[key].(*types.Var); ok {
+						mergeShape(shapes, v, sh, false)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body != nil {
+						collectBody(pkg, d.Body)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						sc := newFnScope(pkg, vs)
+						for i, name := range vs.Names {
+							if i >= len(vs.Values) {
+								break
+							}
+							call, ok := ast.Unparen(vs.Values[i]).(*ast.CallExpr)
+							if !ok {
+								continue
+							}
+							sh := sc.shapeOfMake(call)
+							if sh == nil {
+								continue
+							}
+							if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+								mergeShape(shapes, v, sh, false)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return shapes
+}
+
+// ---- compatibility ----
+
+// compatibleDim reports whether a named index factor is consistent with
+// the buffer's shape. Unknowns are compatible; only provable cross-grid
+// mixing is not.
+func compatibleDim(d gdim, sh []gdim) bool {
+	for _, s := range sh {
+		if d.key != "" && d.key == s.key {
+			return true
+		}
+		if d.sKey != "" && d.sKey == s.sKey {
+			return true
+		}
+	}
+	allVals := true
+	for _, s := range sh {
+		if !s.hasVal {
+			allVals = false
+		}
+	}
+	if d.hasVal && allVals {
+		// Plausible strides: any dimension, or any contiguous product of
+		// dimensions (an inner-block stride of the flat layout).
+		for i := 0; i < len(sh); i++ {
+			p := int64(1)
+			for j := i; j < len(sh); j++ {
+				p *= sh[j].val
+				if d.val == p {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if d.sKey != "" {
+		allStruct := true
+		for _, s := range sh {
+			if s.sKey == "" {
+				allStruct = false
+			}
+		}
+		if allStruct && len(sh) > 0 {
+			return false // every dimension from some other grid struct
+		}
+	}
+	return true
+}
+
+// totalMismatch reports whether two shapes have provably different
+// lengths or are drawn entirely from different grid structs.
+func totalMismatch(a, b []gdim) bool {
+	pa, aVals := int64(1), true
+	for _, d := range a {
+		if !d.hasVal {
+			aVals = false
+			break
+		}
+		pa *= d.val
+	}
+	pb, bVals := int64(1), true
+	for _, d := range b {
+		if !d.hasVal {
+			bVals = false
+			break
+		}
+		pb *= d.val
+	}
+	if aVals && bVals {
+		return pa != pb
+	}
+	aStructs := make(map[string]bool)
+	aAll := len(a) > 0
+	for _, d := range a {
+		if d.sKey == "" {
+			aAll = false
+		}
+		aStructs[d.sKey] = true
+	}
+	bAll := len(b) > 0
+	for _, d := range b {
+		if d.sKey == "" {
+			bAll = false
+		}
+	}
+	if aAll && bAll {
+		for _, d := range b {
+			if aStructs[d.sKey] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// ---- checking ----
+
+type shapeChecker struct {
+	prog   *Program
+	shapes map[types.Object]*shapeInfo
+	emit   func(pos token.Pos, format string, args ...any)
+	budget int
+}
+
+func runFieldShape(prog *Program, report func(Diagnostic)) {
+	seen := make(map[string]bool)
+	c := &shapeChecker{
+		prog:   prog,
+		shapes: collectShapes(prog),
+		budget: 500,
+	}
+	c.emit = func(pos token.Pos, format string, args ...any) {
+		p := prog.position(pos)
+		msg := fmt.Sprintf(format, args...)
+		k := fmt.Sprintf("%s:%d:%d:%s", p.Filename, p.Line, p.Column, msg)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		report(Diagnostic{Pos: p, Message: msg})
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if d, ok := decl.(*ast.FuncDecl); ok && d.Body != nil {
+					sc := newFnScope(pkg, d.Body)
+					c.checkBody(sc, d.Body, nil)
+				}
+			}
+		}
+	}
+}
+
+// resolveShape resolves the buffer expression of an index/copy to its
+// allocation shape. With paramShapes set (one call deep inside a
+// callee), only parameters bound at the call site resolve — everything
+// else is checked when the callee is visited directly.
+func (c *shapeChecker) resolveShape(sc *fnScope, expr ast.Expr, paramShapes map[types.Object][]gdim) []gdim {
+	expr = ast.Unparen(expr)
+	if paramShapes != nil {
+		if id, ok := expr.(*ast.Ident); ok {
+			if obj := sc.obj(id); obj != nil {
+				return paramShapes[obj]
+			}
+		}
+		return nil
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if obj := sc.obj(e); obj != nil {
+			if si := c.shapes[obj]; si != nil {
+				return si.own
+			}
+			if rhs, ok := sc.single[obj]; ok && rhs != nil {
+				if _, isIdx := ast.Unparen(rhs).(*ast.IndexExpr); isIdx {
+					return c.resolveShape(sc, rhs, nil)
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := sc.obj(e.Sel).(*types.Var); ok {
+			if si := c.shapes[obj]; si != nil {
+				return si.own
+			}
+		}
+	case *ast.IndexExpr:
+		switch x := ast.Unparen(e.X).(type) {
+		case *ast.SelectorExpr:
+			if obj, ok := sc.obj(x.Sel).(*types.Var); ok {
+				if si := c.shapes[obj]; si != nil {
+					return si.elem
+				}
+			}
+		case *ast.Ident:
+			if obj := sc.obj(x); obj != nil {
+				if si := c.shapes[obj]; si != nil {
+					return si.elem
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// flattenSumSc decomposes an index expression into sum terms, following
+// single-assignment locals (c := j*nlon + i; buf[c]).
+func flattenSumSc(sc *fnScope, expr ast.Expr, depth int) []ast.Expr {
+	if depth > dimDepth {
+		return []ast.Expr{expr}
+	}
+	expr = ast.Unparen(expr)
+	if be, ok := expr.(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		return append(flattenSumSc(sc, be.X, depth+1), flattenSumSc(sc, be.Y, depth+1)...)
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if v, ok := sc.obj(id).(*types.Var); ok {
+			if rhs, ok := sc.single[v]; ok && rhs != nil && ast.Unparen(rhs) != expr {
+				switch ast.Unparen(rhs).(type) {
+				case *ast.BinaryExpr, *ast.ParenExpr:
+					return flattenSumSc(sc, rhs, depth+1)
+				}
+			}
+		}
+	}
+	return []ast.Expr{expr}
+}
+
+// checkIndex checks one index expression against the buffer's shape:
+// every product term must keep at least one named factor consistent
+// with the shape.
+func (c *shapeChecker) checkIndex(sc *fnScope, sh []gdim, idx ast.Expr, base ast.Expr) {
+	for _, term := range flattenSumSc(sc, idx, 0) {
+		factors := flattenProduct(ast.Unparen(term))
+		if len(factors) < 2 {
+			continue
+		}
+		var named []gdim
+		anyCompatible := false
+		for _, f := range factors {
+			d, ok := sc.dimOf(f, 0)
+			if !ok {
+				continue
+			}
+			named = append(named, d)
+			if compatibleDim(d, sh) {
+				anyCompatible = true
+			}
+		}
+		if len(named) == 0 || anyCompatible {
+			continue
+		}
+		c.emit(idx.Pos(), "%s is allocated with shape %s but indexed with stride %s from a different grid",
+			types.ExprString(base), shapeString(sh), named[0].display())
+	}
+}
+
+func (c *shapeChecker) checkBody(sc *fnScope, body ast.Node, paramShapes map[types.Object][]gdim) {
+	rangeSrc := make(map[types.Object][]gdim)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.RangeStmt:
+			if id, ok := e.Key.(*ast.Ident); ok && e.Tok == token.DEFINE {
+				if sh := c.resolveShape(sc, e.X, paramShapes); len(sh) > 0 {
+					if obj := sc.pkg.Info.Defs[id]; obj != nil {
+						rangeSrc[obj] = sh
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			sh := c.resolveShape(sc, e.X, paramShapes)
+			if len(sh) == 0 {
+				return true
+			}
+			if len(sh) >= 2 {
+				c.checkIndex(sc, sh, e.Index, e.X)
+			}
+			// Range-driven length check: for i := range src { dst[i] }.
+			if id, ok := ast.Unparen(e.Index).(*ast.Ident); ok {
+				if obj := sc.obj(id); obj != nil {
+					if src, ok := rangeSrc[obj]; ok && totalMismatch(src, sh) {
+						c.emit(e.Pos(), "%s has shape %s but is indexed by a range over a buffer of shape %s",
+							types.ExprString(e.X), shapeString(sh), shapeString(src))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(sc, e, paramShapes)
+		}
+		return true
+	})
+}
+
+func (c *shapeChecker) checkCall(sc *fnScope, call *ast.CallExpr, paramShapes map[types.Object][]gdim) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := sc.pkg.Info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "copy" && len(call.Args) == 2 {
+				dst := c.resolveShape(sc, call.Args[0], paramShapes)
+				src := c.resolveShape(sc, call.Args[1], paramShapes)
+				if len(dst) > 0 && len(src) > 0 && totalMismatch(dst, src) {
+					c.emit(call.Pos(), "copy between different grid shapes: %s is %s, %s is %s",
+						types.ExprString(call.Args[0]), shapeString(dst),
+						types.ExprString(call.Args[1]), shapeString(src))
+				}
+			}
+			return
+		}
+	}
+	if paramShapes != nil || c.budget <= 0 {
+		return // one call deep only
+	}
+	fn := staticCallee(sc.pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	node := c.prog.funcs[fn]
+	if node == nil || node.decl.Body == nil {
+		return
+	}
+	var params []*ast.Ident
+	for _, f := range node.decl.Type.Params.List {
+		params = append(params, f.Names...)
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	bound := make(map[types.Object][]gdim)
+	for i, pid := range params {
+		if i >= len(call.Args) {
+			break
+		}
+		if sig != nil && sig.Variadic() && i >= sig.Params().Len()-1 {
+			break
+		}
+		if _, ok := node.pkg.Info.TypeOf(pid).Underlying().(*types.Slice); !ok {
+			continue
+		}
+		sh := c.resolveShape(sc, call.Args[i], nil)
+		if len(sh) < 2 {
+			continue
+		}
+		if obj := node.pkg.Info.Defs[pid]; obj != nil {
+			bound[obj] = sh
+		}
+	}
+	if len(bound) == 0 {
+		return
+	}
+	c.budget--
+	callee := newFnScope(node.pkg, node.decl.Body)
+	c.checkBody(callee, node.decl.Body, bound)
+}

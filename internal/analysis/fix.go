@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every diagnostic's suggested fix to the files on
+// disk and returns the diagnostics that had no fix (still outstanding)
+// plus the number of edits applied. Fixes are grouped per file and
+// applied back-to-front so earlier offsets stay valid; overlapping
+// fixes in one file are rejected rather than guessed at. Diagnostic
+// positions must still carry the load-time filenames (relativize after
+// fixing, not before).
+func ApplyFixes(diags []Diagnostic) (remaining []Diagnostic, applied int, err error) {
+	byFile := make(map[string][]*Fix)
+	var files []string
+	for _, d := range diags {
+		if d.Fix == nil {
+			remaining = append(remaining, d)
+			continue
+		}
+		if _, ok := byFile[d.Pos.Filename]; !ok {
+			files = append(files, d.Pos.Filename)
+		}
+		byFile[d.Pos.Filename] = append(byFile[d.Pos.Filename], d.Fix)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		fixes := byFile[file]
+		sort.Slice(fixes, func(i, j int) bool { return fixes[i].Start > fixes[j].Start })
+		src, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return nil, applied, rerr
+		}
+		for i, f := range fixes {
+			if f.Start < 0 || f.End > len(src) || f.Start > f.End {
+				return nil, applied, fmt.Errorf("%s: fix range [%d, %d) out of bounds", file, f.Start, f.End)
+			}
+			if i > 0 && f.End > fixes[i-1].Start {
+				return nil, applied, fmt.Errorf("%s: overlapping fixes at offset %d", file, f.Start)
+			}
+			buf := make([]byte, 0, len(src)+len(f.NewText)-(f.End-f.Start))
+			buf = append(buf, src[:f.Start]...)
+			buf = append(buf, f.NewText...)
+			buf = append(buf, src[f.End:]...)
+			src = buf
+			applied++
+		}
+		if werr := os.WriteFile(file, src, 0o644); werr != nil {
+			return nil, applied, werr
+		}
+	}
+	return remaining, applied, nil
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // AnalyzerFloatCmp flags == and != between floating-point (or complex)
@@ -12,6 +13,13 @@ import (
 // constant and never computed — say so with
 // //foam:allow floatcmp <reason>. Test files are not analyzed, so test
 // helpers comparing exact expected values are unaffected.
+//
+// For real (non-complex) operands without calls, the diagnostic carries
+// a suggested fix to the equivalent ordered form: x == y becomes
+// (x <= y && x >= y) and x != y becomes !(x <= y && x >= y). Both are
+// exact for every input including NaN (all ordered comparisons against
+// NaN are false), so -fix preserves behavior while making the
+// intentional exactness explicit in ordered terms.
 var AnalyzerFloatCmp = &Analyzer{
 	Name: "floatcmp",
 	Doc:  "reports == and != on floating-point operands",
@@ -31,10 +39,58 @@ func runFloatCmp(prog *Program, report func(Diagnostic)) {
 					report(Diagnostic{
 						Pos:     prog.position(be.Pos()),
 						Message: "floating-point " + be.Op.String() + " comparison; use an ordered comparison or an epsilon",
+						Fix:     floatCmpFix(prog, info, be),
 					})
 				}
 				return true
 			})
 		}
 	}
+}
+
+// floatCmpFix builds the ordered-form rewrite, or nil when the rewrite
+// could change behavior: complex operands have no ordering, and operands
+// containing calls would be evaluated twice.
+func floatCmpFix(prog *Program, info *types.Info, be *ast.BinaryExpr) *Fix {
+	for _, t := range []types.Type{info.TypeOf(be.X), info.TypeOf(be.Y)} {
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsComplex != 0 {
+			return nil
+		}
+	}
+	if !pureOperand(be.X) || !pureOperand(be.Y) {
+		return nil
+	}
+	x, y := types.ExprString(be.X), types.ExprString(be.Y)
+	text := "(" + x + " <= " + y + " && " + x + " >= " + y + ")"
+	if be.Op == token.NEQ {
+		text = "!" + text
+	}
+	start := prog.position(be.Pos())
+	end := prog.position(be.End())
+	if start.Offset >= end.Offset {
+		return nil
+	}
+	return &Fix{Start: start.Offset, End: end.Offset, NewText: text}
+}
+
+// pureOperand reports whether duplicating the expression cannot change
+// behavior: no calls (including conversions — cheap, but a conversion of
+// a call is still a call) and no channel receives.
+func pureOperand(expr ast.Expr) bool {
+	pure := true
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			pure = false
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				pure = false
+			}
+		case *ast.FuncLit:
+			pure = false
+		}
+		return pure
+	})
+	return pure
 }

@@ -1,0 +1,1314 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerPhaseSafety turns the row-decomposition contract of
+// internal/pool (the exported pool.Block partition: contiguous ascending
+// blocks of [0, n), adjacent blocks sharing a boundary) into a checked
+// invariant. Every outermost function literal bound by a //foam:hotphases
+// binder — and every function literal handed directly to pool.Run — is a
+// phase executed concurrently by all workers, each with its own (worker,
+// lo, hi) block. The analyzer computes each phase's write set
+// symbolically: every store reachable from the phase body (following
+// static calls into module functions, with arguments substituted) is
+// resolved to a storage root (captured variable, receiver field,
+// package-level variable, per-worker scratch) and a written row interval
+// expressed in the worker's lo/hi coordinates. It reports:
+//
+//   - writes whose row intervals can overlap across two workers for some
+//     split of [0, n) — e.g. a phase writing rows [lo, hi+1) collides at
+//     every block seam, and a halo write to row lo-1 collides with the
+//     lower neighbour's block [lo', hi'=lo);
+//   - writes to shared storage not partitioned by the block at all (no
+//     index derived from lo/hi), including bare assignments to captured
+//     binder locals and package-level variables.
+//
+// The analysis is deliberately optimistic where it cannot prove anything:
+// writes through per-worker scratch (any index chain containing the
+// worker parameter), call-local storage, and index expressions too
+// complex to resolve to a row interval are silently accepted. It checks
+// write-write hazards only; phases that read neighbour rows while another
+// phase writes them must still be separated by a pool.Run barrier, which
+// is a sequencing property the pool itself guarantees.
+var AnalyzerPhaseSafety = &Analyzer{
+	Name: "phasesafety",
+	Doc:  "reports pool phases whose written row intervals can overlap across workers",
+	Run:  runPhaseSafety,
+}
+
+// affine is a symbolic integer a*lo + b*hi + c in the coordinates of one
+// worker's block [lo, hi).
+type affine struct {
+	lo, hi, c int
+	ok        bool
+}
+
+func aConst(v int) affine { return affine{c: v, ok: true} }
+
+func (a affine) add(b affine) affine {
+	return affine{a.lo + b.lo, a.hi + b.hi, a.c + b.c, a.ok && b.ok}
+}
+
+func (a affine) sub(b affine) affine {
+	return affine{a.lo - b.lo, a.hi - b.hi, a.c - b.c, a.ok && b.ok}
+}
+
+func (a affine) addC(v int) affine { a.c += v; return a }
+
+// rangeDep reports whether the value depends on the worker's block.
+func (a affine) rangeDep() bool { return a.lo != 0 || a.hi != 0 }
+
+func (a affine) String() string {
+	var parts []string
+	appendTerm := func(coef int, name string) {
+		switch coef {
+		case 0:
+		case 1:
+			parts = append(parts, name)
+		default:
+			parts = append(parts, fmt.Sprintf("%d*%s", coef, name))
+		}
+	}
+	appendTerm(a.lo, "lo")
+	appendTerm(a.hi, "hi")
+	if a.c != 0 || len(parts) == 0 {
+		if len(parts) > 0 && a.c > 0 {
+			parts = append(parts, fmt.Sprintf("+%d", a.c))
+			return strings.Join(parts, "")
+		}
+		parts = append(parts, strconv.Itoa(a.c))
+	}
+	return strings.Join(parts, "")
+}
+
+// rowIv is a half-open interval of written rows, endpoints affine in the
+// worker's block.
+type rowIv struct{ start, end affine }
+
+func (iv rowIv) String() string {
+	return fmt.Sprintf("[%s, %s)", iv.start.String(), iv.end.String())
+}
+
+// leqAcross reports whether e1 evaluated at a lower worker's block (L, M)
+// is ≤ e2 evaluated at a higher worker's block (P, H) for every feasible
+// split: 0 ≤ L, L+1 ≤ M ≤ P, P+1 ≤ H. Substituting L=x0, M=L+1+x1,
+// P=M+x2, H=P+1+x3 turns the feasible region into the nonnegative cone,
+// where an affine form is nonnegative iff all its coefficients are.
+func leqAcross(e1, e2 affine) bool {
+	a, b := -e1.lo, -e1.hi
+	c, d := e2.lo, e2.hi
+	e := e2.c - e1.c
+	return a+b+c+d >= 0 && b+c+d >= 0 && c+d >= 0 && d >= 0 && b+c+2*d+e >= 0
+}
+
+// leqBelow reports whether e1 evaluated at the HIGHER worker's block
+// (P, H) is ≤ e2 evaluated at the LOWER worker's block (L, M) for every
+// feasible split — the reverse ordering of leqAcross.
+func leqBelow(e1, e2 affine) bool {
+	// f = e2(L,M) - e1(P,H) = e2.lo*L + e2.hi*M - e1.lo*P - e1.hi*H + (e2.c - e1.c)
+	a, b := e2.lo, e2.hi
+	c, d := -e1.lo, -e1.hi
+	e := e2.c - e1.c
+	return a+b+c+d >= 0 && b+c+d >= 0 && c+d >= 0 && d >= 0 && b+c+2*d+e >= 0
+}
+
+// emptyAlways reports whether the interval is empty for every block
+// (L, M) with M ≥ L+1.
+func emptyAlways(iv rowIv) bool {
+	// start - end ≥ 0 for all L ≥ 0, M = L+1+x1.
+	d := iv.start.sub(iv.end)
+	return d.lo+d.hi >= 0 && d.hi >= 0 && d.hi+d.c >= 0
+}
+
+// pairDisjoint reports whether writes w1 and w2 (to the same storage, in
+// the same phase) are provably disjoint for every pair of distinct
+// workers and every split. Worker order is unknown, so both assignments
+// of {lower, higher} to {w1, w2} must be disjoint.
+func pairDisjoint(w1, w2 rowIv) bool {
+	if emptyAlways(w1) || emptyAlways(w2) {
+		return true
+	}
+	// w1 on the lower block, w2 on the higher.
+	d1 := leqAcross(w1.end, w2.start) || leqBelow(w2.end, w1.start)
+	// w2 on the lower block, w1 on the higher.
+	d2 := leqAcross(w2.end, w1.start) || leqBelow(w1.end, w2.start)
+	return d1 && d2
+}
+
+// storeRef is the symbolic resolution of an lvalue (or of a slice/pointer
+// expression bound to a callee parameter): which storage it denotes and
+// which rows of it, in the worker's block coordinates.
+type storeRef struct {
+	valid      bool
+	key        string // intra-phase identity of the storage root + untainted indices
+	display    string // human rendering for messages
+	perWorker  bool   // an index chain entry derives from the worker id
+	pkgLevel   bool   // root is a package-level variable
+	local      bool   // call-local storage (parameter copy, body local)
+	unknownRow bool   // a block-derived index could not be resolved to rows
+	restrict   *rowIv // rows covered, once a block-derived index is resolved
+}
+
+// phaseWrite is one recorded store with a resolved row interval.
+type phaseWrite struct {
+	key     string
+	display string
+	rows    rowIv
+	pos     token.Pos
+}
+
+// phaseFlat is one recorded store with no block-derived index at all:
+// every worker writes the same locations.
+type phaseFlat struct {
+	display  string
+	pkgLevel bool
+	pos      token.Pos
+}
+
+// span marks source ranges whose declared objects are call-local.
+type span struct{ lo, hi token.Pos }
+
+// symEnv is the per-inlined-call symbolic environment.
+type symEnv struct {
+	pkg     *Package
+	ints    map[types.Object]affine
+	ranges  map[types.Object]rowIv
+	aliases map[types.Object]storeRef
+	rtaint  map[types.Object]bool // value derives from lo/hi
+	wtaint  map[types.Object]bool // value derives from the worker id
+	spans   []span
+}
+
+func newSymEnv(pkg *Package) *symEnv {
+	return &symEnv{
+		pkg:     pkg,
+		ints:    make(map[types.Object]affine),
+		ranges:  make(map[types.Object]rowIv),
+		aliases: make(map[types.Object]storeRef),
+		rtaint:  make(map[types.Object]bool),
+		wtaint:  make(map[types.Object]bool),
+	}
+}
+
+// phaseChecker analyzes one phase literal.
+type phaseChecker struct {
+	prog     *Program
+	report   func(Diagnostic)
+	root     string
+	writes   []phaseWrite
+	flats    []phaseFlat
+	binder   map[types.Object]*ast.FuncLit // binder-local func literals, callable from phases
+	active   map[*funcNode]bool
+	depth    int
+	budget   int
+	objNames map[types.Object]string
+	seen     map[string]bool
+}
+
+const (
+	phaseInlineDepth  = 8
+	phaseInlineBudget = 2000
+)
+
+func runPhaseSafety(prog *Program, report func(Diagnostic)) {
+	// Binder-bound phases: every outermost func(worker, lo, hi int)
+	// literal of a //foam:hotphases binder, in deterministic order.
+	var binders []*funcNode
+	for _, n := range prog.funcs {
+		if n.phases && n.decl.Body != nil {
+			binders = append(binders, n)
+		}
+	}
+	sort.Slice(binders, func(i, j int) bool {
+		return posLess(prog, binders[i].decl.Pos(), binders[j].decl.Pos())
+	})
+	for _, n := range binders {
+		locals := binderFuncLits(n.pkg, n.decl.Body)
+		for i, lit := range outermostFuncLits(n.decl.Body) {
+			if !isPhaseSignature(n.pkg, lit) {
+				continue
+			}
+			root := fmt.Sprintf("%s$%d", funcDisplayName(n.fn), i+1)
+			checkPhaseLit(prog, report, n.pkg, lit, root, locals)
+		}
+	}
+
+	// Literals handed directly to pool.Run (rejected by poolclosure for
+	// allocation reasons, but their row safety is still checkable).
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			var enclosing *ast.FuncDecl
+			ast.Inspect(file, func(node ast.Node) bool {
+				if fd, ok := node.(*ast.FuncDecl); ok {
+					enclosing = fd
+					return true
+				}
+				call, ok := node.(*ast.CallExpr)
+				if !ok || !isPoolRun(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+					if !ok || !isPhaseSignature(pkg, lit) {
+						continue
+					}
+					root := "pool.Run literal"
+					if enclosing != nil {
+						if obj, ok := pkg.Info.Defs[enclosing.Name].(*types.Func); ok {
+							root = funcDisplayName(obj) + "$run"
+						}
+					}
+					checkPhaseLit(prog, report, pkg, lit, root, nil)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isPhaseSignature reports whether lit has the pool phase shape
+// func(worker, lo, hi int).
+func isPhaseSignature(pkg *Package, lit *ast.FuncLit) bool {
+	sig, ok := pkg.Info.TypeOf(lit).(*types.Signature)
+	if !ok || sig.Params().Len() != 3 || sig.Results().Len() != 0 {
+		return false
+	}
+	for i := 0; i < 3; i++ {
+		b, ok := sig.Params().At(i).Type().Underlying().(*types.Basic)
+		if !ok || b.Kind() != types.Int {
+			return false
+		}
+	}
+	return true
+}
+
+// binderFuncLits maps binder-local variables that hold function literals
+// (helper closures shared by several phases) to their literals, so calls
+// to them from a phase body can be inlined.
+func binderFuncLits(pkg *Package, body *ast.BlockStmt) map[types.Object]*ast.FuncLit {
+	out := make(map[types.Object]*ast.FuncLit)
+	ast.Inspect(body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lit, ok := ast.Unparen(as.Rhs[i]).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				out[obj] = lit
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkPhaseLit(prog *Program, report func(Diagnostic), pkg *Package, lit *ast.FuncLit, root string, binder map[types.Object]*ast.FuncLit) {
+	c := &phaseChecker{
+		prog:     prog,
+		report:   report,
+		root:     root,
+		binder:   binder,
+		active:   make(map[*funcNode]bool),
+		budget:   phaseInlineBudget,
+		objNames: make(map[types.Object]string),
+		seen:     make(map[string]bool),
+	}
+	env := newSymEnv(pkg)
+	env.spans = append(env.spans, span{lit.Pos(), lit.End()})
+	params := lit.Type.Params.List
+	var flat []*ast.Ident
+	for _, f := range params {
+		flat = append(flat, f.Names...)
+	}
+	if len(flat) != 3 {
+		return
+	}
+	bindParam := func(id *ast.Ident, v affine, worker bool) {
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			return
+		}
+		env.ints[obj] = v
+		if v.rangeDep() {
+			env.rtaint[obj] = true
+		}
+		if worker {
+			env.wtaint[obj] = true
+		}
+	}
+	bindParam(flat[0], affine{}, true)
+	bindParam(flat[1], affine{lo: 1, ok: true}, false)
+	bindParam(flat[2], affine{hi: 1, ok: true}, false)
+
+	c.walkBody(env, lit.Body, false)
+	c.reportFindings()
+}
+
+func (c *phaseChecker) reportFindings() {
+	emit := func(pos token.Pos, format string, args ...any) {
+		p := c.prog.position(pos)
+		msg := fmt.Sprintf(format, args...)
+		k := fmt.Sprintf("%s:%d:%d:%s", p.Filename, p.Line, p.Column, msg)
+		if c.seen[k] {
+			return
+		}
+		c.seen[k] = true
+		c.report(Diagnostic{Pos: p, Message: msg})
+	}
+	for _, f := range c.flats {
+		if f.pkgLevel {
+			emit(f.pos, "phase %s writes package-level %s, which is not partitioned by the worker decomposition", c.root, f.display)
+		} else {
+			emit(f.pos, "phase %s writes %s without partitioning by the worker's block; every worker may write the same location", c.root, f.display)
+		}
+	}
+	byKey := make(map[string][]phaseWrite)
+	var keys []string
+	for _, w := range c.writes {
+		if _, ok := byKey[w.key]; !ok {
+			keys = append(keys, w.key)
+		}
+		byKey[w.key] = append(byKey[w.key], w)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ws := byKey[k]
+		for i := 0; i < len(ws); i++ {
+			for j := i; j < len(ws); j++ {
+				if pairDisjoint(ws[i].rows, ws[j].rows) {
+					continue
+				}
+				if i == j {
+					emit(ws[i].pos, "phase %s writes rows %s of %s, which can overlap the rows written by another worker at a block seam", c.root, ws[i].rows, ws[i].display)
+				} else {
+					emit(ws[j].pos, "phase %s: rows %s of %s can overlap rows %s written by another worker", c.root, ws[j].rows, ws[j].display, ws[i].rows)
+				}
+			}
+		}
+	}
+}
+
+// ---- symbolic evaluation ----
+
+func (env *symEnv) objectOf(id *ast.Ident) types.Object {
+	if obj := env.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return env.pkg.Info.Defs[id]
+}
+
+// affineOf resolves expr to a symbolic point value a*lo + b*hi + c.
+func (env *symEnv) affineOf(expr ast.Expr) affine {
+	expr = ast.Unparen(expr)
+	if tv, ok := env.pkg.Info.Types[expr]; ok && tv.Value != nil {
+		if v, ok := constInt(tv); ok {
+			return aConst(v)
+		}
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if obj := env.objectOf(e); obj != nil {
+			if v, ok := env.ints[obj]; ok {
+				return v
+			}
+		}
+	case *ast.BinaryExpr:
+		x, y := env.affineOf(e.X), env.affineOf(e.Y)
+		switch e.Op {
+		case token.ADD:
+			return x.add(y)
+		case token.SUB:
+			return x.sub(y)
+		}
+	}
+	return affine{}
+}
+
+func constInt(tv types.TypeAndValue) (int, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	s := tv.Value.ExactString()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// valueInterval resolves expr to the half-open interval of values it
+// ranges over: a point for affine expressions, the loop interval for
+// range variables, shifted intervals for rangevar ± const.
+func (env *symEnv) valueInterval(expr ast.Expr) (rowIv, bool) {
+	expr = ast.Unparen(expr)
+	if a := env.affineOf(expr); a.ok {
+		return rowIv{a, a.addC(1)}, true
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if obj := env.objectOf(e); obj != nil {
+			if iv, ok := env.ranges[obj]; ok {
+				return iv, true
+			}
+		}
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD && e.Op != token.SUB {
+			break
+		}
+		x, xok := env.valueInterval(e.X)
+		y, yok := env.valueInterval(e.Y)
+		// exactly one side an interval, the other a point
+		if xok && yok {
+			xPt := x.end.sub(x.start)
+			xIsPt := xPt.ok && xPt.lo == 0 && xPt.hi == 0 && xPt.c == 1
+			yPt := y.end.sub(y.start)
+			yIsPt := yPt.ok && yPt.lo == 0 && yPt.hi == 0 && yPt.c == 1
+			switch {
+			case yIsPt && y.start.ok && !y.start.rangeDep() && y.start.lo == 0 && y.start.hi == 0:
+				c := y.start.c
+				if e.Op == token.SUB {
+					c = -c
+				}
+				return rowIv{x.start.addC(c), x.end.addC(c)}, true
+			case xIsPt && e.Op == token.ADD && x.start.ok && !x.start.rangeDep():
+				c := x.start.c
+				return rowIv{y.start.addC(c), y.end.addC(c)}, true
+			}
+		}
+	}
+	return rowIv{}, false
+}
+
+// rangeTainted reports whether any identifier in expr carries block
+// (lo/hi) taint.
+func (env *symEnv) rangeTainted(expr ast.Expr) bool {
+	if expr == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := env.objectOf(id)
+		if obj == nil {
+			return true
+		}
+		if env.rtaint[obj] {
+			found = true
+		}
+		if v, ok := env.ints[obj]; ok && v.rangeDep() {
+			found = true
+		}
+		if iv, ok := env.ranges[obj]; ok && (iv.start.rangeDep() || iv.end.rangeDep()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (env *symEnv) workerTainted(expr ast.Expr) bool {
+	if expr == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := env.objectOf(id); obj != nil && env.wtaint[obj] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// index classification results.
+const (
+	idxUntainted = iota
+	idxKnown
+	idxUnknown
+)
+
+// classifyIndex resolves one index expression to rows: idxKnown with the
+// covered interval, idxUnknown when block-derived but unresolvable, or
+// idxUntainted when independent of the block.
+func (env *symEnv) classifyIndex(expr ast.Expr) (rowIv, int) {
+	if iv, ok := env.valueInterval(expr); ok {
+		if iv.start.rangeDep() || iv.end.rangeDep() {
+			return iv, idxKnown
+		}
+		return rowIv{}, idxUntainted
+	}
+	if !env.rangeTainted(expr) {
+		return rowIv{}, idxUntainted
+	}
+	// Flat row-major arithmetic: a sum in which exactly one term depends
+	// on the block, that term a product whose block-dependent factor
+	// resolves to an interval — the row.
+	terms := flattenSum(expr)
+	var tainted []ast.Expr
+	for _, t := range terms {
+		if env.rangeTainted(t) {
+			tainted = append(tainted, t)
+		}
+	}
+	if len(tainted) != 1 {
+		return rowIv{}, idxUnknown
+	}
+	factors := flattenProduct(tainted[0])
+	var tf []ast.Expr
+	for _, f := range factors {
+		if env.rangeTainted(f) {
+			tf = append(tf, f)
+		}
+	}
+	if len(tf) != 1 {
+		return rowIv{}, idxUnknown
+	}
+	if iv, ok := env.valueInterval(tf[0]); ok && (iv.start.rangeDep() || iv.end.rangeDep()) {
+		return iv, idxKnown
+	}
+	return rowIv{}, idxUnknown
+}
+
+// rowPoint resolves a slice bound to its row coordinate interval: the
+// values of the block-derived factor (j in j*stride), or of the whole
+// expression when it is directly affine / a range variable.
+func (env *symEnv) rowPoint(expr ast.Expr) (rowIv, bool) {
+	if iv, ok := env.valueInterval(expr); ok {
+		return iv, true
+	}
+	factors := flattenProduct(expr)
+	var tf []ast.Expr
+	for _, f := range factors {
+		if env.rangeTainted(f) {
+			tf = append(tf, f)
+		}
+	}
+	if len(tf) == 1 {
+		if iv, ok := env.valueInterval(tf[0]); ok {
+			return iv, true
+		}
+	}
+	return rowIv{}, false
+}
+
+func flattenSum(expr ast.Expr) []ast.Expr {
+	expr = ast.Unparen(expr)
+	if be, ok := expr.(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		return append(flattenSum(be.X), flattenSum(be.Y)...)
+	}
+	return []ast.Expr{expr}
+}
+
+func flattenProduct(expr ast.Expr) []ast.Expr {
+	expr = ast.Unparen(expr)
+	if be, ok := expr.(*ast.BinaryExpr); ok && be.Op == token.MUL {
+		return append(flattenProduct(be.X), flattenProduct(be.Y)...)
+	}
+	return []ast.Expr{expr}
+}
+
+// ---- storage resolution ----
+
+func (c *phaseChecker) objName(obj types.Object) string {
+	if n, ok := c.objNames[obj]; ok {
+		return n
+	}
+	n := fmt.Sprintf("%s@%d", obj.Name(), len(c.objNames))
+	c.objNames[obj] = n
+	return n
+}
+
+func (c *phaseChecker) inSpan(env *symEnv, pos token.Pos) bool {
+	for _, s := range env.spans {
+		if s.lo <= pos && pos < s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveStore resolves an lvalue or reference-typed expression to the
+// storage it denotes in the phase's coordinates.
+func (c *phaseChecker) resolveStore(env *symEnv, expr ast.Expr) storeRef {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := env.objectOf(e)
+		if obj == nil {
+			return storeRef{}
+		}
+		if ref, ok := env.aliases[obj]; ok {
+			return ref
+		}
+		if env.wtaint[obj] {
+			return storeRef{valid: true, perWorker: true, key: c.objName(obj), display: e.Name}
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return storeRef{valid: true, pkgLevel: true, key: "pkg." + v.Pkg().Path() + "." + v.Name(), display: v.Name()}
+		}
+		if c.inSpan(env, obj.Pos()) {
+			return storeRef{valid: true, local: true, key: c.objName(obj), display: e.Name}
+		}
+		// Captured from an enclosing scope: shared across workers.
+		return storeRef{valid: true, key: c.objName(obj), display: e.Name}
+	case *ast.SelectorExpr:
+		// Package-qualified variable?
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := env.objectOf(id).(*types.PkgName); isPkg {
+				if v, ok := env.objectOf(e.Sel).(*types.Var); ok {
+					return storeRef{valid: true, pkgLevel: true, key: "pkg." + v.Pkg().Path() + "." + v.Name(), display: id.Name + "." + e.Sel.Name}
+				}
+				return storeRef{}
+			}
+		}
+		base := c.resolveStore(env, e.X)
+		if !base.valid {
+			return storeRef{}
+		}
+		if base.restrict == nil {
+			base.key += "." + e.Sel.Name
+		}
+		base.display += "." + e.Sel.Name
+		return base // pkgLevel carries over: a field of a package-level var stays package-level
+	case *ast.IndexExpr:
+		base := c.resolveStore(env, e.X)
+		if !base.valid {
+			return storeRef{}
+		}
+		base.display += "[" + types.ExprString(e.Index) + "]"
+		if base.restrict != nil {
+			return base // rows already pinned; inner dims are within-row
+		}
+		if env.workerTainted(e.Index) {
+			base.perWorker = true
+			return base
+		}
+		iv, kind := env.classifyIndex(e.Index)
+		switch kind {
+		case idxKnown:
+			base.restrict = &iv
+		case idxUnknown:
+			base.unknownRow = true
+		default:
+			base.key += "[" + c.renderIndex(env, e.Index) + "]"
+		}
+		return base
+	case *ast.SliceExpr:
+		base := c.resolveStore(env, e.X)
+		if !base.valid || base.restrict != nil {
+			return base
+		}
+		if env.workerTainted(e.Low) || env.workerTainted(e.High) {
+			base.perWorker = true
+			return base
+		}
+		lowTaint := e.Low != nil && env.rangeTainted(e.Low)
+		highTaint := e.High != nil && env.rangeTainted(e.High)
+		if !lowTaint && !highTaint {
+			return base // untainted slicing: same storage, unrestricted
+		}
+		if e.Low == nil || e.High == nil {
+			base.unknownRow = true
+			return base
+		}
+		lowIv, okL := env.rowPoint(e.Low)
+		highIv, okH := env.rowPoint(e.High)
+		if !okL || !okH {
+			base.unknownRow = true
+			return base
+		}
+		// Union over the iteration space: [min low value, max high value).
+		iv := rowIv{lowIv.start, highIv.end.addC(-1)}
+		base.restrict = &iv
+		return base
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.resolveStore(env, e.X)
+		}
+	case *ast.StarExpr:
+		return c.resolveStore(env, e.X)
+	}
+	return storeRef{}
+}
+
+// renderIndex renders an untainted index for key identity: constants by
+// value, plain variables by stable object name, anything else uniquely
+// (incomparable, so never falsely matched).
+func (c *phaseChecker) renderIndex(env *symEnv, expr ast.Expr) string {
+	if a := env.affineOf(expr); a.ok && !a.rangeDep() {
+		return strconv.Itoa(a.c)
+	}
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		if obj := env.objectOf(id); obj != nil {
+			return c.objName(obj)
+		}
+	}
+	c.budget-- // consume budget as a unique-counter source
+	return fmt.Sprintf("?%d", c.budget)
+}
+
+// ---- statement walking ----
+
+func (c *phaseChecker) recordWrite(env *symEnv, lhs ast.Expr, guarded bool) {
+	ref := c.resolveStore(env, lhs)
+	if !ref.valid || ref.local || ref.perWorker || ref.unknownRow || guarded {
+		return
+	}
+	if ref.restrict != nil {
+		c.writes = append(c.writes, phaseWrite{key: ref.key, display: ref.display, rows: *ref.restrict, pos: lhs.Pos()})
+		return
+	}
+	c.flats = append(c.flats, phaseFlat{display: ref.display, pkgLevel: ref.pkgLevel, pos: lhs.Pos()})
+}
+
+func (c *phaseChecker) walkBody(env *symEnv, body *ast.BlockStmt, guarded bool) {
+	for _, st := range body.List {
+		c.walkStmt(env, st, guarded)
+	}
+}
+
+func (c *phaseChecker) walkStmt(env *symEnv, st ast.Stmt, guarded bool) {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.processCalls(env, rhs, guarded)
+		}
+		for _, lhs := range s.Lhs {
+			c.processCalls(env, lhs, guarded)
+		}
+		c.walkAssign(env, s, guarded)
+	case *ast.IncDecStmt:
+		c.processCalls(env, s.X, guarded)
+		if _, ok := ast.Unparen(s.X).(*ast.Ident); ok {
+			c.walkIdentWrite(env, ast.Unparen(s.X).(*ast.Ident), nil, false, guarded)
+		} else {
+			c.recordWrite(env, s.X, guarded)
+		}
+	case *ast.ExprStmt:
+		c.processCalls(env, s.X, guarded)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(env, s.Init, guarded)
+		}
+		c.processCalls(env, s.Cond, guarded)
+		g := guarded || c.isWorkerGuard(env, s.Cond)
+		c.walkBody(env, s.Body, g)
+		if s.Else != nil {
+			c.walkStmt(env, s.Else, guarded)
+		}
+	case *ast.ForStmt:
+		c.walkFor(env, s, guarded)
+	case *ast.RangeStmt:
+		c.walkRange(env, s, guarded)
+	case *ast.BlockStmt:
+		c.walkBody(env, s, guarded)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(env, s.Init, guarded)
+		}
+		if s.Tag != nil {
+			c.processCalls(env, s.Tag, guarded)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cl.List {
+					c.processCalls(env, e, guarded)
+				}
+				for _, bs := range cl.Body {
+					c.walkStmt(env, bs, guarded)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(env, s.Init, guarded)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, bs := range cl.Body {
+					c.walkStmt(env, bs, guarded)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.processCalls(env, e, guarded)
+		}
+	case *ast.DeferStmt:
+		c.processCalls(env, s.Call, guarded)
+	case *ast.GoStmt:
+		c.processCalls(env, s.Call, guarded)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+						c.processCalls(env, rhs, guarded)
+					}
+					c.bindVar(env, name, rhs)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		c.walkStmt(env, s.Stmt, guarded)
+	case *ast.SendStmt:
+		c.processCalls(env, s.Chan, guarded)
+		c.processCalls(env, s.Value, guarded)
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				for _, bs := range cl.Body {
+					c.walkStmt(env, bs, guarded)
+				}
+			}
+		}
+	}
+}
+
+// isWorkerGuard detects conditions that restrict execution to a single
+// worker: equality against a constant of either the worker id or a
+// block-derived value (if worker == 0, if lo == 0, if j0 == 1, ...).
+func (c *phaseChecker) isWorkerGuard(env *symEnv, cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return false
+	}
+	singular := func(x, y ast.Expr) bool {
+		cy := env.affineOf(y)
+		if !cy.ok || cy.rangeDep() {
+			return false
+		}
+		if env.workerTainted(x) {
+			return true
+		}
+		if cx := env.affineOf(x); cx.ok && cx.rangeDep() {
+			return true
+		}
+		// A loop variable ranging over the block: j == 0 holds for at
+		// most one worker, since blocks are disjoint.
+		if iv, ok := env.valueInterval(x); ok && (iv.start.rangeDep() || iv.end.rangeDep()) {
+			return true
+		}
+		return false
+	}
+	return singular(be.X, be.Y) || singular(be.Y, be.X)
+}
+
+func (c *phaseChecker) walkAssign(env *symEnv, s *ast.AssignStmt, guarded bool) {
+	define := s.Tok == token.DEFINE
+	oneToOne := len(s.Lhs) == len(s.Rhs)
+	for i, lhs := range s.Lhs {
+		var rhs ast.Expr
+		if oneToOne {
+			rhs = s.Rhs[i]
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if id.Name == "_" {
+				continue
+			}
+			if define {
+				c.bindVar(env, id, rhs)
+			} else {
+				c.walkIdentWrite(env, id, rhs, s.Tok == token.ASSIGN, guarded)
+			}
+			continue
+		}
+		c.recordWrite(env, lhs, guarded)
+	}
+}
+
+// bindVar introduces a new local: symbolic value for ints, alias binding
+// for reference types, taint propagation for everything.
+func (c *phaseChecker) bindVar(env *symEnv, id *ast.Ident, rhs ast.Expr) {
+	obj := env.pkg.Info.Defs[id]
+	if obj == nil {
+		return
+	}
+	if rhs == nil {
+		env.aliases[obj] = storeRef{valid: true, local: true, key: c.objName(obj), display: id.Name}
+		return
+	}
+	if env.rangeTainted(rhs) {
+		env.rtaint[obj] = true
+	}
+	if env.workerTainted(rhs) {
+		env.wtaint[obj] = true
+	}
+	if v := env.affineOf(rhs); v.ok {
+		env.ints[obj] = v
+		return
+	}
+	if iv, ok := env.valueInterval(rhs); ok {
+		env.ranges[obj] = iv
+		return
+	}
+	// Flat row-major offsets (c := j*nlon + i): carry the block-derived
+	// row interval so buf[c] resolves to the rows the phase writes.
+	if b, ok := env.pkg.Info.TypeOf(rhs).Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+		if iv, kind := env.classifyIndex(rhs); kind == idxKnown {
+			env.ranges[obj] = iv
+			return
+		}
+	}
+	if referenceLike(env.pkg.Info.TypeOf(rhs)) || isStructPtrLike(env.pkg.Info.TypeOf(rhs)) {
+		ref := c.resolveStore(env, rhs)
+		if !ref.valid {
+			ref = storeRef{} // unknown alias: writes through it stay silent
+		}
+		env.aliases[obj] = ref
+		return
+	}
+	// Non-reference locals are call-private copies.
+	env.aliases[obj] = storeRef{valid: true, local: true, key: c.objName(obj), display: id.Name}
+}
+
+func isStructPtrLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Array)
+	return ok
+}
+
+// walkIdentWrite handles plain assignment to an existing identifier:
+// rebinding for locals, a shared-write finding for captured or
+// package-level storage.
+func (c *phaseChecker) walkIdentWrite(env *symEnv, id *ast.Ident, rhs ast.Expr, plainAssign bool, guarded bool) {
+	obj := env.objectOf(id)
+	if obj == nil {
+		return
+	}
+	if rhs != nil {
+		if env.rangeTainted(rhs) {
+			env.rtaint[obj] = true
+		}
+		if env.workerTainted(rhs) {
+			env.wtaint[obj] = true
+		}
+	}
+	if ref, ok := env.aliases[obj]; ok {
+		if ref.local || !ref.valid {
+			// Rebind locals; += on an int local just invalidates its value.
+			if plainAssign && rhs != nil && referenceLike(env.pkg.Info.TypeOf(rhs)) {
+				nr := c.resolveStore(env, rhs)
+				if !nr.valid {
+					nr = storeRef{}
+				}
+				env.aliases[obj] = nr
+			}
+			return
+		}
+		// Writing the alias variable itself only redirects the local
+		// binding, except pointers: *p = is a StarExpr, p = just rebinds.
+		if plainAssign && rhs != nil {
+			nr := c.resolveStore(env, rhs)
+			if !nr.valid {
+				nr = storeRef{}
+			}
+			env.aliases[obj] = nr
+		}
+		return
+	}
+	if _, ok := env.ints[obj]; ok {
+		if plainAssign && rhs != nil {
+			if v := env.affineOf(rhs); v.ok {
+				env.ints[obj] = v
+			} else {
+				delete(env.ints, obj)
+			}
+		} else {
+			delete(env.ints, obj)
+		}
+		return
+	}
+	if _, ok := env.ranges[obj]; ok {
+		delete(env.ranges, obj)
+		return
+	}
+	// Unbound identifier: package-level, or captured from an enclosing
+	// scope — a bare store shared by every worker.
+	c.recordWrite(env, id, guarded)
+}
+
+func (c *phaseChecker) walkFor(env *symEnv, s *ast.ForStmt, guarded bool) {
+	bound := false
+	if init, ok := s.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE &&
+		len(init.Lhs) == 1 && len(init.Rhs) == 1 {
+		c.processCalls(env, init.Rhs[0], guarded)
+		if id, ok := init.Lhs[0].(*ast.Ident); ok {
+			if cond, ok := s.Cond.(*ast.BinaryExpr); ok && (cond.Op == token.LSS || cond.Op == token.LEQ) {
+				if cid, ok := ast.Unparen(cond.X).(*ast.Ident); ok && cid.Name == id.Name {
+					if post, ok := s.Post.(*ast.IncDecStmt); ok && post.Tok == token.INC {
+						start := env.affineOf(init.Rhs[0])
+						end := env.affineOf(cond.Y)
+						if cond.Op == token.LEQ {
+							end = end.addC(1)
+						}
+						obj := env.pkg.Info.Defs[id]
+						if obj != nil && start.ok && end.ok {
+							env.ranges[obj] = rowIv{start, end}
+							if start.rangeDep() || end.rangeDep() {
+								env.rtaint[obj] = true
+							}
+							bound = true
+						} else if obj != nil {
+							c.bindVar(env, id, init.Rhs[0])
+							if env.rangeTainted(init.Rhs[0]) || env.rangeTainted(cond.Y) {
+								env.rtaint[obj] = true
+							}
+							if env.workerTainted(init.Rhs[0]) || env.workerTainted(cond.Y) {
+								env.wtaint[obj] = true
+							}
+							delete(env.ints, obj)
+							bound = true
+						}
+					}
+				}
+			}
+			if !bound {
+				if obj := env.pkg.Info.Defs[id]; obj != nil {
+					env.aliases[obj] = storeRef{valid: true, local: true, key: c.objName(obj), display: id.Name}
+					if env.rangeTainted(init.Rhs[0]) {
+						env.rtaint[obj] = true
+					}
+					if env.workerTainted(init.Rhs[0]) {
+						env.wtaint[obj] = true
+					}
+				}
+			}
+		}
+	} else if s.Init != nil {
+		c.walkStmt(env, s.Init, guarded)
+	}
+	if s.Cond != nil {
+		c.processCalls(env, s.Cond, guarded)
+	}
+	c.walkBody(env, s.Body, guarded)
+	if s.Post != nil && !bound {
+		c.walkStmt(env, s.Post, guarded)
+	}
+}
+
+func (c *phaseChecker) walkRange(env *symEnv, s *ast.RangeStmt, guarded bool) {
+	c.processCalls(env, s.X, guarded)
+	bindLoopVar := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if obj := env.pkg.Info.Defs[id]; obj != nil {
+			env.aliases[obj] = storeRef{valid: true, local: true, key: c.objName(obj), display: id.Name}
+		}
+	}
+	if s.Tok == token.DEFINE {
+		if s.Key != nil {
+			bindLoopVar(s.Key)
+		}
+		if s.Value != nil {
+			bindLoopVar(s.Value)
+		}
+	}
+	c.walkBody(env, s.Body, guarded)
+}
+
+// processCalls finds every call in expr (not descending into function
+// literals) and either models the builtin or inlines the module callee.
+func (c *phaseChecker) processCalls(env *symEnv, expr ast.Expr, guarded bool) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c.handleCall(env, call, guarded)
+		return true
+	})
+}
+
+func (c *phaseChecker) handleCall(env *symEnv, call *ast.CallExpr, guarded bool) {
+	// Builtins with write effects.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := env.pkg.Info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "copy" && len(call.Args) == 2 {
+				c.recordWrite(env, call.Args[0], guarded)
+			}
+			return
+		}
+	}
+	// Conversions are not calls.
+	if tv, ok := env.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	// Binder-local helper literals.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && c.binder != nil {
+		if obj := env.objectOf(id); obj != nil {
+			if lit, ok := c.binder[obj]; ok {
+				c.inlineLit(env, call, lit, guarded)
+				return
+			}
+		}
+	}
+	fn := staticCallee(env.pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	node := c.prog.funcs[fn]
+	if node == nil || node.decl.Body == nil {
+		return
+	}
+	// The pool's own machinery (nested Run falls back to the serial
+	// inline path) stages shared call state by design; its internal
+	// synchronization is the contract being assumed, not checked.
+	if strings.HasSuffix(node.pkg.Path, "internal/pool") {
+		return
+	}
+	if c.active[node] || c.depth >= phaseInlineDepth || c.budget <= 0 {
+		return
+	}
+	c.budget--
+	c.active[node] = true
+	c.depth++
+	child := newSymEnv(node.pkg)
+	child.spans = append(child.spans, span{node.decl.Pos(), node.decl.End()})
+	// Receiver.
+	if node.decl.Recv != nil && len(node.decl.Recv.List) > 0 && len(node.decl.Recv.List[0].Names) > 0 {
+		rid := node.decl.Recv.List[0].Names[0]
+		if obj := node.pkg.Info.Defs[rid]; obj != nil {
+			var recvExpr ast.Expr
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				recvExpr = sel.X
+			}
+			c.bindCallArg(env, child, obj, recvExpr, rid.Name)
+		}
+	}
+	// Parameters.
+	var params []*ast.Ident
+	for _, f := range node.decl.Type.Params.List {
+		params = append(params, f.Names...)
+	}
+	for i, pid := range params {
+		var arg ast.Expr
+		if i < len(call.Args) && !isVariadicSlot(node, i) {
+			arg = call.Args[i]
+		}
+		if obj := node.pkg.Info.Defs[pid]; obj != nil {
+			c.bindCallArg(env, child, obj, arg, pid.Name)
+		}
+	}
+	c.walkBody(child, node.decl.Body, guarded)
+	c.depth--
+	delete(c.active, node)
+}
+
+func isVariadicSlot(node *funcNode, i int) bool {
+	sig, ok := node.fn.Type().(*types.Signature)
+	if !ok || !sig.Variadic() {
+		return false
+	}
+	return i >= sig.Params().Len()-1
+}
+
+// bindCallArg binds one callee parameter (or receiver) from the caller's
+// argument expression, evaluated in the caller's environment.
+func (c *phaseChecker) bindCallArg(caller, callee *symEnv, obj types.Object, arg ast.Expr, name string) {
+	if arg == nil {
+		// Unresolvable argument: silent for references, private otherwise.
+		if referenceLike(obj.Type()) {
+			callee.aliases[obj] = storeRef{}
+		} else {
+			callee.aliases[obj] = storeRef{valid: true, local: true, key: c.objName(obj), display: name}
+		}
+		return
+	}
+	if caller.rangeTainted(arg) {
+		callee.rtaint[obj] = true
+	}
+	if caller.workerTainted(arg) {
+		callee.wtaint[obj] = true
+	}
+	if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+		if v := caller.affineOf(arg); v.ok {
+			callee.ints[obj] = v
+		} else if iv, ok := caller.valueInterval(arg); ok {
+			callee.ranges[obj] = iv
+		}
+		// ints are copies either way; an unknown int is just untracked,
+		// and taint was already carried over above.
+		if _, tracked := callee.ints[obj]; !tracked {
+			if _, tracked := callee.ranges[obj]; !tracked {
+				callee.aliases[obj] = storeRef{valid: true, local: true, key: c.objName(obj), display: name}
+			}
+		}
+		return
+	}
+	if referenceLike(obj.Type()) {
+		ref := c.resolveStore(caller, arg)
+		if !ref.valid {
+			ref = storeRef{}
+		}
+		callee.aliases[obj] = ref
+		return
+	}
+	// Value-typed parameters are call-local copies.
+	callee.aliases[obj] = storeRef{valid: true, local: true, key: c.objName(obj), display: name}
+}
+
+// inlineLit inlines a binder-local helper closure called from a phase.
+func (c *phaseChecker) inlineLit(env *symEnv, call *ast.CallExpr, lit *ast.FuncLit, guarded bool) {
+	if c.depth >= phaseInlineDepth || c.budget <= 0 {
+		return
+	}
+	c.budget--
+	c.depth++
+	child := newSymEnv(env.pkg)
+	child.spans = append(env.spans[:len(env.spans):len(env.spans)], span{lit.Pos(), lit.End()})
+	var params []*ast.Ident
+	for _, f := range lit.Type.Params.List {
+		params = append(params, f.Names...)
+	}
+	for i, pid := range params {
+		var arg ast.Expr
+		if i < len(call.Args) {
+			arg = call.Args[i]
+		}
+		if obj := env.pkg.Info.Defs[pid]; obj != nil {
+			c.bindCallArg(env, child, obj, arg, pid.Name)
+		}
+	}
+	c.walkBody(child, lit.Body, guarded)
+	c.depth--
+}

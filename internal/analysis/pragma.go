@@ -169,7 +169,20 @@ func (pi *pragmaInfo) collectFile(prog *Program, pkg *Package, file *ast.File) {
 			}
 			if spaced, ok := strings.CutPrefix(c.Text, "// "); ok {
 				if strings.HasPrefix(spaced, "foam:") {
-					report(c.Pos(), "malformed foam directive: no space allowed between // and foam: (write //%s)", strings.TrimSpace(spaced))
+					// Normalizing the spacing is mechanical: drop the
+					// space so the directive parses on the next run.
+					start := prog.position(c.Pos())
+					d := Diagnostic{
+						Pos:      start,
+						Analyzer: pragmaAnalyzer,
+						Message:  fmt.Sprintf("malformed foam directive: no space allowed between // and foam: (write //%s)", strings.TrimSpace(spaced)),
+						Fix: &Fix{
+							Start:   start.Offset,
+							End:     start.Offset + len(c.Text),
+							NewText: "//" + spaced,
+						},
+					}
+					pi.diags = append(pi.diags, d)
 					continue
 				}
 			}

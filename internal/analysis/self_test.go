@@ -47,6 +47,8 @@ func TestRepoLintClean(t *testing.T) {
 	for _, path := range []string{
 		"foam/internal/spectral", "foam/internal/atmos", "foam/internal/ocean",
 		"foam/internal/coupler", "foam/internal/river", "foam/internal/pool",
+		"foam/internal/diag", "foam/internal/stats", "foam/internal/land",
+		"foam/internal/baseline", "foam/internal/data",
 	} {
 		pkg := prog.Lookup(path)
 		if pkg == nil {

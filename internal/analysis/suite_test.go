@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFloatCmpFixRoundTrip is the acceptance check for -fix: applying
+// the suggested rewrites to the floatcmp fixture must leave a package
+// that still type-checks and lints clean except for the complex-number
+// comparison, which has no ordered form and therefore no fix.
+func TestFloatCmpFixRoundTrip(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "floatbad", "floatbad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpfloat\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(dir, "floatbad.go")
+	if err := os.WriteFile(file, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	prog, err := LoadModule(dir, "tmpfloat")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	diags := prog.Run(Analyzers())
+	if len(diags) != 4 {
+		t.Fatalf("got %d findings before fixing, want 4:\n%v", len(diags), diags)
+	}
+	remaining, applied, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if applied != 3 {
+		t.Fatalf("applied %d fixes, want 3 (complex comparison has no ordered form)", applied)
+	}
+	if len(remaining) != 1 || !strings.Contains(remaining[0].Message, "==") {
+		t.Fatalf("remaining = %v, want the single complex == finding", remaining)
+	}
+
+	// The rewritten file must still load (i.e. parse and type-check) and
+	// must now be clean apart from the unfixable complex comparison.
+	prog2, err := LoadModule(dir, "tmpfloat")
+	if err != nil {
+		t.Fatalf("LoadModule after fix: %v", err)
+	}
+	diags2 := prog2.Run(Analyzers())
+	if len(diags2) != 1 || diags2[0].Analyzer != "floatcmp" {
+		t.Fatalf("post-fix findings = %v, want only the complex == finding", diags2)
+	}
+	if diags2[0].Pos.Line != remaining[0].Pos.Line {
+		t.Fatalf("surviving finding moved: line %d, want %d", diags2[0].Pos.Line, remaining[0].Pos.Line)
+	}
+	fixed, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"(m.w[c] <= 0 && m.w[c] >= 0)", // != 0 keeps NaN behavior via negation outside
+		"(a <= b && a >= b)",
+		"!(x <= x && x >= x)",
+	} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("rewritten source missing %q:\n%s", want, fixed)
+		}
+	}
+}
+
+func TestBaselineApply(t *testing.T) {
+	base := ParseBaseline([]byte("# comment\n\na.go:1:2: msg one [floatcmp]\nb.go:9:9: never happens [fieldshape]\n"))
+	if base.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", base.Len())
+	}
+	diags := []Diagnostic{
+		{Analyzer: "floatcmp", Message: "msg one"},
+		{Analyzer: "floatcmp", Message: "msg two"},
+	}
+	canons := []string{"a.go:1:2: msg one [floatcmp]", "a.go:3:4: msg two [floatcmp]"}
+	i := 0
+	fresh, stale := base.Apply(diags, func(Diagnostic) string { c := canons[i]; i++; return c })
+	if len(fresh) != 1 || fresh[0].Message != "msg two" {
+		t.Fatalf("fresh = %v, want only msg two", fresh)
+	}
+	if len(stale) != 1 || stale[0] != "b.go:9:9: never happens [fieldshape]" {
+		t.Fatalf("stale = %v, want the unmatched entry", stale)
+	}
+}
+
+func TestApplyFixesRejectsOverlap(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "x.txt")
+	if err := os.WriteFile(file, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diag := func(start, end int, text string) Diagnostic {
+		var d Diagnostic
+		d.Pos.Filename = file
+		d.Fix = &Fix{Start: start, End: end, NewText: text}
+		return d
+	}
+	if _, _, err := ApplyFixes([]Diagnostic{diag(2, 6, "X"), diag(4, 8, "Y")}); err == nil {
+		t.Fatal("overlapping fixes not rejected")
+	}
+	remaining, applied, err := ApplyFixes([]Diagnostic{diag(6, 8, "B"), diag(2, 4, "A")})
+	if err != nil || applied != 2 || len(remaining) != 0 {
+		t.Fatalf("disjoint fixes: remaining=%v applied=%d err=%v", remaining, applied, err)
+	}
+	got, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01A45B89" {
+		t.Fatalf("spliced file = %q, want %q", got, "01A45B89")
+	}
+}
+
+// TestPairDisjoint exercises the affine-cone disjointness test on the
+// interval shapes phasesafety actually derives. Coordinates are
+// (lo-coefficient, hi-coefficient, constant); every worker holds
+// 0 ≤ lo ≤ hi and adjacent blocks share hi(k) = lo(k+1).
+func TestPairDisjoint(t *testing.T) {
+	iv := func(sl, sh, sc, el, eh, ec int) rowIv {
+		return rowIv{
+			start: affine{lo: sl, hi: sh, c: sc, ok: true},
+			end:   affine{lo: el, hi: eh, c: ec, ok: true},
+		}
+	}
+	block := iv(1, 0, 0, 0, 1, 0)     // [lo, hi): the canonical block
+	blockWide := iv(1, 0, 0, 0, 1, 1) // [lo, hi+1): spills into the next block
+	haloLeft := iv(1, 0, -1, 1, 0, 0) // [lo-1, lo): previous worker's last row
+	interior := iv(1, 0, 1, 0, 1, 0)  // [lo+1, hi): interior rows only
+	empty := iv(0, 1, 0, 1, 0, 0)     // [hi, lo): always empty
+	cases := []struct {
+		name   string
+		a, b   rowIv
+		wantOK bool
+	}{
+		{"block vs itself", block, block, true},
+		{"block vs interior", block, interior, true},
+		{"seam spill vs block", blockWide, block, false},
+		{"seam spill vs itself", blockWide, blockWide, false},
+		{"halo write vs block", haloLeft, block, false},
+		// lo-1 at a higher worker is hi-1 of an adjacent lower worker,
+		// which its interior loop also reaches once blocks have ≥ 2 rows.
+		{"halo write vs interior", haloLeft, interior, false},
+		{"halo write vs itself", haloLeft, haloLeft, true},
+		{"empty vs anything", empty, blockWide, true},
+	}
+	for _, c := range cases {
+		if got := pairDisjoint(c.a, c.b); got != c.wantOK {
+			t.Errorf("%s: pairDisjoint(%s, %s) = %v, want %v", c.name, c.a, c.b, got, c.wantOK)
+		}
+		if got := pairDisjoint(c.b, c.a); got != c.wantOK {
+			t.Errorf("%s (swapped): pairDisjoint(%s, %s) = %v, want %v", c.name, c.b, c.a, got, c.wantOK)
+		}
+	}
+}

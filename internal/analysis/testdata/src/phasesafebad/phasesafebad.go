@@ -1,0 +1,38 @@
+// Package phasesafebad exercises the phasesafety analyzer: phases whose
+// symbolic write sets can collide across workers under the pool's block
+// decomposition, and phases that write shared storage with no
+// partitioning at all.
+package phasesafebad
+
+// total is shared by every worker; accumulating into it from a phase is
+// a race no matter how the rows are split.
+var total float64
+
+type model struct {
+	buf    []float64
+	acc    []float64
+	phases []func(w, lo, hi int)
+}
+
+//foam:hotphases
+func (m *model) bindPhases() {
+	m.phases = append(m.phases, func(_, lo, hi int) {
+		for i := lo; i < hi+1; i++ {
+			m.buf[i] = 0 // want `phase phasesafebad\.\(\*model\)\.bindPhases\$1 writes rows \[lo, hi\+1\) of m\.buf\[i\], which can overlap the rows written by another worker at a block seam`
+		}
+	})
+	m.phases = append(m.phases, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.buf[i] = float64(i)
+		}
+		if lo > 0 {
+			m.buf[lo-1] = 0 // want `phase phasesafebad\.\(\*model\)\.bindPhases\$2: rows \[lo-1, lo\) of m\.buf\[lo - 1\] can overlap rows \[lo, hi\) written by another worker`
+		}
+	})
+	m.phases = append(m.phases, func(_, lo, hi int) {
+		m.acc[0] = 0 // want `phase phasesafebad\.\(\*model\)\.bindPhases\$3 writes m\.acc\[0\] without partitioning by the worker's block; every worker may write the same location`
+		for i := lo; i < hi; i++ {
+			total += m.buf[i] // want `phase phasesafebad\.\(\*model\)\.bindPhases\$3 writes package-level total, which is not partitioned by the worker decomposition`
+		}
+	})
+}

@@ -1,0 +1,51 @@
+// Package phasesafeok holds pool phases the phasesafety analyzer must
+// accept: block-partitioned flat writes, shifted interior stencils,
+// per-worker scratch, single-worker guards, and helper calls that write
+// through row-restricted slice arguments.
+package phasesafeok
+
+type model struct {
+	buf    []float64
+	out    []float64
+	scr    [][]float64
+	nlon   int
+	calls  int
+	phases []func(w, lo, hi int)
+}
+
+//foam:hotphases
+func (m *model) bindPhases() {
+	nlon := m.nlon
+	m.phases = append(m.phases, func(w, lo, hi int) {
+		scr := m.scr[w]
+		for j := lo; j < hi; j++ {
+			for i := 0; i < nlon; i++ {
+				c := j*nlon + i
+				scr[i] = m.buf[c]
+				m.out[c] = scr[i] + scr[i]
+			}
+		}
+	})
+	m.phases = append(m.phases, func(_, j0, j1 int) {
+		for j := j0 + 1; j < j1+1; j++ {
+			m.out[j] = m.buf[j-1] + m.buf[j]
+		}
+	})
+	m.phases = append(m.phases, func(w, lo, hi int) {
+		if w == 0 {
+			m.calls++
+		}
+		if lo == 0 {
+			m.out[0] = 0
+		}
+		fill(m.out[lo:hi], 1)
+	})
+}
+
+// fill is reached from a phase with a row-restricted slice, so its
+// writes stay inside the calling worker's block.
+func fill(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}

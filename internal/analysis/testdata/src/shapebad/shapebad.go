@@ -1,0 +1,71 @@
+// Package shapebad exercises the fieldshape analyzer: flat buffers
+// allocated with one grid's dimensions but indexed, copied, or passed
+// with another's.
+package shapebad
+
+const (
+	oceanLat = 128
+	oceanLon = 128
+	atmosLat = 40
+	atmosLon = 48
+)
+
+type oceanGrid struct{ NLat, NLon int }
+
+type atmosGrid struct{ NLat, NLon, NLev int }
+
+func constStride() {
+	sst := make([]float64, oceanLat*oceanLon)
+	for j := 0; j < oceanLat; j++ {
+		for i := 0; i < atmosLon; i++ {
+			sst[j*atmosLon+i] = 1 // want `sst is allocated with shape shapebad\.oceanLat\*shapebad\.oceanLon but indexed with stride shapebad\.atmosLon from a different grid`
+		}
+	}
+}
+
+type oceanModel struct {
+	cfg oceanGrid
+	sst []float64
+}
+
+func (m *oceanModel) alloc() {
+	m.sst = make([]float64, m.cfg.NLat*m.cfg.NLon)
+}
+
+func (m *oceanModel) crossStride(a atmosGrid) {
+	for j := 0; j < m.cfg.NLat; j++ {
+		for i := 0; i < a.NLon; i++ {
+			m.sst[j*a.NLon+i] = 0 // want `m\.sst is allocated with shape shapebad\.oceanGrid\.NLat\*shapebad\.oceanGrid\.NLon but indexed with stride shapebad\.atmosGrid\.NLon from a different grid`
+		}
+	}
+}
+
+func badCopy() {
+	oc := make([]float64, oceanLat*oceanLon)
+	at := make([]float64, atmosLat*atmosLon)
+	copy(oc, at) // want `copy between different grid shapes: oc is shapebad\.oceanLat\*shapebad\.oceanLon, at is shapebad\.atmosLat\*shapebad\.atmosLon`
+}
+
+func badRange() {
+	oc := make([]float64, oceanLat*oceanLon)
+	at := make([]float64, atmosLat*atmosLon)
+	for i := range at {
+		oc[i] = 1 // want `oc has shape shapebad\.oceanLat\*shapebad\.oceanLon but is indexed by a range over a buffer of shape shapebad\.atmosLat\*shapebad\.atmosLon`
+	}
+}
+
+// scaleInto is shape-checked a second time under its callers' buffer
+// shapes: badInto hands it an ocean-sized buffer, so the atmosphere
+// stride below is a cross-grid access.
+func scaleInto(dst []float64, s float64) {
+	for j := 0; j < atmosLat; j++ {
+		for i := 0; i < atmosLon; i++ {
+			dst[j*atmosLon+i] = s // want `dst is allocated with shape shapebad\.oceanLat\*shapebad\.oceanLon but indexed with stride shapebad\.atmosLon from a different grid`
+		}
+	}
+}
+
+func badInto() {
+	oc := make([]float64, oceanLat*oceanLon)
+	scaleInto(oc, 2)
+}

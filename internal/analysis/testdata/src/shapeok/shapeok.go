@@ -1,0 +1,84 @@
+// Package shapeok holds flat-buffer idioms the fieldshape analyzer must
+// accept: matching strides through locals, halo offsets, contiguous 3D
+// inner-block strides, and same-shape copies.
+package shapeok
+
+const (
+	nLev = 18
+	nLat = 40
+	nLon = 48
+)
+
+type grid struct{ NLat, NLon int }
+
+type model struct {
+	g    grid
+	fld  []float64
+	u    []float64
+	scr  []float64
+	rows [][]float64
+}
+
+func (m *model) alloc() {
+	m.fld = make([]float64, m.g.NLat*m.g.NLon)
+	m.scr = make([]float64, m.g.NLat*m.g.NLon)
+	m.u = make([]float64, nLev*nLat*nLon)
+	m.rows = make([][]float64, m.g.NLat)
+	for j := range m.rows {
+		m.rows[j] = make([]float64, m.g.NLon)
+	}
+}
+
+func (m *model) sameStride() {
+	nlon := m.g.NLon
+	for j := 0; j < m.g.NLat; j++ {
+		for i := 0; i < nlon; i++ {
+			c := j*nlon + i
+			m.fld[c] = m.fld[c] + 1
+		}
+	}
+}
+
+func (m *model) haloRow() {
+	nlon := m.g.NLon
+	for i := 0; i < nlon; i++ {
+		m.fld[2*nlon+i] = m.fld[3*nlon+i]
+	}
+}
+
+func (m *model) flat3D() {
+	for k := 0; k < nLev; k++ {
+		for j := 0; j < nLat; j++ {
+			for i := 0; i < nLon; i++ {
+				m.u[(k*nLat+j)*nLon+i] = 0
+			}
+		}
+	}
+}
+
+func (m *model) levelStride() {
+	for k := 0; k < nLev; k++ {
+		for c := 0; c < nLat*nLon; c++ {
+			m.u[k*nLat*nLon+c] = 1
+		}
+	}
+}
+
+func (m *model) okCopy() {
+	copy(m.scr, m.fld)
+	for i := range m.fld {
+		m.scr[i] = m.fld[i]
+	}
+}
+
+func sum(buf []float64) float64 {
+	var s float64
+	for i := range buf {
+		s += buf[i]
+	}
+	return s
+}
+
+func (m *model) reduce() float64 {
+	return sum(m.fld) + sum(m.u)
+}

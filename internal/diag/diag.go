@@ -2,6 +2,8 @@
 // allocation chart of the paper's Figure 2 (as ASCII), latitude-longitude
 // field maps (Figures 3 and 4) as ASCII contour plots or PGM images, and
 // CSV tables for the benchmark harness.
+//
+//foam:deterministic
 package diag
 
 import (
@@ -71,16 +73,32 @@ func SegmentTotals(comms []*mp.Comm) map[string]float64 {
 	return tot
 }
 
+// SegmentLabels returns the distinct segment labels across all ranks in
+// sorted order. Labels are collected in segment order, never by iterating
+// a map, so every quantity accumulated in this order is deterministic.
+func SegmentLabels(comms []*mp.Comm) []string {
+	seen := map[string]bool{}
+	var labels []string
+	for _, c := range comms {
+		for _, s := range c.Segments() {
+			if !seen[s.Label] {
+				seen[s.Label] = true
+				labels = append(labels, s.Label)
+			}
+		}
+	}
+	sort.Strings(labels)
+	return labels
+}
+
 // PrintSegmentTable writes per-label totals and fractions.
 func PrintSegmentTable(w io.Writer, comms []*mp.Comm) {
 	tot := SegmentTotals(comms)
-	labels := make([]string, 0, len(tot))
+	labels := SegmentLabels(comms)
 	sum := 0.0
-	for l, v := range tot {
-		labels = append(labels, l)
-		sum += v
+	for _, l := range labels {
+		sum += tot[l]
 	}
-	sort.Strings(labels)
 	fmt.Fprintf(w, "%-12s %12s %8s\n", "activity", "rank-seconds", "share")
 	for _, l := range labels {
 		fmt.Fprintf(w, "%-12s %12.4f %7.1f%%\n", l, tot[l], 100*tot[l]/sum)

@@ -75,8 +75,7 @@ func New(workers int) *Pool {
 		w := w
 		go func() {
 			for range ch {
-				nw := p.curW
-				lo, hi := p.curN*w/nw, p.curN*(w+1)/nw
+				lo, hi := Block(p.curN, w, p.curW)
 				if lo < hi {
 					p.fn(w, lo, hi)
 				}
@@ -94,6 +93,19 @@ func (p *Pool) Workers() int {
 		return 1
 	}
 	return p.n
+}
+
+// Block is the pool's decomposition contract as an exported, testable
+// artifact: the half-open range [lo, hi) of [0, n) owned by worker w of p
+// workers. Run uses exactly this arithmetic, so the properties that make
+// the decomposition a partition — blocks are contiguous, ascending in w,
+// cover [0, n), and pairwise disjoint (Block(n, w, p) ends where
+// Block(n, w+1, p) begins) — are the invariant the phasesafety analyzer
+// assumes when it proves a phase's writes disjoint across workers: a
+// phase that writes only rows derived from its own [lo, hi) by the same
+// shift cannot collide with any other worker.
+func Block(n, w, p int) (lo, hi int) {
+	return n * w / p, n * (w + 1) / p
 }
 
 // Run partitions [0, n) into contiguous blocks, one per worker, and calls

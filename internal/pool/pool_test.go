@@ -30,6 +30,38 @@ func TestPartitionCoversExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestBlockIsPartition: the exported decomposition metadata is a partition
+// of [0, n) — contiguous ascending blocks, adjacent blocks sharing their
+// boundary — and matches what Run hands to workers.
+func TestBlockIsPartition(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 16} {
+		for _, n := range []int{0, 1, 2, 7, 16, 127, 129} {
+			prevHi := 0
+			for w := 0; w < p; w++ {
+				lo, hi := Block(n, w, p)
+				if lo != prevHi {
+					t.Fatalf("Block(%d,%d,%d): lo=%d, want %d (blocks must tile)", n, w, p, lo, prevHi)
+				}
+				if hi < lo || hi > n {
+					t.Fatalf("Block(%d,%d,%d): bad hi=%d", n, w, p, hi)
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("Block(n=%d, p=%d): blocks cover [0,%d), want [0,%d)", n, p, prevHi, n)
+			}
+		}
+	}
+	pool := New(3)
+	defer pool.Close()
+	pool.Run(10, func(w, lo, hi int) {
+		blo, bhi := Block(10, w, 3)
+		if lo != blo || hi != bhi {
+			t.Errorf("Run block (%d,%d) for worker %d != Block result (%d,%d)", lo, hi, w, blo, bhi)
+		}
+	})
+}
+
 // TestSerialPathIsInline: nil pools, 1-worker pools, and n<=1 runs must call
 // fn exactly once with the full range on the calling goroutine.
 func TestSerialPathIsInline(t *testing.T) {
