@@ -2,10 +2,13 @@
 //
 // Usage:
 //
-//	foam [-config full|reduced] [-days N] [-record sst.csv] [-quiet]
+//	foam [-config full|reduced] [-exec serial|pooled|ranked] [-days N]
+//	     [-record sst.csv] [-quiet]
 //
 // With -record, monthly mean SST fields are appended to a CSV (one row per
-// month) for later analysis with foam-analyze.
+// month) for later analysis with foam-analyze. The -exec flag selects the
+// executor backend; all backends are bit-identical, so it only changes how
+// the program's ticks are executed (see DESIGN.md section 12).
 package main
 
 import (
@@ -27,7 +30,11 @@ func main() {
 	mapOut := flag.Bool("map", true, "print an ASCII SST map at the end")
 	saveChk := flag.String("checkpoint", "", "write a restart checkpoint here at the end")
 	resume := flag.String("resume", "", "resume from a checkpoint file")
-	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = serial); results are bit-identical for any value")
+	workers := flag.Int("workers", 0, "pooled executor: worker pool size (0 = all CPUs); results are bit-identical for any value")
+	execName := flag.String("exec", "pooled", "executor backend: serial, pooled, or ranked; all are bit-identical")
+	atmRanks := flag.Int("atm-ranks", 4, "ranked executor: atmosphere (+ coupler) ranks")
+	ocnRanks := flag.Int("ocn-ranks", 1, "ranked executor: ocean ranks")
+	lag := flag.Int("lag", 0, "ocean coupling lag: 0 = synchronous, 1 = the paper's lagged coupling (lets ranked overlap the ocean with atmosphere steps)")
 	flag.Parse()
 
 	var cfg foam.Config
@@ -40,11 +47,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "unknown -config (want full or reduced)")
 		os.Exit(2)
 	}
-	cfg.Workers = *workers
+	cfg.OceanLag = *lag
+	switch *execName {
+	case "serial":
+		cfg.Workers = 1
+	case "pooled":
+		cfg.Workers = *workers
+	case "ranked":
+		cfg.Workers = 1
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -exec (want serial, pooled or ranked)")
+		os.Exit(2)
+	}
 	m, err := foam.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "foam:", err)
 		os.Exit(1)
+	}
+	if *execName == "ranked" {
+		spec := foam.ParallelSpec{AtmRanks: *atmRanks, OcnRanks: *ocnRanks, Link: foam.SPLink}
+		if err := m.UseRankedExecutor(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "foam:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ranked executor: %d atmosphere + %d ocean ranks, lag %d\n", *atmRanks, *ocnRanks, *lag)
 	}
 	if *resume != "" {
 		chk, err := foam.LoadCheckpointFile(*resume)

@@ -15,6 +15,8 @@
 package foam
 
 import (
+	"math"
+
 	"foam/internal/core"
 	"foam/internal/data"
 	"foam/internal/mp"
@@ -196,7 +198,7 @@ func AnalyzeVariability(g *sphere.Grid, mask []float64, series [][]float64, cuto
 func TwoBasinLoading(g *sphere.Grid, mask []float64, pattern []float64) float64 {
 	atl := regionMean(g, mask, pattern, 30, 60, -70, -10)
 	pac := regionMean(g, mask, pattern, 25, 55, 145, -135)
-	den := (abs(atl) + 1e-12) * (abs(pac) + 1e-12)
+	den := (math.Abs(atl) + 1e-12) * (math.Abs(pac) + 1e-12)
 	return atl * pac / den
 }
 
@@ -230,13 +232,6 @@ func regionMean(g *sphere.Grid, mask, f []float64, lat0, lat1, lon0, lon1 float6
 		return 0
 	}
 	return num / den
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 // SPLink is the IBM-SP2-era interconnect model used for simulated-machine

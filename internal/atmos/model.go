@@ -157,7 +157,7 @@ type Model struct {
 
 	boundary Boundary
 	phy      *physicsState
-	pool     *pool.Pool // nil = serial
+	pool     pool.Runner // pool.Serial = serial
 
 	step int
 	fcor []float64 // Coriolis parameter per cell
@@ -216,7 +216,7 @@ func New(cfg Config, boundary Boundary) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Model{cfg: cfg}
+	m := &Model{cfg: cfg, pool: pool.Serial}
 	m.grid = sphere.NewGaussianGrid(cfg.NLat, cfg.NLon)
 	m.tr = spectral.NewTransform(cfg.Trunc, cfg.NLat, cfg.NLon)
 	m.vg = NewVGrid(cfg.NLev, cfg.SigmaTop)
@@ -253,12 +253,15 @@ func New(cfg Config, boundary Boundary) (*Model, error) {
 	return m, nil
 }
 
-// SetPool attaches a shared worker pool to the model and its spectral
-// transform. All parallel sections are bit-identical to the serial path
-// (see internal/pool); a nil pool restores serial execution. The step
+// SetPool attaches a Runner to the model and its spectral transform. All
+// parallel sections are bit-identical to the serial path (see
+// internal/pool); a nil Runner restores serial execution. The step
 // workspace (and its per-worker scratch and spectral workspaces) is sized
-// by the pool, so it is invalidated here and rebuilt on the next step.
-func (m *Model) SetPool(p *pool.Pool) {
+// by the Runner, so it is invalidated here and rebuilt on the next step.
+func (m *Model) SetPool(p pool.Runner) {
+	if p == nil {
+		p = pool.Serial
+	}
 	m.pool = p
 	m.tr.SetPool(p)
 	m.phy.w = nil

@@ -3,6 +3,12 @@
 // multi-rate schedule — a 30-minute atmosphere step, radiation twice per
 // simulated day, and the ocean called four times per simulated day with
 // fluxes averaged over the interval.
+//
+// The assembly is layered (see DESIGN.md section 12): the models are
+// wrapped as sched.Components (components.go), the multi-rate cadence is
+// compiled into a sched.Program, and an exec executor — Serial, Pooled, or
+// Ranked — interprets the program. All executors are bit-identical; only
+// how ticks are executed differs.
 package core
 
 import (
@@ -12,8 +18,9 @@ import (
 	"foam/internal/atmos"
 	"foam/internal/coupler"
 	"foam/internal/data"
+	"foam/internal/exec"
 	"foam/internal/ocean"
-	"foam/internal/pool"
+	"foam/internal/sched"
 	"foam/internal/spectral"
 	"foam/internal/sphere"
 )
@@ -29,6 +36,15 @@ type Config struct {
 
 	// Flat disables the synthetic orography.
 	Flat bool
+
+	// OceanLag selects the coupling style (sched.Schedule.Lag): 0 couples
+	// synchronously at the coupling tick — the original serial semantics —
+	// and 1 is the paper's lagged coupling, where the atmosphere consumes
+	// the surface state the ocean produced one interval earlier, letting
+	// the Ranked executor overlap the ocean step with the next interval's
+	// atmosphere steps (Section 4, Figure 2). Both are deterministic and
+	// identical across executors; they are distinct model trajectories.
+	OceanLag int
 
 	// Workers sets the shared-memory worker pool size used by the hot
 	// loops of every component: 0 means GOMAXPROCS, 1 forces the exact
@@ -76,6 +92,9 @@ func (c Config) Validate() error {
 	if c.OceanEvery < 1 {
 		return fmt.Errorf("core: OceanEvery must be >= 1")
 	}
+	if c.OceanLag < 0 || c.OceanLag > 1 {
+		return fmt.Errorf("core: OceanLag must be 0 or 1")
+	}
 	if math.Abs(float64(c.OceanEvery)*c.Atm.Dt-c.Ocn.DtTracer) > 1 {
 		return fmt.Errorf("core: ocean call interval %.0f s does not match the ocean tracer step %.0f s",
 			float64(c.OceanEvery)*c.Atm.Dt, c.Ocn.DtTracer)
@@ -83,8 +102,10 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Model is the coupled FOAM model (serial driver; the message-passing
-// driver lives in parallel.go).
+// Model is the coupled FOAM model: the component wrappers, the compiled
+// multi-rate program, and the executor that runs it. The concrete models
+// stay exported for diagnostics and analysis; all stepping goes through
+// the executor.
 type Model struct {
 	cfg Config
 
@@ -92,7 +113,11 @@ type Model struct {
 	Ocn *ocean.Model
 	Cpl *coupler.Coupler
 
-	pool *pool.Pool // shared-memory worker pool, nil when Workers == 1
+	atmC  *atmComponent
+	ocnC  *ocnComponent
+	comps []sched.Component
+	prog  *sched.Program
+	ex    exec.Executor
 
 	step int // atmosphere steps completed
 }
@@ -134,31 +159,64 @@ func New(cfg Config) (*Model, error) {
 	// Give the coupler the initial ocean state.
 	cp.AbsorbOcean(oc)
 
-	// Shared-memory worker pool, threaded through every component's hot
-	// loops. Workers == 1 keeps the exact serial code paths.
-	if cfg.Workers != 1 {
-		m.pool = pool.New(cfg.Workers)
-		if m.pool.Workers() > 1 {
-			at.SetPool(m.pool)
-			oc.SetPool(m.pool)
-			cp.SetPool(m.pool)
-		} else {
-			m.pool.Close()
-			m.pool = nil
-		}
+	// Wrap the models as components and compile the paper's multi-rate
+	// cadence into a program.
+	m.atmC = newAtmComponent(at, cp, cfg.Ocn.DtTracer)
+	m.ocnC = newOcnComponent(oc)
+	m.comps = []sched.Component{m.atmC, m.ocnC}
+	prog, err := sched.Schedule{
+		BaseDt:         cfg.Atm.Dt,
+		CoupleEvery:    cfg.OceanEvery,
+		RadiationEvery: cfg.Atm.RadiationEvery,
+		Lag:            cfg.OceanLag,
+	}.Compile(m.comps)
+	if err != nil {
+		return nil, err
+	}
+	m.prog = prog
+
+	// Default executor: serial for Workers == 1, otherwise the
+	// shared-memory pool threaded through every component's hot loops.
+	// Either way the numerics are identical (see internal/exec).
+	if cfg.Workers == 1 {
+		m.ex = exec.NewSerial(prog, m.comps)
+	} else {
+		m.ex = exec.NewPooled(prog, m.comps, cfg.Workers)
 	}
 	return m, nil
 }
 
-// Close releases the worker pool (idempotent; the model must not be stepped
-// afterwards). Models built with Workers == 1 need no Close.
+// UseRankedExecutor replaces the model's executor with the ranked
+// message-passing backend: the atmosphere group (coupler co-resident) and
+// the ocean group each on their own internal/mp ranks, exchanging the
+// coupling fields as typed messages. The trajectory is bit-identical to
+// the serial and pooled executors; with Config.OceanLag == 1 the ocean's
+// step genuinely overlaps the atmosphere's next interval. The current
+// executor is closed and the new one resumes at the current step.
+func (m *Model) UseRankedExecutor(spec ParallelSpec) error {
+	if spec.AtmRanks < 1 || spec.OcnRanks < 1 {
+		return fmt.Errorf("core: need at least one rank per component")
+	}
+	rex, err := exec.NewRanked(m.prog, m.comps, exec.RankedSpec{
+		Groups: []int{spec.AtmRanks, spec.OcnRanks},
+		Link:   spec.Link,
+	})
+	if err != nil {
+		return err
+	}
+	m.ex.Close()
+	rex.Seek(m.step)
+	m.ex = rex
+	return nil
+}
+
+// Close releases executor-owned resources (idempotent; the model must not
+// be stepped afterwards).
 func (m *Model) Close() {
-	if m.pool != nil {
-		m.pool.Close()
-		m.pool = nil
-		m.Atm.SetPool(nil)
-		m.Ocn.SetPool(nil)
-		m.Cpl.SetPool(nil)
+	if m.ex != nil {
+		m.ex.Close()
+		m.ex = exec.NewSerial(m.prog, m.comps)
+		m.ex.Seek(m.step)
 	}
 }
 
@@ -171,29 +229,23 @@ func (m *Model) StepCount() int { return m.step }
 // SimTime returns the simulated time in seconds.
 func (m *Model) SimTime() float64 { return float64(m.step) * m.cfg.Atm.Dt }
 
-// Step advances one atmosphere step, calling the ocean on schedule.
+// Step advances one atmosphere step, calling the ocean on schedule (one
+// program tick on the current executor).
 //
 //foam:hotpath
 func (m *Model) Step() {
-	m.Atm.Step()
+	m.ex.Steps(1)
 	m.step++
-	if m.step%m.cfg.OceanEvery == 0 {
-		f := m.Cpl.DrainOceanForcing(m.cfg.Ocn.DtTracer)
-		m.Ocn.Step(f)
-		m.Cpl.AbsorbOcean(m.Ocn)
-		u, v := m.Ocn.SurfaceCurrents()
-		m.Cpl.AdvectIce(u, v, m.cfg.Ocn.DtTracer)
-	}
 }
 
-// StepDays advances whole simulated days.
+// StepDays advances whole simulated days in one executor call, so a ranked
+// executor can overlap components across coupling intervals.
 //
 //foam:hotpath
 func (m *Model) StepDays(days float64) {
 	steps := int(days * sphere.SecondsPerDay / m.cfg.Atm.Dt)
-	for s := 0; s < steps; s++ {
-		m.Step()
-	}
+	m.ex.Steps(steps)
+	m.step += steps
 }
 
 // Diagnostics bundles component diagnostics.

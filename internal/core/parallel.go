@@ -3,13 +3,14 @@ package core
 import (
 	"fmt"
 
+	"foam/internal/exec"
 	"foam/internal/mp"
 )
 
-// ParallelSpec describes the simulated machine partition for a traced run:
-// the paper's production layout is 16 atmosphere ranks + 1 ocean rank (17
-// nodes) or 32 + 2 (34 nodes), with the coupler co-resident on the
-// atmosphere ranks.
+// ParallelSpec describes the simulated machine partition for a ranked or
+// traced run: the paper's production layout is 16 atmosphere ranks + 1
+// ocean rank (17 nodes) or 32 + 2 (34 nodes), with the coupler co-resident
+// on the atmosphere ranks.
 type ParallelSpec struct {
 	AtmRanks int
 	OcnRanks int
@@ -29,17 +30,6 @@ type TraceResult struct {
 	Speedup     float64    // SimSeconds / MachineTime
 	SerialTime  float64    // total single-rank busy time (for efficiency)
 	Efficiency  float64    // SerialTime / (MachineTime * ranks)
-}
-
-// stepTrace is the recorded cost of one atmosphere step (plus the ocean
-// step when one occurred at its end).
-type stepTrace struct {
-	dynRows   float64
-	si        float64
-	moisture  float64
-	physRows  []float64
-	boundary  float64
-	oceanStep float64 // 0 when the ocean was not called
 }
 
 // atmPartition chooses the 2-D (latitude-pair x longitude) decomposition
@@ -65,166 +55,161 @@ func atmPartition(p, nlat int) (plat, plon int) {
 	return plat, plon
 }
 
-// RunTraced runs the coupled model serially for the given number of days
-// while recording per-step cost traces, then replays the trace on a
-// simulated message-passing machine with the given partition. The replay
-// exchanges real mp messages (correct sizes) so waiting, load imbalance and
-// bandwidth all shape the virtual timelines — the quantities behind the
+// Message tags for the cost model's intra-ocean halo pattern.
+const (
+	tagHaloLo = 300
+	tagHaloHi = 301
+)
+
+// costModel converts the model's measured per-step costs into per-rank
+// virtual-clock charges and intra-group communication patterns — the
+// exec.TraceModel behind RunTraced. The formulas are the paper's cost
+// structure: row-parallel dynamics and physics divided over the 2-D
+// latitude-pair x longitude partition, a replicated semi-implicit solve,
+// two transpose all-to-alls per step for the distributed spectral
+// transform (Foster-Worley), the coupler split across the atmosphere
+// ranks, and the ocean's row-block share plus per-subcycle halo exchange.
+type costModel struct {
+	m          *Model
+	nAtm, nOcn int
+	plon       int
+	rows       [][]int // physics rows owned by each latitude block
+	specChunk  int     // per-rank transpose chunk, doubles
+	haloLen    int
+	subcycles  int
+
+	// Staging buffers for the per-tick cost vectors. The executor copies
+	// the vector into each member's command message, so reusing the
+	// backing arrays across ticks is safe.
+	atmCosts []float64 // [perRow, semiImplicit, boundary, physRows...]
+	ocnCosts []float64 // [stepSeconds]
+}
+
+func newCostModel(m *Model, spec ParallelSpec) *costModel {
+	nlat := m.cfg.Atm.NLat
+	plat, plon := atmPartition(spec.AtmRanks, nlat)
+	cm := &costModel{
+		m:         m,
+		nAtm:      spec.AtmRanks,
+		nOcn:      spec.OcnRanks,
+		plon:      plon,
+		atmCosts:  make([]float64, 3+nlat),
+		ocnCosts:  make([]float64, 1),
+		haloLen:   2 * m.cfg.Ocn.NLon * (2*m.cfg.Ocn.NLev + 3),
+		subcycles: m.cfg.Ocn.Subcycles(),
+	}
+	// Latitude pairs dealt to plat blocks, each block taking its pair and
+	// the mirror row — PCCM2's pairing of northern and southern latitudes.
+	pairs := nlat / 2
+	cm.rows = make([][]int, plat)
+	for p := 0; p < pairs; p++ {
+		b := p * plat / pairs
+		cm.rows[b] = append(cm.rows[b], p, nlat-1-p)
+	}
+	// Distributed spectral transform: each rank's share of the spectral
+	// arrays (vort, div, T per level + lnps), exchanged twice per step.
+	specDoubles := m.cfg.Atm.Trunc.Count() * 2 * (3*m.cfg.Atm.NLev + 1)
+	cm.specChunk = specDoubles/(spec.AtmRanks*spec.AtmRanks) + 1
+	return cm
+}
+
+// StageTick implements exec.TraceModel: pull the tick's measured costs out
+// of the model on the component's lead rank and pack them into the cost
+// vector the executor ships to every group member.
+func (cm *costModel) StageTick(ci int) []float64 {
+	if ci == 0 {
+		c := cm.m.Atm.LastCost()
+		cm.atmCosts[0] = (c.DynRows + c.Moisture) / float64(cm.m.cfg.Atm.NLat)
+		cm.atmCosts[1] = c.SemiImplicit
+		cm.atmCosts[2] = c.Boundary
+		copy(cm.atmCosts[3:], c.PhysRows)
+		return cm.atmCosts
+	}
+	cm.ocnCosts[0] = cm.m.Ocn.LastStepSeconds()
+	return cm.ocnCosts
+}
+
+// TraceTick implements exec.TraceModel: charge rank w's share of the tick
+// and run the group's communication pattern.
+func (cm *costModel) TraceTick(ci, w int, g *mp.Comm, costs []float64) {
+	if ci == 0 {
+		perRow, si, boundary, phys := costs[0], costs[1], costs[2], costs[3:]
+		// Row-parallel dynamics + physics, replicated SI solve.
+		latBlock := w / cm.plon
+		var rows []int
+		if latBlock < len(cm.rows) {
+			rows = cm.rows[latBlock]
+		}
+		rowWork := 0.0
+		for _, j := range rows {
+			rowWork += phys[j]
+		}
+		rowWork /= float64(cm.plon)
+		uniform := perRow * float64(len(rows)) / float64(cm.plon)
+		g.AdvanceClock("atmosphere", uniform+si+rowWork)
+		// Two transposes per step (forward and inverse spectral transform).
+		g.Alltoall(make([]float64, cm.specChunk*cm.nAtm), cm.specChunk)
+		g.Alltoall(make([]float64, cm.specChunk*cm.nAtm), cm.specChunk)
+		// Coupler work, split across the atmosphere ranks.
+		g.AdvanceClock("coupler", boundary/float64(cm.nAtm))
+	} else {
+		// Row-block share of the ocean step plus halo exchange with
+		// neighbouring ocean ranks (two rows each way per subcycle).
+		g.AdvanceClock("ocean", costs[0]/float64(cm.nOcn))
+		if cm.nOcn > 1 {
+			halo := make([]float64, cm.haloLen)
+			for s := 0; s < cm.subcycles; s++ {
+				if w > 0 {
+					g.Sendrecv(w-1, tagHaloLo, halo, w-1, tagHaloHi)
+				}
+				if w < cm.nOcn-1 {
+					g.Sendrecv(w+1, tagHaloHi, halo, w+1, tagHaloLo)
+				}
+			}
+		}
+	}
+}
+
+// RunTraced runs the coupled model for the given number of days on the
+// traced Ranked executor: the same program every other executor runs, with
+// each component's group placed on simulated mp ranks. Real stepping
+// happens serially on the group leads (so the recorded wall-clock costs
+// are clean) while the cost model charges each rank its modeled share and
+// exchanges real mp messages (correct sizes) — so waiting, load imbalance
+// and bandwidth all shape the virtual timelines, the quantities behind the
 // paper's Figure 2 and its Section 5 throughput numbers.
 func RunTraced(cfg Config, days float64, spec ParallelSpec) (*TraceResult, *Model, error) {
 	if spec.AtmRanks < 1 || spec.OcnRanks < 1 {
 		return nil, nil, fmt.Errorf("core: need at least one rank per component")
 	}
+	cfg.Workers = 1 // the leads step the real model serially
 	m, err := New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	m.Atm.EnableCostTrace()
 
-	steps := int(days * 86400 / cfg.Atm.Dt)
-	traces := make([]stepTrace, 0, steps)
-	for s := 0; s < steps; s++ {
-		m.Atm.Step()
-		m.step++
-		c := m.Atm.LastCost()
-		tr := stepTrace{
-			dynRows:  c.DynRows,
-			si:       c.SemiImplicit,
-			moisture: c.Moisture,
-			boundary: c.Boundary,
-			physRows: append([]float64(nil), c.PhysRows...),
-		}
-		if m.step%cfg.OceanEvery == 0 {
-			f := m.Cpl.DrainOceanForcing(m.cfg.Ocn.DtTracer)
-			m.Ocn.Step(f)
-			m.Cpl.AbsorbOcean(m.Ocn)
-			u, v := m.Ocn.SurfaceCurrents()
-			m.Cpl.AdvectIce(u, v, m.cfg.Ocn.DtTracer)
-			tr.oceanStep = m.Ocn.LastStepSeconds()
-		}
-		traces = append(traces, tr)
-	}
-
-	res := replayTrace(m, traces, spec)
-	res.SimSeconds = float64(steps) * cfg.Atm.Dt
-	res.Speedup = res.SimSeconds / res.MachineTime
-	return res, m, nil
-}
-
-// Message tags for the replay.
-const (
-	tagForcing = 100
-	tagSST     = 200
-	tagHaloLo  = 300
-	tagHaloHi  = 301
-)
-
-// replayTrace replays recorded step costs on an mp world.
-func replayTrace(m *Model, traces []stepTrace, spec ParallelSpec) *TraceResult {
-	nlat := m.cfg.Atm.NLat
-	plat, plon := atmPartition(spec.AtmRanks, nlat)
-	nAtm := spec.AtmRanks
-	nOcn := spec.OcnRanks
-	world := mp.NewWorld(nAtm+nOcn, mp.WithLink(spec.Link), mp.WithComputeScale(1))
-
-	// Pre-compute per-rank row shares: latitude pairs dealt to plat blocks.
-	pairs := nlat / 2
-	pairOwner := make([]int, pairs)
-	for p := 0; p < pairs; p++ {
-		pairOwner[p] = p * plat / pairs
-	}
-	rowsOf := func(latBlock int) []int {
-		var rows []int
-		for p := 0; p < pairs; p++ {
-			if pairOwner[p] == latBlock {
-				rows = append(rows, p, nlat-1-p)
-			}
-		}
-		return rows
-	}
-
-	// Message sizes.
-	ncoef := m.cfg.Atm.Trunc.Count()
-	nlev := m.cfg.Atm.NLev
-	specDoubles := ncoef * 2 * (3*nlev + 1) // vort, div, T per level + lnps
-	ocnN := m.Ocn.Grid().Size()
-
-	atmRanks := make([]int, nAtm)
-	for i := range atmRanks {
-		atmRanks[i] = i
-	}
-
-	comms := world.Run(func(c *mp.Comm) {
-		r := c.WorldRank()
-		if r < nAtm {
-			// Atmosphere + coupler rank.
-			latBlock := r / plon
-			rows := rowsOf(latBlock)
-			atm := c.Split(atmRanks)
-			for _, tr := range traces {
-				// Row-parallel dynamics + moisture, replicated SI solve.
-				rowWork := 0.0
-				for _, j := range rows {
-					rowWork += tr.physRows[j]
-				}
-				rowWork /= float64(plon)
-				uniform := (tr.dynRows + tr.moisture) * float64(len(rows)) / float64(nlat) / float64(plon)
-				c.AdvanceClock("atmosphere", uniform+tr.si+rowWork)
-				// Distributed spectral transform: two transposes per step
-				// (forward and inverse), following the Foster-Worley
-				// transpose algorithm the paper's atmosphere uses. Each
-				// rank exchanges its share of the spectral arrays.
-				chunk := specDoubles/(nAtm*nAtm) + 1
-				atm.Alltoall(make([]float64, chunk*nAtm), chunk)
-				atm.Alltoall(make([]float64, chunk*nAtm), chunk)
-				// Coupler work, split across atmosphere ranks.
-				c.AdvanceClock("coupler", tr.boundary/float64(nAtm))
-				if tr.oceanStep > 0 {
-					// Ship this rank's share of the ocean forcing to every
-					// ocean rank, then wait for the new surface state.
-					for o := 0; o < nOcn; o++ {
-						c.Send(nAtm+o, tagForcing, make([]float64, 4*ocnN/(nAtm*nOcn)+1))
-					}
-					for o := 0; o < nOcn; o++ {
-						c.Recv(nAtm+o, tagSST)
-					}
-				}
-			}
-		} else {
-			// Ocean rank.
-			o := r - nAtm
-			for _, tr := range traces {
-				if tr.oceanStep <= 0 {
-					continue
-				}
-				for a := 0; a < nAtm; a++ {
-					c.Recv(a, tagForcing)
-				}
-				// Row-block share of the ocean step plus halo exchange with
-				// neighbouring ocean ranks (two rows each way per subcycle).
-				c.AdvanceClock("ocean", tr.oceanStep/float64(nOcn))
-				if nOcn > 1 {
-					halo := make([]float64, 2*m.cfg.Ocn.NLon*(2*m.cfg.Ocn.NLev+3))
-					sub := m.cfg.Ocn.Subcycles()
-					for s := 0; s < sub; s++ {
-						if o > 0 {
-							c.Sendrecv(r-1, tagHaloLo, halo, r-1, tagHaloHi)
-						}
-						if o < nOcn-1 {
-							c.Sendrecv(r+1, tagHaloHi, halo, r+1, tagHaloLo)
-						}
-					}
-				}
-				for a := 0; a < nAtm; a++ {
-					c.Send(a, tagSST, make([]float64, 2*ocnN/(nAtm*nOcn)+1))
-				}
-			}
-		}
+	rex, err := exec.NewRanked(m.prog, m.comps, exec.RankedSpec{
+		Groups: []int{spec.AtmRanks, spec.OcnRanks},
+		Link:   spec.Link,
+		Trace:  true,
+		Model:  newCostModel(m, spec),
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	steps := int(days * 86400 / cfg.Atm.Dt)
+	rex.Steps(steps)
+	m.step = rex.Tick()
+	m.ex.Seek(m.step)
+	comms := rex.Comms()
+	rex.Close()
 
 	res := &TraceResult{Comms: comms}
 	res.MachineTime = mp.MaxClock(comms)
 	res.SerialTime = mp.TotalBusy(comms)
 	res.Efficiency = res.SerialTime / (res.MachineTime * float64(len(comms)))
-	return res
+	res.SimSeconds = float64(steps) * cfg.Atm.Dt
+	res.Speedup = res.SimSeconds / res.MachineTime
+	return res, m, nil
 }

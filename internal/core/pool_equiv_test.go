@@ -138,4 +138,17 @@ func compareCheckpoints(t *testing.T, workers int, ref, got *Checkpoint) {
 	eqF("land water", ref.LandWater, got.LandWater)
 	eqF("land snow", ref.LandSnow, got.LandSnow)
 	eqF("river volume", ref.RiverVol, got.RiverVol)
+
+	// Scheduler phase: mid-interval flux accumulators and the coupler's
+	// mirrored ocean surface.
+	if ref.AccSteps != got.AccSteps {
+		t.Fatalf("workers=%d: accumulated steps %d != %d", workers, got.AccSteps, ref.AccSteps)
+	}
+	eqF("accumulated wind stress x", ref.AccTauX, got.AccTauX)
+	eqF("accumulated wind stress y", ref.AccTauY, got.AccTauY)
+	eqF("accumulated heat flux", ref.AccHeat, got.AccHeat)
+	eqF("accumulated freshwater flux", ref.AccFW, got.AccFW)
+	eqF("accumulated runoff", ref.AccRunoff, got.AccRunoff)
+	eqF("coupler SST mirror", ref.CplSST, got.CplSST)
+	eqF("coupler ice-formation mirror", ref.CplIceForm, got.CplIceForm)
 }

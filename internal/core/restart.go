@@ -11,9 +11,12 @@ import (
 )
 
 // Checkpoint is the complete restartable state of the coupled model. The
-// long simulations the paper targets (500+ years) run as restart chains;
-// checkpoints are taken at coupling boundaries so no mid-interval flux
-// accumulation needs to be stored.
+// long simulations the paper targets (500+ years) run as restart chains.
+// Since PR 5 a checkpoint also round-trips the scheduler phase — the step
+// index within the ocean/radiation cadence, the mid-interval flux
+// accumulators, and the coupler's mirrored ocean surface — so checkpoints
+// may be taken at any step, not just coupling boundaries, and a restore
+// mid-coupling-interval is lockstep-identical.
 type Checkpoint struct {
 	Step int
 	Atm  *atmos.Snapshot
@@ -26,44 +29,90 @@ type Checkpoint struct {
 	RiverVol  []float64
 	IceThick  []float64
 	IceTSurf  []float64
+
+	// Mid-interval ocean-forcing accumulators (ocean grid; AccRunoff on
+	// the atmosphere grid) and the atmosphere steps they cover. All-zero
+	// at a coupling boundary. Nil in pre-PR5 checkpoints, which therefore
+	// restore exactly only at coupling boundaries — as they always did.
+	AccTauX   []float64
+	AccTauY   []float64
+	AccHeat   []float64
+	AccFW     []float64
+	AccRunoff []float64
+	AccSteps  int
+
+	// The coupler's mirrored ocean surface. Under a lagged schedule this
+	// trails the ocean's live state by one interval, so it cannot be
+	// reconstructed from the ocean snapshot. Nil in pre-PR5 checkpoints
+	// (restored by re-absorbing the live ocean state, correct for the
+	// synchronous schedule those runs used).
+	CplSST     []float64
+	CplIceForm []float64
 }
 
-// Checkpoint captures the model state. Call it right after an ocean step
-// (i.e. when StepCount() is a multiple of OceanEvery) for exact resume.
+// Checkpoint captures the model state through the components' Snapshotter
+// faces. It may be called at any step; the scheduler phase (step index
+// within the coupling cadence plus pending flux accumulators) rides along.
 func (m *Model) Checkpoint() *Checkpoint {
-	cp := m.Cpl
-	n := len(cp.Land.Water)
-	c := &Checkpoint{
-		Step:      m.step,
-		Atm:       m.Atm.Snapshot(),
-		Ocn:       m.Ocn.Snapshot(),
-		LandT:     append([][4]float64(nil), cp.Land.T...),
-		LandWater: append([]float64(nil), cp.Land.Water...),
-		LandSnow:  append([]float64(nil), cp.Land.Snow...),
-		RiverVol:  append([]float64(nil), cp.River.Volume...),
-		IceThick:  append([]float64(nil), cp.Ice.Thick...),
-		IceTSurf:  append([]float64(nil), cp.Ice.TSurf...),
+	as := m.atmC.Snapshot().(*atmState)
+	osn := m.ocnC.Snapshot().(*ocean.Snapshot)
+	return &Checkpoint{
+		Step:       m.step,
+		Atm:        as.atm,
+		Ocn:        osn,
+		LandT:      as.landT,
+		LandWater:  as.landWater,
+		LandSnow:   as.landSnow,
+		RiverVol:   as.riverVol,
+		IceThick:   as.iceThick,
+		IceTSurf:   as.iceTSurf,
+		AccTauX:    as.accTauX,
+		AccTauY:    as.accTauY,
+		AccHeat:    as.accHeat,
+		AccFW:      as.accFW,
+		AccRunoff:  as.accRunoff,
+		AccSteps:   as.accSteps,
+		CplSST:     as.mirSST,
+		CplIceForm: as.mirIceForm,
 	}
-	_ = n
-	return c
 }
 
 // Restore installs a checkpoint onto a freshly constructed model with the
-// same configuration.
+// same configuration and re-phases the executor, so the next Step replays
+// exactly the op sequence the original run would have executed.
 func (m *Model) Restore(c *Checkpoint) error {
 	if c.Atm == nil || c.Ocn == nil {
 		return fmt.Errorf("core: incomplete checkpoint")
 	}
+	if err := m.ocnC.RestoreSnapshot(c.Ocn); err != nil {
+		return err
+	}
+	as := &atmState{
+		atm:        c.Atm,
+		landT:      c.LandT,
+		landWater:  c.LandWater,
+		landSnow:   c.LandSnow,
+		riverVol:   c.RiverVol,
+		iceThick:   c.IceThick,
+		iceTSurf:   c.IceTSurf,
+		accTauX:    c.AccTauX,
+		accTauY:    c.AccTauY,
+		accHeat:    c.AccHeat,
+		accFW:      c.AccFW,
+		accRunoff:  c.AccRunoff,
+		accSteps:   c.AccSteps,
+		mirSST:     c.CplSST,
+		mirIceForm: c.CplIceForm,
+	}
+	if err := m.atmC.RestoreSnapshot(as); err != nil {
+		return err
+	}
+	if c.CplSST == nil {
+		// Pre-PR5 checkpoint: the mirror is the live ocean surface.
+		m.Cpl.AbsorbOcean(m.Ocn)
+	}
 	m.step = c.Step
-	m.Atm.Restore(c.Atm)
-	m.Ocn.Restore(c.Ocn)
-	copy(m.Cpl.Land.T, c.LandT)
-	copy(m.Cpl.Land.Water, c.LandWater)
-	copy(m.Cpl.Land.Snow, c.LandSnow)
-	copy(m.Cpl.River.Volume, c.RiverVol)
-	copy(m.Cpl.Ice.Thick, c.IceThick)
-	copy(m.Cpl.Ice.TSurf, c.IceTSurf)
-	m.Cpl.AbsorbOcean(m.Ocn)
+	m.ex.Seek(c.Step)
 	return nil
 }
 

@@ -5,51 +5,80 @@ import (
 	"testing"
 )
 
+// TestRestartLockstep checkpoints a run at every phase offset within the
+// coupling cadence — not just at coupling boundaries — restores onto a
+// fresh model, and requires the pair to stay bit-identical in lockstep for
+// a further simulated day. This exercises the PR 5 scheduler-phase
+// round-trip: the step index within the cadence, the mid-interval flux
+// accumulators, and (at lag 1) the coupler's mirrored ocean surface, which
+// deliberately trails the ocean's live state.
 func TestRestartLockstep(t *testing.T) {
-	cfg := ReducedConfig()
-	b, _ := New(cfg)
-	b.StepDays(1)
-	chk := b.Checkpoint()
-	c, _ := New(cfg)
-	if err := c.Restore(chk); err != nil {
-		t.Fatal(err)
-	}
-	// Compare immediately.
-	cmpSST := func(step int) bool {
-		sb, sc := b.SST(), c.SST()
-		for i := range sb {
-			if sb[i] != sc[i] {
-				fmt.Printf("step %d: SST diff at %d: %e\n", step, i, sb[i]-sc[i])
-				return true
-			}
+	for _, lag := range []int{0, 1} {
+		cfg := ReducedConfig()
+		cfg.OceanLag = lag
+		offsets := make([]int, 0, cfg.OceanEvery)
+		for o := 0; o < cfg.OceanEvery; o++ {
+			offsets = append(offsets, o)
 		}
-		return false
-	}
-	cmpAtm := func(step int) bool {
-		db, dc := b.Atm.Diagnostics(), c.Atm.Diagnostics()
-		if db.MeanT != dc.MeanT {
-			fmt.Printf("step %d: atm meanT diff %e\n", step, db.MeanT-dc.MeanT)
-			return true
+		if testing.Short() {
+			offsets = []int{0, cfg.OceanEvery - 1}
 		}
-		if db.PrecipMean != dc.PrecipMean {
-			fmt.Printf("step %d: precip diff %e\n", step, db.PrecipMean-dc.PrecipMean)
-			return true
+		for _, off := range offsets {
+			off := off
+			t.Run(fmt.Sprintf("lag%d/offset%d", lag, off), func(t *testing.T) {
+				b, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer b.Close()
+				b.StepDays(1)
+				for s := 0; s < off; s++ {
+					b.Step()
+				}
+				chk := b.Checkpoint()
+
+				c, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				if err := c.Restore(chk); err != nil {
+					t.Fatal(err)
+				}
+
+				cmp := func(step int) {
+					t.Helper()
+					sb, sc := b.SST(), c.SST()
+					for i := range sb {
+						if sb[i] != sc[i] {
+							t.Fatalf("step %d: SST diff at %d: %e", step, i, sb[i]-sc[i])
+						}
+					}
+					db, dc := b.Atm.Diagnostics(), c.Atm.Diagnostics()
+					if db.MeanT != dc.MeanT {
+						t.Fatalf("step %d: atm meanT diff %e", step, db.MeanT-dc.MeanT)
+					}
+					if db.PrecipMean != dc.PrecipMean {
+						t.Fatalf("step %d: precip diff %e", step, db.PrecipMean-dc.PrecipMean)
+					}
+					if db.EvapMean != dc.EvapMean {
+						t.Fatalf("step %d: evap diff %e", step, db.EvapMean-dc.EvapMean)
+					}
+				}
+				cmp(0)
+				steps := 16
+				if testing.Short() {
+					steps = 2 * cfg.OceanEvery
+				}
+				for s := 1; s <= steps; s++ {
+					b.Step()
+					c.Step()
+					cmp(s)
+				}
+				// The full prognostic state — including the phase fields
+				// themselves — must also agree exactly.
+				compareCheckpoints(t, 1, b.Checkpoint(), c.Checkpoint())
+			})
 		}
-		if db.EvapMean != dc.EvapMean {
-			fmt.Printf("step %d: evap diff %e\n", step, db.EvapMean-dc.EvapMean)
-			return true
-		}
-		return false
 	}
-	if cmpSST(0) || cmpAtm(0) {
-		t.Fatal("diverged at restore")
-	}
-	for s := 1; s <= 16; s++ {
-		b.Step()
-		c.Step()
-		if cmpSST(s) || cmpAtm(s) {
-			t.Fatalf("diverged at step %d", s)
-		}
-	}
-	fmt.Println("16 lockstep steps identical")
 }

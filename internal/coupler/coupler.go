@@ -67,7 +67,7 @@ type Coupler struct {
 	// are bit-identical to the serial loop. phFlux is bound once in SetPool
 	// (a closure literal per Exchange would allocate every step); exIn stages
 	// its per-call input.
-	pool   *pool.Pool
+	pool   pool.Runner
 	pieces []pieceFlux
 	exIn   *atmos.LowestLevel
 	phFlux func(w, p0, p1 int)
@@ -98,7 +98,7 @@ type WaterBudget struct {
 // New builds a coupler for the given grids using the synthetic Earth for
 // masks, soils and river directions. ocnMask/kmt come from the ocean model.
 func New(atmGrid, ocnGrid *sphere.Grid, ocnMask []float64) *Coupler {
-	cp := &Coupler{AtmGrid: atmGrid, OcnGrid: ocnGrid}
+	cp := &Coupler{AtmGrid: atmGrid, OcnGrid: ocnGrid, pool: pool.Serial}
 	cp.Overlap = BuildOverlap(atmGrid, ocnGrid)
 	cp.ocnMask = append([]float64(nil), ocnMask...)
 	cp.initOcnGeometry()
@@ -166,17 +166,20 @@ func New(atmGrid, ocnGrid *sphere.Grid, ocnMask []float64) *Coupler {
 	return cp
 }
 
-// SetPool attaches a worker pool used to parallelize the per-overlap-piece
+// SetPool attaches a Runner used to parallelize the per-overlap-piece
 // flux computation. The result is bit-identical to the serial loop: fluxes
 // are computed concurrently into per-piece slots, then accumulated serially
 // in piece order. Pass nil to return to the serial loop.
 //
 //foam:hotphases
-func (cp *Coupler) SetPool(p *pool.Pool) {
+func (cp *Coupler) SetPool(p pool.Runner) {
+	if p == nil {
+		p = pool.Serial
+	}
 	cp.pool = p
 	cp.pieces = nil
 	cp.phFlux = nil
-	if p != nil && p.Workers() > 1 {
+	if p.Workers() > 1 {
 		cp.pieces = make([]pieceFlux, len(cp.Overlap.Cells))
 		cells := cp.Overlap.Cells
 		cp.phFlux = func(_, p0, p1 int) {
@@ -523,6 +526,28 @@ func (cp *Coupler) DrainOceanForcing(dt float64) *ocean.Forcing {
 	cp.waterBudget.RiverToOcean += atmIn * dt
 	cp.accSteps = 0
 	return f
+}
+
+// MirrorSnapshot returns copies of the mirrored ocean surface state (SST
+// and freezing flux) the flux computation currently reads. Under a lagged
+// schedule the mirror trails the ocean's live state by one coupling
+// interval, so checkpoints must carry it explicitly.
+func (cp *Coupler) MirrorSnapshot() (sst, iceForm []float64) {
+	return append([]float64(nil), cp.sstC...), append([]float64(nil), cp.iceForm...)
+}
+
+// RestoreAccum installs saved ocean-forcing accumulators, so a checkpoint
+// taken mid-coupling-interval resumes with the exact partial sums the
+// original run carried into its next DrainOceanForcing. Nil slices leave
+// the corresponding accumulator untouched (old checkpoints without
+// accumulator state restore at a coupling boundary, where all are zero).
+func (cp *Coupler) RestoreAccum(tauX, tauY, heat, fw, runoff []float64, steps int) {
+	copy(cp.accTauX, tauX)
+	copy(cp.accTauY, tauY)
+	copy(cp.accHeat, heat)
+	copy(cp.accFW, fw)
+	copy(cp.accRunoff, runoff)
+	cp.accSteps = steps
 }
 
 // AccumSnapshot returns copies of the ocean-forcing accumulators (testing

@@ -1,0 +1,371 @@
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"foam/internal/mp"
+	"foam/internal/pool"
+	"foam/internal/sched"
+)
+
+// Message tags for the ranked executor. Field transfers use tagXfer plus
+// the field's index within its transfer op; the member-dispatch protocol
+// uses tagRankCmd/tagRankDone. All are positive, so they cannot collide
+// with mp's negative collective tags.
+const (
+	tagXfer     = 100
+	tagRankCmd  = 900
+	tagRankDone = 901
+)
+
+// Member-dispatch command codes (first element of a tagRankCmd payload).
+const (
+	cmdExit  = 0 // leave the serve loop; the world is shutting down
+	cmdPhase = 1 // run one pool phase: payload is [cmdPhase, n, nw]
+	cmdTrace = 2 // traced mode: charge this tick's modeled cost
+)
+
+// TraceModel supplies the virtual-time cost model for a traced ranked run.
+// The executor runs the real model serially on each component's lead rank
+// (under the mp exclusivity token, so wall-clock cost traces stay clean)
+// and asks the TraceModel to convert the measured costs into per-rank
+// virtual-clock charges and communication patterns.
+type TraceModel interface {
+	// StageTick is called on component ci's lead right after the tick's
+	// real compute ops ran: return the tick's measured costs as a flat
+	// vector. The executor copies the vector into the command message it
+	// sends each group member, so members read private copies and the lead
+	// may reuse the backing array next tick.
+	StageTick(ci int) []float64
+	// TraceTick is called on every rank of component ci's group — w is the
+	// rank's index within the group, g the group communicator (identical
+	// membership on every caller), costs the vector StageTick returned for
+	// this tick. It charges the rank's share of the tick via
+	// g.AdvanceClock and models intra-group communication (transposes,
+	// halo exchanges) with real mp collectives.
+	TraceTick(ci, w int, g *mp.Comm, costs []float64)
+}
+
+// RankedSpec places the components on mp ranks.
+type RankedSpec struct {
+	// Groups[ci] is the number of ranks component ci occupies; groups are
+	// contiguous and the first rank of each group is its lead. In the
+	// paper's layout the atmosphere (with the co-resident coupler) takes
+	// 16 ranks and the ocean one.
+	Groups []int
+	// Link is the simulated interconnect (zero value: mp.DefaultLink).
+	Link mp.LinkParams
+	// Trace enables the parallel-machine simulation: real stepping runs
+	// serially on the leads and Model charges modeled virtual time to
+	// every rank, producing the per-rank timelines behind Figure 2.
+	Trace bool
+	// Model is the cost model; required when Trace is set.
+	Model TraceModel
+}
+
+// rankPool is a pool.Runner that spreads a phase over one component
+// group's mp ranks: the lead stages the phase function, wakes each member
+// with a cmdPhase message (the mailbox lock is the happens-before edge for
+// the staged fields), runs its own pool.Block share as worker 0, and
+// collects one done message per member as the barrier. Determinism is
+// inherited from the pool contract — the Block split depends only on
+// (n, group size) — so a ranked group is bit-identical to a shared-memory
+// pool of the same worker count, which is itself bit-identical to serial.
+type rankPool struct {
+	size    int   // group size = worker count
+	members []int // world ranks of the non-lead members
+	c       *mp.Comm
+	busy    atomic.Bool
+	fn      func(worker, lo, hi int)
+	cmd     [3]float64
+}
+
+// Workers returns the group size.
+func (rp *rankPool) Workers() int { return rp.size }
+
+// Run dispatches one phase across the group. Serial cases — a 1-rank
+// group, n <= 1, no world attached, or a nested Run from inside a phase —
+// execute fn(0, 0, n) inline, exactly like pool.Pool.Run.
+//
+//foam:hotphases
+func (rp *rankPool) Run(n int, fn func(worker, lo, hi int)) {
+	if rp.size == 1 || n <= 1 || rp.c == nil || !rp.busy.CompareAndSwap(false, true) {
+		fn(0, 0, n)
+		return
+	}
+	defer rp.busy.Store(false)
+	nw := rp.size
+	if nw > n {
+		nw = n
+	}
+	rp.fn = fn
+	rp.cmd = [3]float64{cmdPhase, float64(n), float64(nw)}
+	for _, m := range rp.members {
+		rp.c.Send(m, tagRankCmd, rp.cmd[:])
+	}
+	if lo, hi := pool.Block(n, 0, nw); lo < hi {
+		fn(0, lo, hi)
+	}
+	for _, m := range rp.members {
+		rp.c.Recv(m, tagRankDone)
+	}
+	rp.fn = nil
+}
+
+// Ranked runs the program with each component's group on its own
+// internal/mp ranks: component steps execute on their lead rank (spread
+// over the group members through a rankPool), and coupling transfers move
+// between leads as typed messages. Because each lead executes its
+// projection of the tick op list in program order and every transfer is a
+// blocking dataflow edge, the result is bit-identical to the Serial
+// executor for any rank layout — while a lagged schedule lets the slow
+// component's step genuinely overlap the fast component's next interval.
+type Ranked struct {
+	in       *interp
+	spec     RankedSpec
+	comps    []sched.Component
+	groups   [][]int
+	leads    []int
+	total    int
+	pools    []*rankPool
+	lastComp [][]int // [ci][tickInPeriod] index of the tick's last Step/Couple op, -1 if none
+	tick     int
+	comms    []*mp.Comm
+}
+
+// NewRanked builds the ranked executor. In untraced mode it attaches a
+// rankPool to every PoolAware component with a multi-rank group; in traced
+// mode components step serially on their leads and spec.Model supplies the
+// virtual-time charges.
+func NewRanked(prog *sched.Program, comps []sched.Component, spec RankedSpec) (*Ranked, error) {
+	if err := validateGroups(spec.Groups, len(comps)); err != nil {
+		return nil, err
+	}
+	if spec.Trace && spec.Model == nil {
+		return nil, fmt.Errorf("exec: traced ranked executor needs a TraceModel")
+	}
+	if !(spec.Link.Bandwidth > 0) {
+		spec.Link = mp.DefaultLink
+	}
+	r := &Ranked{in: newInterp(prog, comps), spec: spec, comps: comps}
+	r.groups = make([][]int, len(comps))
+	r.leads = make([]int, len(comps))
+	next := 0
+	for ci, g := range spec.Groups {
+		ranks := make([]int, g)
+		for i := range ranks {
+			ranks[i] = next + i
+		}
+		r.groups[ci] = ranks
+		r.leads[ci] = next
+		next += g
+	}
+	r.total = next
+
+	r.pools = make([]*rankPool, len(comps))
+	if !spec.Trace {
+		for ci, c := range comps {
+			if len(r.groups[ci]) < 2 {
+				continue
+			}
+			if pa, ok := c.(sched.PoolAware); ok {
+				r.pools[ci] = &rankPool{size: len(r.groups[ci]), members: r.groups[ci][1:]}
+				pa.SetPool(r.pools[ci])
+			}
+		}
+	}
+
+	r.lastComp = make([][]int, len(comps))
+	for ci := range comps {
+		r.lastComp[ci] = make([]int, prog.Period)
+		for t := 0; t < prog.Period; t++ {
+			r.lastComp[ci][t] = -1
+			for i, op := range prog.Ticks[t] {
+				if (op.Kind == sched.OpStep || op.Kind == sched.OpCouple) && op.Comp == ci {
+					r.lastComp[ci][t] = i
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// Steps runs n ticks on a fresh mp world (component state lives in shared
+// memory, so worlds are cheap per call and everything quiesces at the join
+// barrier between calls). In traced mode the world's per-rank timelines
+// are retained for Comms.
+func (r *Ranked) Steps(n int) {
+	if n <= 0 {
+		return
+	}
+	opts := []mp.Option{mp.WithLink(r.spec.Link)}
+	if !r.spec.Trace {
+		opts = append(opts, mp.WithoutTrace())
+	}
+	world := mp.NewWorld(r.total, opts...)
+	r.comms = world.Run(func(c *mp.Comm) {
+		ci, w := r.place(c.WorldRank())
+		if w == 0 {
+			r.leadRun(c, ci, n)
+		} else {
+			r.serve(c, ci, w)
+		}
+	})
+	r.tick += n
+}
+
+// place maps a world rank to its (component, index-within-group).
+func (r *Ranked) place(rank int) (ci, w int) {
+	for ci, ranks := range r.groups {
+		if rank < ranks[0]+len(ranks) {
+			return ci, rank - ranks[0]
+		}
+	}
+	panic("exec: rank outside every group")
+}
+
+// Tick returns the current global tick.
+func (r *Ranked) Tick() int { return r.tick }
+
+// Seek positions the executor at global tick t.
+func (r *Ranked) Seek(t int) { r.tick = t }
+
+// Comms returns the per-rank communicators of the most recent Steps call
+// (carrying the virtual timelines in traced mode), in world-rank order:
+// component 0's group first.
+func (r *Ranked) Comms() []*mp.Comm { return r.comms }
+
+// Close detaches the rank pools from the components.
+func (r *Ranked) Close() {
+	for ci, rp := range r.pools {
+		if rp == nil {
+			continue
+		}
+		if pa, ok := r.comps[ci].(sched.PoolAware); ok {
+			pa.SetPool(nil)
+		}
+		r.pools[ci] = nil
+	}
+}
+
+// leadRun executes n ticks of component ci's projection of the program on
+// its lead rank, then shuts the group's members down.
+func (r *Ranked) leadRun(c *mp.Comm, ci, n int) {
+	gc := c.Split(r.groups[ci])
+	if rp := r.pools[ci]; rp != nil {
+		rp.c = c
+	}
+	for k := 0; k < n; k++ {
+		t := r.tick + k
+		tp := t % r.in.prog.Period
+		if r.spec.Trace {
+			r.leadTickTraced(c, gc, ci, tp)
+		} else {
+			r.leadTick(c, ci, tp)
+		}
+	}
+	for _, m := range r.groups[ci][1:] {
+		c.Send(m, tagRankCmd, []float64{cmdExit, 0, 0})
+	}
+}
+
+// leadTick is the untraced per-tick exchange loop: execute own compute
+// ops in program order; outgoing transfers export and send, incoming
+// transfers receive and import. The blocking receives are the dataflow
+// edges that order cross-component mutations exactly as the serial
+// interpreter does.
+//
+//foam:hotphases
+func (r *Ranked) leadTick(c *mp.Comm, ci, tp int) {
+	ops := r.in.plan[tp]
+	for i := range ops {
+		op := &ops[i]
+		switch {
+		case op.kind == sched.OpStep && op.comp == ci:
+			r.comps[ci].Step()
+		case op.kind == sched.OpCouple && op.comp == ci:
+			r.comps[ci].Couple(r.in.prog.CoupleDt)
+		case op.kind == sched.OpXfer && op.src == ci:
+			for fi, f := range op.fields {
+				r.comps[ci].ExportInto(op.bufs[fi], f)
+				c.Send(r.leads[op.dst], tagXfer+fi, op.bufs[fi])
+			}
+		case op.kind == sched.OpXfer && op.dst == ci:
+			for fi, f := range op.fields {
+				r.comps[ci].Import(f, c.Recv(r.leads[op.src], tagXfer+fi))
+			}
+		}
+	}
+}
+
+// leadTickTraced is the traced variant: real compute ops run under the
+// world's exclusivity token (wall-clock purity on a shared host) and do
+// not advance the virtual clock; right after the tick's last compute op,
+// the lead stages the measured costs, wakes the group members — the
+// command's send time is the lead's unchanged tick-start clock, so the
+// whole group charges the tick in virtual parallel — and charges its own
+// share through the TraceModel. Transfers move the real payloads between
+// leads, so coupling waits shape the virtual timelines exactly as real
+// messages would.
+func (r *Ranked) leadTickTraced(c, gc *mp.Comm, ci, tp int) {
+	ops := r.in.plan[tp]
+	last := r.lastComp[ci][tp]
+	for i := range ops {
+		op := &ops[i]
+		switch {
+		case op.kind == sched.OpStep && op.comp == ci:
+			c.Exclusive(r.comps[ci].Step)
+		case op.kind == sched.OpCouple && op.comp == ci:
+			c.Exclusive(func() { r.comps[ci].Couple(r.in.prog.CoupleDt) })
+		case op.kind == sched.OpXfer && op.src == ci:
+			for fi, f := range op.fields {
+				r.comps[ci].ExportInto(op.bufs[fi], f)
+				c.Send(r.leads[op.dst], tagXfer+fi, op.bufs[fi])
+			}
+		case op.kind == sched.OpXfer && op.dst == ci:
+			for fi, f := range op.fields {
+				r.comps[ci].Import(f, c.Recv(r.leads[op.src], tagXfer+fi))
+			}
+		default:
+			continue
+		}
+		if i == last && (op.kind == sched.OpStep || op.kind == sched.OpCouple) {
+			costs := r.spec.Model.StageTick(ci)
+			msg := make([]float64, 1+len(costs))
+			msg[0] = cmdTrace
+			copy(msg[1:], costs)
+			for _, m := range r.groups[ci][1:] {
+				c.Send(m, tagRankCmd, msg)
+			}
+			r.spec.Model.TraceTick(ci, 0, gc, costs)
+		}
+	}
+}
+
+// serve is the member loop: wait for lead commands, run pool-phase block
+// shares (worker w of the group) or traced tick charges, until exit.
+//
+//foam:hotphases
+func (r *Ranked) serve(c *mp.Comm, ci, w int) {
+	gc := c.Split(r.groups[ci])
+	lead := r.leads[ci]
+	rp := r.pools[ci]
+	for {
+		cmd := c.Recv(lead, tagRankCmd)
+		switch int(cmd[0]) {
+		case cmdExit:
+			return
+		case cmdPhase:
+			n, nw := int(cmd[1]), int(cmd[2])
+			if w < nw {
+				if lo, hi := pool.Block(n, w, nw); lo < hi {
+					rp.fn(w, lo, hi)
+				}
+			}
+			c.Send(lead, tagRankDone, nil)
+		case cmdTrace:
+			r.spec.Model.TraceTick(ci, w, gc, cmd[1:])
+		}
+	}
+}

@@ -250,6 +250,18 @@ func (c *Comm) Compute(label string, f func()) {
 	c.proc.clock += d
 }
 
+// Exclusive runs f under the world's exclusivity token without charging
+// anything to the virtual clock. The traced ranked executor uses it to run
+// real model steps one rank at a time — so the wall-clock cost traces the
+// step records are not distorted by host-core contention — while the
+// virtual time charged for the step comes from a cost model instead.
+// Communication calls must not be made inside f.
+func (c *Comm) Exclusive(f func()) {
+	<-c.world.token
+	defer func() { c.world.token <- struct{}{} }()
+	f()
+}
+
 // Split creates a sub-communicator from the world ranks listed in members,
 // which must include the calling rank and be identical on every caller.
 // Local ranks follow the order of members.

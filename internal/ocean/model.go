@@ -75,9 +75,10 @@ type Model struct {
 	fft *rowFilter
 	mix *mixScratch // serial-driver vertical-mixing scratch
 
-	// Shared-memory parallel execution (nil pool = serial). The per-worker
-	// scratch replaces scr/scr2/fft where concurrent phases would collide.
-	pool  *pool.Pool
+	// Shared-memory parallel execution (pool.Serial = serial). The
+	// per-worker scratch replaces scr/scr2/fft where concurrent phases
+	// would collide.
+	pool  pool.Runner
 	wscr  [][]float64   // per-worker full-domain scratch (biharmonic lap, tracer tend)
 	wcol  [][]float64   // per-worker column flux buffers (NLev entries)
 	wfilt []*rowFilter  // per-worker polar-filter FFT workspaces
@@ -91,7 +92,7 @@ func New(cfg Config, kmt []int) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Model{cfg: cfg}
+	m := &Model{cfg: cfg, pool: pool.Serial}
 	m.grid = sphere.NewMercatorGrid(cfg.NLat, cfg.NLon, cfg.LatSouth, cfg.LatNorth)
 	n := cfg.NLat * cfg.NLon
 	m.dx = make([]float64, cfg.NLat)
@@ -286,14 +287,17 @@ func (m *Model) Diagnostics() Diagnostics { return m.diag }
 // StepCount returns completed tracer steps.
 func (m *Model) StepCount() int { return m.step }
 
-// SetPool attaches a worker pool for shared-memory parallel stepping and
+// SetPool attaches a Runner for shared-memory parallel stepping and
 // allocates the per-worker scratch the phase driver needs. The integration
 // remains bit-identical to the serial path for any worker count (see
 // shared.go). Pass nil to return to the serial driver.
-func (m *Model) SetPool(p *pool.Pool) {
+func (m *Model) SetPool(p pool.Runner) {
+	if p == nil {
+		p = pool.Serial
+	}
 	m.pool = p
 	m.wscr, m.wcol, m.wfilt, m.wmix, m.shPh = nil, nil, nil, nil, nil
-	if p == nil || p.Workers() == 1 {
+	if p.Workers() == 1 {
 		return
 	}
 	nw := p.Workers()

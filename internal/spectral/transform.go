@@ -100,8 +100,8 @@ type Transform struct {
 	pTab, hTab       []float64
 	pStride, hStride int
 
-	oneMu2 []float64  // 1 - mu^2 per latitude
-	pool   *pool.Pool // nil = serial
+	oneMu2 []float64   // 1 - mu^2 per latitude
+	pool   pool.Runner // pool.Serial = serial
 }
 
 // NewTransform builds transform tables for a truncation on an
@@ -112,7 +112,7 @@ func NewTransform(t Truncation, nlat, nlon int) *Transform {
 	}
 	nodes, weights := sphere.GaussLegendre(nlat)
 	tr := &Transform{Trunc: t, NLat: nlat, NLon: nlon, mu: nodes, w: weights,
-		fft: NewFFT(nlon)}
+		fft: NewFFT(nlon), pool: pool.Serial}
 	tr.pl = NewLegendre(t.M, t.NMax()+1)
 	tr.hl = NewLegendre(t.M, t.NMax())
 	tr.pStride = tr.pl.TableSize()
@@ -136,10 +136,15 @@ func (tr *Transform) hRow(j int) []float64 {
 	return tr.hTab[j*tr.hStride : (j+1)*tr.hStride]
 }
 
-// SetPool attaches a worker pool to run the transform stages on. A nil
-// pool restores serial execution. Workspaces created before SetPool are
+// SetPool attaches a Runner to execute the transform stages on. A nil
+// Runner restores serial execution. Workspaces created before SetPool are
 // sized for the old worker count and must be rebuilt.
-func (tr *Transform) SetPool(p *pool.Pool) { tr.pool = p }
+func (tr *Transform) SetPool(p pool.Runner) {
+	if p == nil {
+		p = pool.Serial
+	}
+	tr.pool = p
+}
 
 // Mu returns sin(latitude) for row j; Weight the Gaussian weight.
 func (tr *Transform) Mu(j int) float64     { return tr.mu[j] }
