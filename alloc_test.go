@@ -1,6 +1,10 @@
 package foam
 
-import "testing"
+import (
+	"testing"
+
+	"foam/internal/ensemble"
+)
 
 // TestCoupledStepAllocs is the allocation-regression gate for the coupled
 // hot path: after construction and a one-day warmup, the steady-state
@@ -45,4 +49,36 @@ func TestCoupledStepAllocs(t *testing.T) {
 			}
 		})
 	}
+
+	// The same gate through the ensemble scheduler: a member advanced over
+	// the worker pool must not allocate per step either — the advance path
+	// (queue handoff, worker pickup, runSteps, completion signal) reuses the
+	// member's done channel and the preallocated pending queue, and shared
+	// tables mean no per-member workspace is rebuilt. AllocsPerRun counts
+	// mallocs across all goroutines, so the worker-side stepping is inside
+	// the measurement. The budget is the coupled-step budget plus a small
+	// headroom for the runtime's goroutine park/unpark machinery on the
+	// channel round-trip.
+	t.Run("ensemble", func(t *testing.T) {
+		s := ensemble.New(ensemble.Config{Workers: 2, MaxMembers: 4})
+		defer s.Close()
+		cfg := ReducedConfig()
+		info, err := s.Create(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm := int(86400 / cfg.Atm.Dt) // one simulated day, as above
+		if _, err := s.AdvanceSteps(info.ID, warm); err != nil {
+			t.Fatal(err)
+		}
+		n := testing.AllocsPerRun(24, func() {
+			if _, err := s.AdvanceSteps(info.ID, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Logf("ensemble: %.1f allocs per scheduled step", n)
+		if n > 12 {
+			t.Errorf("ensemble-scheduled step allocates %.1f times per step, want <= 12 (target 0)", n)
+		}
+	})
 }

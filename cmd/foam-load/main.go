@@ -1,0 +1,267 @@
+// Command foam-load drives a running foam-serve with a concurrent ensemble
+// workload and writes BENCH_serve.json — the serving entry of the perf
+// trajectory: members sustained, aggregate steps per second, and the API
+// latency percentiles clients observed.
+//
+// Usage:
+//
+//	foam-load [-addr http://127.0.0.1:8870] [-members 100] [-advances 4]
+//	          [-steps N] [-concurrency 16] [-preset reduced]
+//	          [-out BENCH_serve.json] [-timeout 60s]
+//	foam-load -verify BENCH_serve.json
+//
+// The -verify form validates a previously written report and exits; the CI
+// smoke job uses it to gate on well-formedness.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"foam/internal/ensemble"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8870", "server base URL")
+	members := flag.Int("members", 100, "concurrent members to create")
+	advances := flag.Int("advances", 4, "advance requests per member")
+	steps := flag.Int("steps", 0, "atmosphere steps per advance (0 = one coupling interval)")
+	concurrency := flag.Int("concurrency", 16, "concurrent client connections")
+	preset := flag.String("preset", "reduced", "member preset (reduced | default)")
+	out := flag.String("out", "BENCH_serve.json", "report output path")
+	timeout := flag.Duration("timeout", 60*time.Second, "readiness wait for the server")
+	verify := flag.String("verify", "", "validate an existing report and exit")
+	flag.Parse()
+
+	if *verify != "" {
+		if err := verifyReport(*verify); err != nil {
+			log.Fatalf("foam-load: %v", err)
+		}
+		fmt.Printf("%s: well-formed\n", *verify)
+		return
+	}
+
+	c := &client{base: *addr, http: &http.Client{Timeout: 5 * time.Minute}}
+	if err := c.waitReady(*timeout); err != nil {
+		log.Fatalf("foam-load: %v", err)
+	}
+
+	rep, err := runLoad(c, *preset, *members, *advances, *steps, *concurrency)
+	if err != nil {
+		log.Fatalf("foam-load: %v", err)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("foam-load: %v", err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatalf("foam-load: %v", err)
+	}
+	fmt.Printf("%d members x %d advances: %.0f atm steps/s aggregate, advance P99 %.1f ms -> %s\n",
+		rep.Members, rep.AdvancesPerMember, rep.StepsPerSecond, rep.AdvanceMs.P99, *out)
+}
+
+func verifyReport(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep ensemble.BenchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	return nil
+}
+
+// client is a minimal JSON client for the foam-serve API.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) do(method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 300 {
+		var e ensemble.ErrorResponse
+		_ = json.Unmarshal(blob, &e)
+		return resp.StatusCode, fmt.Errorf("%s %s: %d %s", method, path, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		if err := json.Unmarshal(blob, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func (c *client) waitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if _, err := c.do("GET", "/v1/healthz", nil, nil); err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %s", c.base, timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// runLoad drives the three phases — create all members, advance them
+// advances times each from concurrent clients, then fetch every member's
+// diagnostics — timing each request.
+func runLoad(c *client, preset string, members, advances, steps, concurrency int) (*ensemble.BenchReport, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+
+	var stats ensemble.Stats
+	if _, err := c.do("GET", "/v1/stats", nil, &stats); err != nil {
+		return nil, err
+	}
+
+	// Phase 1: create.
+	ids := make([]string, members)
+	createMs := make([]float64, members)
+	var coupleEvery atomic.Int64
+	err := forEach(members, concurrency, func(i int) error {
+		var info ensemble.Info
+		t0 := time.Now()
+		_, err := c.do("POST", "/v1/members", ensemble.CreateRequest{Preset: preset}, &info)
+		if err != nil {
+			return err
+		}
+		createMs[i] = float64(time.Since(t0).Microseconds()) / 1e3
+		ids[i] = info.ID
+		coupleEvery.Store(int64(info.CoupleEvery))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stepsPer := steps
+	if stepsPer <= 0 {
+		stepsPer = int(coupleEvery.Load()) // one coupling interval
+	}
+
+	// Phase 2: advance. Each member is one chain of `advances` sequential
+	// requests (a member holds at most one advance at a time, by contract);
+	// the chains run concurrently across the client pool.
+	total := members * advances
+	advanceMs := make([]float64, total)
+	t0 := time.Now()
+	err = forEach(members, concurrency, func(i int) error {
+		for k := 0; k < advances; k++ {
+			t := time.Now()
+			_, err := c.do("POST", "/v1/members/"+ids[i]+"/advance", ensemble.AdvanceRequest{Steps: stepsPer}, nil)
+			if err != nil {
+				return err
+			}
+			advanceMs[i*advances+k] = float64(time.Since(t).Microseconds()) / 1e3
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(t0).Seconds()
+
+	// Phase 3: diagnostics sweep.
+	diagMs := make([]float64, members)
+	err = forEach(members, concurrency, func(i int) error {
+		t := time.Now()
+		var d ensemble.Diag
+		if _, err := c.do("GET", "/v1/members/"+ids[i]+"/diag", nil, &d); err != nil {
+			return err
+		}
+		diagMs[i] = float64(time.Since(t).Microseconds()) / 1e3
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	totalSteps := total * stepsPer
+	return &ensemble.BenchReport{
+		Benchmark:         "serve",
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		Workers:           stats.Workers,
+		Members:           members,
+		Preset:            preset,
+		Concurrency:       concurrency,
+		AdvancesPerMember: advances,
+		StepsPerAdvance:   stepsPer,
+		TotalAtmSteps:     totalSteps,
+		WallSeconds:       wall,
+		StepsPerSecond:    float64(totalSteps) / wall,
+		CreateMs:          ensemble.SummarizeMs(createMs),
+		AdvanceMs:         ensemble.SummarizeMs(advanceMs),
+		DiagMs:            ensemble.SummarizeMs(diagMs),
+	}, nil
+}
+
+// forEach runs fn(0..n-1) from `workers` goroutines, stopping at the first
+// error.
+func forEach(n, workers int, fn func(i int) error) error {
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || firstErr.Load() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Command foam-serve is the ensemble simulation daemon: an HTTP/JSON API
+// over an internal/ensemble scheduler that multiplexes many concurrent
+// coupled-model members in one process, sharing the immutable tables of
+// each resolution across members. See internal/ensemble/http.go for the
+// API and DESIGN.md section 13 for the architecture.
+//
+// Usage:
+//
+//	foam-serve [-addr :8870] [-workers N] [-max-members N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"foam/internal/ensemble"
+)
+
+func main() {
+	addr := flag.String("addr", ":8870", "listen address")
+	workers := flag.Int("workers", 0, "stepping goroutines (0 = GOMAXPROCS)")
+	maxMembers := flag.Int("max-members", 0, "member capacity (0 = 1024)")
+	flag.Parse()
+
+	sched := ensemble.New(ensemble.Config{Workers: *workers, MaxMembers: *maxMembers})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           ensemble.NewHandler(sched),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("foam-serve listening on %s (workers=%d)", *addr, sched.Workers())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("foam-serve shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("foam-serve: shutdown: %v", err)
+		}
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			sched.Close()
+			log.Fatalf("foam-serve: %v", err)
+		}
+	}
+	sched.Close()
+}

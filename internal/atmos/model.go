@@ -210,15 +210,48 @@ type StepDiagnostics struct {
 	KineticMean float64 // mean kinetic energy per unit mass
 }
 
+// Shared carries prebuilt immutable inputs an atmosphere model may adopt
+// instead of rebuilding: the Gaussian grid and the spectral transform
+// tables. Either field may be nil to build fresh. The transform is adopted
+// via Share(), so the model gets its own pool binding over the shared
+// tables and SetPool on one model never touches another.
+type Shared struct {
+	Grid      *sphere.Grid
+	Transform *spectral.Transform
+}
+
 // New builds an atmosphere model. boundary supplies surface exchange; pass
 // nil to use a UniformOcean at 288 K (useful for standalone tests).
 func New(cfg Config, boundary Boundary) (*Model, error) {
+	return NewShared(cfg, boundary, Shared{})
+}
+
+// NewShared builds an atmosphere model over prebuilt shared tables (see
+// Shared). Non-nil inputs must match the configured resolution.
+func NewShared(cfg Config, boundary Boundary, sh Shared) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	m := &Model{cfg: cfg, pool: pool.Serial}
-	m.grid = sphere.NewGaussianGrid(cfg.NLat, cfg.NLon)
-	m.tr = spectral.NewTransform(cfg.Trunc, cfg.NLat, cfg.NLon)
+	switch {
+	case sh.Grid == nil:
+		m.grid = sphere.NewGaussianGrid(cfg.NLat, cfg.NLon)
+	case sh.Grid.NLat() != cfg.NLat || sh.Grid.NLon() != cfg.NLon:
+		return nil, fmt.Errorf("atmos: shared grid is %dx%d, config wants %dx%d",
+			sh.Grid.NLat(), sh.Grid.NLon(), cfg.NLat, cfg.NLon)
+	default:
+		m.grid = sh.Grid
+	}
+	switch {
+	case sh.Transform == nil:
+		m.tr = spectral.NewTransform(cfg.Trunc, cfg.NLat, cfg.NLon)
+	case sh.Transform.Trunc != cfg.Trunc || sh.Transform.NLat != cfg.NLat || sh.Transform.NLon != cfg.NLon:
+		return nil, fmt.Errorf("atmos: shared transform is R(%d,%d) on %dx%d, config wants R(%d,%d) on %dx%d",
+			sh.Transform.Trunc.M, sh.Transform.Trunc.K, sh.Transform.NLat, sh.Transform.NLon,
+			cfg.Trunc.M, cfg.Trunc.K, cfg.NLat, cfg.NLon)
+	default:
+		m.tr = sh.Transform.Share()
+	}
 	m.vg = NewVGrid(cfg.NLev, cfg.SigmaTop)
 	m.si = NewSemiImplicit(m.vg, sphere.Radius, cfg.Trunc.NMax(), cfg.Dt)
 	m.siH = NewSemiImplicit(m.vg, sphere.Radius, cfg.Trunc.NMax(), cfg.Dt/2)

@@ -17,7 +17,6 @@ import (
 
 	"foam/internal/atmos"
 	"foam/internal/coupler"
-	"foam/internal/data"
 	"foam/internal/exec"
 	"foam/internal/ocean"
 	"foam/internal/sched"
@@ -81,6 +80,22 @@ func ReducedConfig() Config {
 	return c
 }
 
+// Normalize applies the derived time-step defaults New applies before
+// validating: the ocean tracer step matches the coupling interval and the
+// internal and barotropic steps are clamped to it. Callers that need to
+// Validate a config themselves (the ensemble scheduler, before building
+// shared tables) must Normalize first, as New does.
+func (c Config) Normalize() Config {
+	c.Ocn.DtTracer = float64(c.OceanEvery) * c.Atm.Dt
+	if c.Ocn.DtInternal > c.Ocn.DtTracer {
+		c.Ocn.DtInternal = c.Ocn.DtTracer
+	}
+	if c.Ocn.DtBaro > c.Ocn.DtInternal {
+		c.Ocn.DtBaro = c.Ocn.DtInternal
+	}
+	return c
+}
+
 // Validate checks cross-component consistency.
 func (c Config) Validate() error {
 	if err := c.Atm.Validate(); err != nil {
@@ -124,36 +139,46 @@ type Model struct {
 
 // New builds the coupled model on the synthetic Earth.
 func New(cfg Config) (*Model, error) {
-	// Match the ocean tracer step to the coupling interval.
-	cfg.Ocn.DtTracer = float64(cfg.OceanEvery) * cfg.Atm.Dt
-	if cfg.Ocn.DtInternal > cfg.Ocn.DtTracer {
-		cfg.Ocn.DtInternal = cfg.Ocn.DtTracer
-	}
-	if cfg.Ocn.DtBaro > cfg.Ocn.DtInternal {
-		cfg.Ocn.DtBaro = cfg.Ocn.DtInternal
-	}
+	return NewWithTables(cfg, nil)
+}
+
+// NewWithTables builds the coupled model over a prebuilt shared table set
+// (see Tables): the grids, spectral tables, bathymetry, orography, overlap
+// remap and river network are adopted read-only instead of rebuilt, so the
+// new model allocates only prognostic state and per-step workspaces. A nil
+// tb builds a private set — New is exactly that. The trajectory is
+// bit-identical either way: BuildTables runs the same constructions New
+// always ran, just once per resolution instead of once per model.
+func NewWithTables(cfg Config, tb *Tables) (*Model, error) {
+	cfg = cfg.Normalize()
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tb == nil {
+		tb = BuildTables(cfg)
+	} else if err := tb.check(cfg); err != nil {
 		return nil, err
 	}
 	m := &Model{cfg: cfg}
 
-	ocnGrid := sphere.NewMercatorGrid(cfg.Ocn.NLat, cfg.Ocn.NLon, cfg.Ocn.LatSouth, cfg.Ocn.LatNorth)
-	kmt := data.OceanKMT(ocnGrid, cfg.Ocn.NLev)
-	oc, err := ocean.New(cfg.Ocn, kmt)
+	oc, err := ocean.NewOnGrid(cfg.Ocn, tb.KMT, tb.OcnGrid)
 	if err != nil {
 		return nil, err
 	}
 	m.Ocn = oc
 
-	cp := coupler.New(sphere.NewGaussianGrid(cfg.Atm.NLat, cfg.Atm.NLon), oc.Grid(), oc.Mask())
+	cp := coupler.NewShared(tb.AtmGrid, oc.Grid(), oc.Mask(), coupler.Shared{
+		Overlap: tb.Overlap,
+		Rivers:  tb.Rivers,
+	})
 	m.Cpl = cp
 
-	at, err := atmos.New(cfg.Atm, cp)
+	at, err := atmos.NewShared(cfg.Atm, cp, atmos.Shared{Grid: tb.AtmGrid, Transform: tb.Spectral})
 	if err != nil {
 		return nil, err
 	}
 	if !cfg.Flat {
-		at.SetOrography(data.Orography(at.Grid()))
+		at.SetOrography(tb.Orography)
 	}
 	m.Atm = at
 	// Give the coupler the initial ocean state.

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"foam/internal/coupler"
+	"foam/internal/data"
+	"foam/internal/spectral"
+	"foam/internal/sphere"
+)
+
+// Tables is the immutable table set every model built from one resolution
+// shares: grid geometry for both components, the spectral transform tables
+// (Gauss-Legendre nodes, FFT twiddles, flattened associated-Legendre
+// tables), the synthetic Earth's bathymetry, orography and river routing,
+// and the conservative overlap remap between the two grids. Everything
+// here is read-only after BuildTables, so any number of concurrently
+// stepping models may hold the same *Tables — per-model memory then
+// reduces to prognostic state, which is what lets an ensemble server pack
+// hundreds of members into one process (DESIGN.md section 13).
+type Tables struct {
+	AtmGrid *sphere.Grid
+	OcnGrid *sphere.Grid
+
+	// Spectral is the master transform. Models adopt it via Share(), so
+	// each gets an independent pool binding over the shared tables.
+	Spectral *spectral.Transform
+
+	// KMT is the ocean bathymetry (active levels per cell) on OcnGrid;
+	// the ocean model copies it at construction.
+	KMT []int
+
+	// Orography is the geopotential height field on AtmGrid.
+	Orography []float64
+
+	// Overlap is the conservative remap between AtmGrid and OcnGrid.
+	Overlap *coupler.Overlap
+
+	// Rivers is the river-routing network on AtmGrid.
+	Rivers *data.RiverNetwork
+}
+
+// TableKey returns the resolution signature of the configuration: two
+// configs with equal keys can share one *Tables. Scheduling fields (steps,
+// lag, workers) are deliberately excluded — tables depend on geometry only.
+func (c Config) TableKey() string {
+	return fmt.Sprintf("a:R%d.%d/%dx%dx%d o:%dx%dx%d@%g:%g",
+		c.Atm.Trunc.M, c.Atm.Trunc.K, c.Atm.NLat, c.Atm.NLon, c.Atm.NLev,
+		c.Ocn.NLat, c.Ocn.NLon, c.Ocn.NLev, c.Ocn.LatSouth, c.Ocn.LatNorth)
+}
+
+// BuildTables constructs the shared table set for a configuration. The
+// result depends only on the fields TableKey covers.
+func BuildTables(cfg Config) *Tables {
+	atmGrid := sphere.NewGaussianGrid(cfg.Atm.NLat, cfg.Atm.NLon)
+	ocnGrid := sphere.NewMercatorGrid(cfg.Ocn.NLat, cfg.Ocn.NLon, cfg.Ocn.LatSouth, cfg.Ocn.LatNorth)
+	return &Tables{
+		AtmGrid:   atmGrid,
+		OcnGrid:   ocnGrid,
+		Spectral:  spectral.NewTransform(cfg.Atm.Trunc, cfg.Atm.NLat, cfg.Atm.NLon),
+		KMT:       data.OceanKMT(ocnGrid, cfg.Ocn.NLev),
+		Orography: data.Orography(atmGrid),
+		Overlap:   coupler.BuildOverlap(atmGrid, ocnGrid),
+		Rivers:    data.BuildRivers(atmGrid),
+	}
+}
+
+// check validates the table set against a configuration.
+func (tb *Tables) check(cfg Config) error {
+	if tb.AtmGrid.NLat() != cfg.Atm.NLat || tb.AtmGrid.NLon() != cfg.Atm.NLon {
+		return fmt.Errorf("core: shared atmosphere grid is %dx%d, config wants %dx%d",
+			tb.AtmGrid.NLat(), tb.AtmGrid.NLon(), cfg.Atm.NLat, cfg.Atm.NLon)
+	}
+	if tb.OcnGrid.NLat() != cfg.Ocn.NLat || tb.OcnGrid.NLon() != cfg.Ocn.NLon {
+		return fmt.Errorf("core: shared ocean grid is %dx%d, config wants %dx%d",
+			tb.OcnGrid.NLat(), tb.OcnGrid.NLon(), cfg.Ocn.NLat, cfg.Ocn.NLon)
+	}
+	if tb.Spectral.Trunc != cfg.Atm.Trunc {
+		return fmt.Errorf("core: shared transform truncation R(%d,%d) does not match config R(%d,%d)",
+			tb.Spectral.Trunc.M, tb.Spectral.Trunc.K, cfg.Atm.Trunc.M, cfg.Atm.Trunc.K)
+	}
+	if len(tb.KMT) != tb.OcnGrid.Size() {
+		return fmt.Errorf("core: shared KMT has %d cells, ocean grid has %d", len(tb.KMT), tb.OcnGrid.Size())
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestSharedTablesBitIdentical pins the shared-table construction path:
+// a model adopting a prebuilt Tables set must produce exactly the
+// trajectory of a model that built every table privately — the tables are
+// the same values, only built once. Both lags, since they are distinct
+// trajectories.
+func TestSharedTablesBitIdentical(t *testing.T) {
+	for _, lag := range []int{0, 1} {
+		cfg := ReducedConfig()
+		cfg.Workers = 1
+		cfg.OceanLag = lag
+
+		ref, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := BuildTables(cfg)
+		got, err := NewWithTables(cfg, tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		steps := 2*cfg.OceanEvery + 1 // cross two coupling ticks, end mid-interval
+		if testing.Short() {
+			steps = cfg.OceanEvery + 1
+		}
+		for i := 0; i < steps; i++ {
+			ref.Step()
+			got.Step()
+		}
+		compareCheckpoints(t, 1, ref.Checkpoint(), got.Checkpoint())
+		ref.Close()
+		got.Close()
+	}
+}
+
+// TestTablesCheck pins the validation of mismatched table sets.
+func TestTablesCheck(t *testing.T) {
+	cfg := ReducedConfig()
+	other := DefaultConfig()
+	tb := BuildTables(cfg)
+	if _, err := NewWithTables(other, tb); err == nil {
+		t.Fatal("NewWithTables accepted tables built for a different resolution")
+	}
+	if cfg.TableKey() == other.TableKey() {
+		t.Fatal("reduced and default configs share a table key")
+	}
+	cfg2 := ReducedConfig()
+	cfg2.OceanLag = 1
+	cfg2.Workers = 4
+	if cfg.TableKey() != cfg2.TableKey() {
+		t.Fatal("scheduling fields leaked into the table key")
+	}
+}

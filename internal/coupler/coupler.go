@@ -98,8 +98,28 @@ type WaterBudget struct {
 // New builds a coupler for the given grids using the synthetic Earth for
 // masks, soils and river directions. ocnMask/kmt come from the ocean model.
 func New(atmGrid, ocnGrid *sphere.Grid, ocnMask []float64) *Coupler {
+	return NewShared(atmGrid, ocnGrid, ocnMask, Shared{})
+}
+
+// Shared carries prebuilt immutable inputs a coupler may adopt instead of
+// rebuilding: the conservative overlap remap between the two grids and the
+// river-routing network on the atmosphere grid. Both are read-only after
+// construction, so any number of couplers (one per ensemble member) may
+// hold the same instances. Either field may be nil to build fresh.
+type Shared struct {
+	Overlap *Overlap
+	Rivers  *data.RiverNetwork
+}
+
+// NewShared builds a coupler over prebuilt shared tables (see Shared). The
+// caller must have built them on these same grids.
+func NewShared(atmGrid, ocnGrid *sphere.Grid, ocnMask []float64, sh Shared) *Coupler {
 	cp := &Coupler{AtmGrid: atmGrid, OcnGrid: ocnGrid, pool: pool.Serial}
-	cp.Overlap = BuildOverlap(atmGrid, ocnGrid)
+	if sh.Overlap != nil {
+		cp.Overlap = sh.Overlap
+	} else {
+		cp.Overlap = BuildOverlap(atmGrid, ocnGrid)
+	}
 	cp.ocnMask = append([]float64(nil), ocnMask...)
 	cp.initOcnGeometry()
 
@@ -129,7 +149,11 @@ func New(atmGrid, ocnGrid *sphere.Grid, ocnMask []float64) *Coupler {
 		}
 	}
 	cp.Land = land.New(atmGrid, types, mask)
-	cp.River = river.New(data.BuildRivers(atmGrid))
+	net := sh.Rivers
+	if net == nil {
+		net = data.BuildRivers(atmGrid)
+	}
+	cp.River = river.New(net)
 	cp.Ice = seaice.New(ocnGrid.Size())
 
 	// Wet overlap area per atmosphere cell, for ocean-piece weights.

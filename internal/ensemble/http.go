@@ -1,0 +1,274 @@
+package ensemble
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"foam/internal/core"
+)
+
+// The HTTP/JSON API of foam-serve. All bodies are JSON; checkpoints travel
+// as gob blobs base64-encoded by encoding/json's []byte handling, so a
+// SnapshotResponse can be POSTed back verbatim as a CreateRequest to
+// resume a member — on the same server or another one.
+//
+//	POST   /v1/members              create (or resume, with a checkpoint)
+//	GET    /v1/members              list
+//	GET    /v1/members/{id}         member info
+//	DELETE /v1/members/{id}         delete
+//	POST   /v1/members/{id}/advance {"intervals":k} or {"steps":n}
+//	GET    /v1/members/{id}/diag    diagnostics + water budget + timings
+//	GET    /v1/members/{id}/sst     SST map on the ocean grid
+//	POST   /v1/members/{id}/snapshot checkpoint + config (resume body)
+//	POST   /v1/members/{id}/fork    clone via the checkpoint round-trip
+//	GET    /v1/stats                scheduler counters
+//	GET    /v1/healthz              liveness
+//
+// Status codes: 400 malformed or invalid request, 404 unknown member,
+// 409 member busy (e.g. concurrent advance), 429 member limit, 503 closed.
+
+// CreateRequest creates a member. Preset picks a base configuration
+// ("reduced", the default, or "default" for the paper's full resolution);
+// Config overrides it entirely when set. A non-empty Checkpoint resumes
+// from a snapshot taken with a matching config.
+type CreateRequest struct {
+	Preset     string       `json:"preset,omitempty"`
+	Config     *core.Config `json:"config,omitempty"`
+	OceanLag   *int         `json:"ocean_lag,omitempty"`
+	Flat       *bool        `json:"flat,omitempty"`
+	Checkpoint []byte       `json:"checkpoint,omitempty"`
+}
+
+// AdvanceRequest advances a member by whole coupling intervals or raw
+// atmosphere steps; exactly one of the two must be positive.
+type AdvanceRequest struct {
+	Intervals int `json:"intervals,omitempty"`
+	Steps     int `json:"steps,omitempty"`
+}
+
+// SnapshotResponse is a self-contained resume ticket: POST it back to
+// /v1/members (it is a valid CreateRequest) to rebuild the member.
+type SnapshotResponse struct {
+	Info       Info        `json:"info"`
+	Config     core.Config `json:"config"`
+	Checkpoint []byte      `json:"checkpoint"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler serves the ensemble API over a scheduler.
+func NewHandler(s *Scheduler) http.Handler {
+	h := &handler{s: s}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", h.healthz)
+	mux.HandleFunc("GET /v1/stats", h.stats)
+	mux.HandleFunc("POST /v1/members", h.create)
+	mux.HandleFunc("GET /v1/members", h.list)
+	mux.HandleFunc("GET /v1/members/{id}", h.info)
+	mux.HandleFunc("DELETE /v1/members/{id}", h.delete)
+	mux.HandleFunc("POST /v1/members/{id}/advance", h.advance)
+	mux.HandleFunc("GET /v1/members/{id}/diag", h.diag)
+	mux.HandleFunc("GET /v1/members/{id}/sst", h.sst)
+	mux.HandleFunc("POST /v1/members/{id}/snapshot", h.snapshot)
+	mux.HandleFunc("POST /v1/members/{id}/fork", h.fork)
+	return mux
+}
+
+type handler struct {
+	s *Scheduler
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrInvalid):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBusy):
+		status = http.StatusConflict
+	case errors.Is(err, ErrTooMany):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// decodeBody parses a JSON request body. Unknown fields are tolerated so a
+// SnapshotResponse can be POSTed back verbatim as a CreateRequest (its
+// extra "info" field is ignored).
+func decodeBody(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return nil
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.s.Stats())
+}
+
+// configFromRequest resolves the preset/override/flags of a CreateRequest.
+func configFromRequest(req *CreateRequest) (core.Config, error) {
+	var cfg core.Config
+	switch {
+	case req.Config != nil:
+		cfg = *req.Config
+	case req.Preset == "" || req.Preset == "reduced":
+		cfg = core.ReducedConfig()
+	case req.Preset == "default":
+		cfg = core.DefaultConfig()
+	default:
+		return cfg, fmt.Errorf("%w: unknown preset %q", ErrInvalid, req.Preset)
+	}
+	if req.OceanLag != nil {
+		cfg.OceanLag = *req.OceanLag
+	}
+	if req.Flat != nil {
+		cfg.Flat = *req.Flat
+	}
+	return cfg, nil
+}
+
+func (h *handler) create(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	cfg, err := configFromRequest(&req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var chk *core.Checkpoint
+	if len(req.Checkpoint) > 0 {
+		chk, err = core.LoadCheckpoint(bytes.NewReader(req.Checkpoint))
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: bad checkpoint: %v", ErrInvalid, err))
+			return
+		}
+	}
+	info, err := h.s.Create(cfg, chk)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (h *handler) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.s.List())
+}
+
+func (h *handler) info(w http.ResponseWriter, r *http.Request) {
+	info, err := h.s.Info(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (h *handler) delete(w http.ResponseWriter, r *http.Request) {
+	if err := h.s.Delete(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (h *handler) advance(w http.ResponseWriter, r *http.Request) {
+	var req AdvanceRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	id := r.PathValue("id")
+	var info Info
+	var err error
+	switch {
+	case req.Intervals > 0 && req.Steps > 0:
+		err = fmt.Errorf("%w: advance wants intervals or steps, not both", ErrInvalid)
+	case req.Intervals > 0:
+		info, err = h.s.AdvanceIntervals(id, req.Intervals)
+	case req.Steps > 0:
+		info, err = h.s.AdvanceSteps(id, req.Steps)
+	default:
+		err = fmt.Errorf("%w: advance wants a positive intervals or steps count", ErrInvalid)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (h *handler) diag(w http.ResponseWriter, r *http.Request) {
+	d, err := h.s.Diagnostics(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (h *handler) sst(w http.ResponseWriter, r *http.Request) {
+	f, err := h.s.SST(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, f)
+}
+
+func (h *handler) snapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	chk, cfg, err := h.s.Snapshot(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := chk.Save(&buf); err != nil {
+		writeErr(w, err)
+		return
+	}
+	info, err := h.s.Info(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		Info:       info,
+		Config:     cfg,
+		Checkpoint: buf.Bytes(),
+	})
+}
+
+func (h *handler) fork(w http.ResponseWriter, r *http.Request) {
+	info, err := h.s.Fork(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}

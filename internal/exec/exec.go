@@ -23,7 +23,12 @@ import (
 )
 
 // Executor advances a compiled program over its components. Executors are
-// not safe for concurrent use; one goroutine drives Steps.
+// not safe for concurrent use; one goroutine drives Steps. They may,
+// however, migrate between goroutines across calls: a caller that
+// establishes a happens-before edge between consecutive Steps calls (the
+// ensemble scheduler hands members to pool workers under a mutex) gets the
+// same trajectory as a single driving goroutine, because executors keep no
+// goroutine-affine state.
 type Executor interface {
 	// Steps runs n consecutive ticks of the program.
 	Steps(n int)

@@ -1,6 +1,7 @@
 package ocean
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -89,11 +90,25 @@ type Model struct {
 // New builds an ocean model with the given bathymetry (kmt: active levels
 // per cell, 0 = land). Pass nil for an all-ocean full-depth domain.
 func New(cfg Config, kmt []int) (*Model, error) {
+	return NewOnGrid(cfg, kmt, nil)
+}
+
+// NewOnGrid builds an ocean model on a prebuilt Mercator grid, so many
+// models of the same configuration can share one immutable grid (the model
+// only reads it). A nil grid builds a fresh one; a non-nil grid must match
+// the configured dimensions.
+func NewOnGrid(cfg Config, kmt []int, grid *sphere.Grid) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	m := &Model{cfg: cfg, pool: pool.Serial}
-	m.grid = sphere.NewMercatorGrid(cfg.NLat, cfg.NLon, cfg.LatSouth, cfg.LatNorth)
+	if grid == nil {
+		grid = sphere.NewMercatorGrid(cfg.NLat, cfg.NLon, cfg.LatSouth, cfg.LatNorth)
+	} else if grid.NLat() != cfg.NLat || grid.NLon() != cfg.NLon {
+		return nil, fmt.Errorf("ocean: shared grid is %dx%d, config wants %dx%d",
+			grid.NLat(), grid.NLon(), cfg.NLat, cfg.NLon)
+	}
+	m.grid = grid
 	n := cfg.NLat * cfg.NLon
 	m.dx = make([]float64, cfg.NLat)
 	m.dy = make([]float64, cfg.NLat)

@@ -136,6 +136,19 @@ func (tr *Transform) hRow(j int) []float64 {
 	return tr.hTab[j*tr.hStride : (j+1)*tr.hStride]
 }
 
+// Share returns a new Transform backed by the receiver's tables — the
+// Gaussian nodes and weights, the FFT plan, and the flattened Legendre
+// tables, all of which are read-only after NewTransform. Only the pool
+// binding is per-instance, so each sharer may SetPool independently (an
+// ensemble of models can hold hundreds of members over one table set, with
+// per-member memory reduced to prognostic state). The shared copy starts
+// serial; Workspaces belong to the copy that created them.
+func (tr *Transform) Share() *Transform {
+	cp := *tr
+	cp.pool = pool.Serial
+	return &cp
+}
+
 // SetPool attaches a Runner to execute the transform stages on. A nil
 // Runner restores serial execution. Workspaces created before SetPool are
 // sized for the old worker count and must be rebuilt.
