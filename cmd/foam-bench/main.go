@@ -38,7 +38,26 @@ func main() {
 	full := flag.Bool("full", false, "use the paper's full configuration (much slower)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the selected experiments")
+	jsonOut := flag.Bool("json", false, "record BENCH_spectral.json and BENCH_core.json instead of running experiments")
+	outDir := flag.String("out", ".", "output directory for -json artifacts")
+	quick := flag.Bool("quick", false, "with -json: short measurement budget (CI smoke, not a trajectory record)")
+	verify := flag.Bool("verify", false, "verify the BENCH_*.json files given as arguments against the schema and exit")
 	flag.Parse()
+
+	if *verify {
+		if err := runBenchVerify(flag.Args()); err != nil {
+			fmt.Fprintf(os.Stderr, "foam-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonOut {
+		if err := runBenchJSON(*quick, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "foam-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

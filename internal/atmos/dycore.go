@@ -32,22 +32,37 @@ type work struct {
 	nz, nd, nt [][]complex128
 	np         []complex128
 
-	// One spectral workspace per outer pool worker: transforms invoked from
-	// inside a level-parallel Run nest onto the busy pool and execute inline
-	// as worker 0, so concurrent outer workers need disjoint workspaces.
-	// ws[0] doubles as the workspace of top-level (internally parallel)
-	// transform calls.
-	ws []*spectral.Workspace
+	// Per-level buffers feeding the fused multi-field transforms: the
+	// energy grid and its spectral image, the flux-divergence spectral
+	// image, and the physics increments (grid and spectral).
+	eG            [][]float64
+	dTs, dUs, dVs [][]float64
+	specE, specF  [][]complex128
+	specT         [][]complex128
+	specZ, specD  [][]complex128
+
+	// Pre-assembled batch headers for the fused transform entry points.
+	// Grids point at stable per-level buffers and are built once; the
+	// spec side of synthBatch references m.cur, which swaps identity
+	// every step, so it is refilled (pointer copies only) per call.
+	synthGrids [][]float64    // [zg..., dg..., tg...]
+	synthSpecs [][]complex128 // [cur.vort..., cur.div..., cur.temp...]
+	anaGrids   [][]float64    // [eG..., tSrc...]
+	anaSpecs   [][]complex128 // [specE..., nt...]
+
+	// ws0 serves the remaining single-field transform calls; wsMany is
+	// sized for the widest fused batch (3·nlev fields). All transforms
+	// now run at top level, parallel internally over rows/harmonics, so
+	// per-worker workspaces are no longer needed.
+	ws0    *spectral.Workspace
+	wsMany *spectral.Workspace
 
 	// Per-worker scratch, indexed by pool worker id.
-	eGrid        [][]float64
-	specScr      [][]complex128
 	ttil, yv     [][]complex128
 	rhsRe, rhsIm [][]float64
 	luX          [][]float64
 	qNew         [][]float64 // semi-Lagrangian horizontal target
 	colQ         [][]float64 // semi-Lagrangian vertical column
-	dT, dU, dV   [][]float64 // physics increments
 	cols         []*column
 	rad          []*radScratch
 	deepCount    []int
@@ -65,11 +80,11 @@ type work struct {
 	ex         *SurfaceExchange
 	decl, frac float64
 
-	phSynth, phColMass, phColumns, phNonlin, phSpecTend func(worker, lo, hi int)
-	phNpAdd, phThermoAdd, phSolve, phHyper, phFilter    func(worker, lo, hi int)
-	phSLHoriz, phSLVert                                 func(worker, lo, hi int)
-	phPhySynth, phRadiation, phLowest, phPhysCols       func(worker, lo, hi int)
-	phFold                                              func(worker, lo, hi int)
+	phColMass, phColumns, phNonlin, phGridE, phSpecFix func(worker, lo, hi int)
+	phNpAdd, phThermoAdd, phSolve, phHyper, phFilter   func(worker, lo, hi int)
+	phSLHoriz, phSLVert                                func(worker, lo, hi int)
+	phPhyGrid, phRadiation, phLowest, phPhysCols       func(worker, lo, hi int)
+	phFoldGrid, phFoldAdd                              func(worker, lo, hi int)
 }
 
 //foam:coldpath
@@ -107,16 +122,38 @@ func newWork(m *Model) *work {
 	w.nz = make([][]complex128, nlev)
 	w.nd = make([][]complex128, nlev)
 	w.nt = make([][]complex128, nlev)
+	w.specE = make([][]complex128, nlev)
+	w.specF = make([][]complex128, nlev)
+	w.specT = make([][]complex128, nlev)
+	w.specZ = make([][]complex128, nlev)
+	w.specD = make([][]complex128, nlev)
 	for k := 0; k < nlev; k++ {
 		w.nz[k] = make([]complex128, ncf)
 		w.nd[k] = make([]complex128, ncf)
 		w.nt[k] = make([]complex128, ncf)
+		w.specE[k] = make([]complex128, ncf)
+		w.specF[k] = make([]complex128, ncf)
+		w.specT[k] = make([]complex128, ncf)
+		w.specZ[k] = make([]complex128, ncf)
+		w.specD[k] = make([]complex128, ncf)
 	}
 	w.np = make([]complex128, ncf)
+	w.eG, w.dTs, w.dUs, w.dVs = alloc(), alloc(), alloc(), alloc()
 
-	w.ws = make([]*spectral.Workspace, nworkers)
-	w.eGrid = make([][]float64, nworkers)
-	w.specScr = make([][]complex128, nworkers)
+	w.synthGrids = make([][]float64, 0, 3*nlev)
+	w.synthGrids = append(w.synthGrids, w.zg...)
+	w.synthGrids = append(w.synthGrids, w.dg...)
+	w.synthGrids = append(w.synthGrids, w.tg...)
+	w.synthSpecs = make([][]complex128, 3*nlev)
+	w.anaGrids = make([][]float64, 0, 2*nlev)
+	w.anaGrids = append(w.anaGrids, w.eG...)
+	w.anaGrids = append(w.anaGrids, w.tSrc...)
+	w.anaSpecs = make([][]complex128, 0, 2*nlev)
+	w.anaSpecs = append(w.anaSpecs, w.specE...)
+	w.anaSpecs = append(w.anaSpecs, w.nt...)
+
+	w.ws0 = m.tr.NewWorkspace()
+	w.wsMany = m.tr.NewWorkspaceMany(3 * nlev)
 	w.ttil = make([][]complex128, nworkers)
 	w.yv = make([][]complex128, nworkers)
 	w.rhsRe = make([][]float64, nworkers)
@@ -124,15 +161,9 @@ func newWork(m *Model) *work {
 	w.luX = make([][]float64, nworkers)
 	w.qNew = make([][]float64, nworkers)
 	w.colQ = make([][]float64, nworkers)
-	w.dT = make([][]float64, nworkers)
-	w.dU = make([][]float64, nworkers)
-	w.dV = make([][]float64, nworkers)
 	w.cols = make([]*column, nworkers)
 	w.rad = make([]*radScratch, nworkers)
 	for i := 0; i < nworkers; i++ {
-		w.ws[i] = m.tr.NewWorkspace()
-		w.eGrid[i] = make([]float64, ncell)
-		w.specScr[i] = make([]complex128, ncf)
 		w.ttil[i] = make([]complex128, nlev)
 		w.yv[i] = make([]complex128, nlev)
 		w.rhsRe[i] = make([]float64, nlev)
@@ -140,9 +171,6 @@ func newWork(m *Model) *work {
 		w.luX[i] = make([]float64, nlev)
 		w.qNew[i] = make([]float64, ncell)
 		w.colQ[i] = make([]float64, nlev)
-		w.dT[i] = make([]float64, ncell)
-		w.dU[i] = make([]float64, ncell)
-		w.dV[i] = make([]float64, ncell)
 		w.cols[i] = newColumn(nlev)
 		w.rad[i] = newRadScratch(nlev)
 	}
@@ -181,20 +209,6 @@ func (m *Model) bindPhases(w *work) {
 	vg := m.vg
 	a := sphere.Radius
 	ncf := m.cfg.Trunc.Count()
-
-	// --- Synthesize current state on the grid. Parallel over levels: each
-	// level's transforms are independent and write only that level's fields
-	// (nested transform calls run inline on the busy pool, as worker 0 of
-	// the outer worker's own workspace).
-	w.phSynth = func(worker, k0, k1 int) {
-		ws := w.ws[worker]
-		for k := k0; k < k1; k++ {
-			tr.SynthesizeUVInto(w.U[k], w.V[k], m.cur.vort[k], m.cur.div[k], ws)
-			tr.SynthesizeInto(w.zg[k], m.cur.vort[k], ws)
-			tr.SynthesizeInto(w.dg[k], m.cur.div[k], ws)
-			tr.SynthesizeInto(w.tg[k], m.cur.temp[k], ws)
-		}
-	}
 
 	// --- Column mass/velocity diagnostics.
 	w.phColMass = func(_, k0, k1 int) {
@@ -255,34 +269,32 @@ func (m *Model) bindPhases(w *work) {
 		}
 	}
 
-	// --- Spectral tendencies. Parallel over levels with per-worker grid
-	// and spectral scratch; every spectral array written belongs to one
-	// level.
-	w.phSpecTend = func(worker, k0, k1 int) {
-		ws := w.ws[worker]
-		eGrid := w.eGrid[worker]
-		scr := w.specScr[worker]
+	// --- Explicit Laplacian source grid: E + Phi_s, per level.
+	w.phGridE = func(_, k0, k1 int) {
 		for k := k0; k < k1; k++ {
-			tr.AnalyzeDivFormInto(w.nz[k], w.nV[k], w.nU[k], 1, -1, ws)
-			tr.AnalyzeDivFormInto(w.nd[k], w.nU[k], w.nV[k], 1, 1, ws)
-			// Explicit Laplacian part: E + Phi_s.
+			eG := w.eG[k]
 			for j := 0; j < nlat; j++ {
 				inv := 1 / (2 * m.geom.oneMu2[j])
 				for i := 0; i < nlon; i++ {
 					c := j*nlon + i
-					eGrid[c] = (w.U[k][c]*w.U[k][c]+w.V[k][c]*w.V[k][c])*inv + m.phiS[c]
+					eG[c] = (w.U[k][c]*w.U[k][c]+w.V[k][c]*w.V[k][c])*inv + m.phiS[c]
 				}
 			}
-			tr.AnalyzeInto(scr, eGrid, ws)
+		}
+	}
+
+	// --- Fold the analyzed energy and flux terms into the divergence and
+	// temperature tendencies (the fused transforms ran just before).
+	w.phSpecFix = func(_, k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			scr := w.specE[k]
 			tr.Laplacian(scr)
 			for idx := range w.nd[k] {
 				w.nd[k][idx] -= scr[idx]
 			}
-			// Temperature: flux form advection plus grid sources.
-			tr.AnalyzeInto(w.nt[k], w.tSrc[k], ws)
-			tr.AnalyzeDivFormInto(scr, w.fluxA[k], w.fluxB[k], 1, 1, ws)
+			scrF := w.specF[k]
 			for idx := range w.nt[k] {
-				w.nt[k][idx] -= scr[idx]
+				w.nt[k][idx] -= scrF[idx]
 			}
 		}
 	}
@@ -486,14 +498,30 @@ func (m *Model) dynStep(dt float64, si *SemiImplicit) *specState {
 	tr := m.tr
 	w := m.phy.w
 
-	m.pool.Run(nlev, w.phSynth)
-	tr.SynthesizeWithDerivsInto(w.qs, w.dqsdl, w.hqs, m.cur.lnps, w.ws[0])
+	// Synthesize the current state on the grid with the fused batch entry
+	// points: one pass over the Legendre tables for all winds, and one for
+	// all the scalar fields of every level.
+	tr.SynthesizeUVManyInto(w.U, w.V, m.cur.vort, m.cur.div, w.wsMany)
+	for k := 0; k < nlev; k++ {
+		w.synthSpecs[k] = m.cur.vort[k]
+		w.synthSpecs[nlev+k] = m.cur.div[k]
+		w.synthSpecs[2*nlev+k] = m.cur.temp[k]
+	}
+	tr.SynthesizeManyInto(w.synthGrids, w.synthSpecs, w.wsMany)
+	tr.SynthesizeWithDerivsInto(w.qs, w.dqsdl, w.hqs, m.cur.lnps, w.ws0)
 
 	m.pool.Run(nlev, w.phColMass)
 	m.pool.Run(ncell, w.phColumns)
 	m.pool.Run(nlev, w.phNonlin)
-	m.pool.Run(nlev, w.phSpecTend)
-	tr.AnalyzeInto(w.np, w.psSrc, w.ws[0])
+	m.pool.Run(nlev, w.phGridE)
+	// Spectral tendencies, batched: the rotational/divergent pair shares
+	// its Fourier rows, and the energy + temperature-source analyses ride
+	// one table pass before phSpecFix folds them into nd/nt.
+	tr.AnalyzeDivPairManyInto(w.nz, w.nd, w.nV, w.nU, 1, -1, 1, 1, w.wsMany)
+	tr.AnalyzeManyInto(w.anaSpecs, w.anaGrids, w.wsMany)
+	tr.AnalyzeDivFormManyInto(w.specF, w.fluxA, w.fluxB, 1, 1, w.wsMany)
+	m.pool.Run(nlev, w.phSpecFix)
+	tr.AnalyzeInto(w.np, w.psSrc, w.ws0)
 
 	ncf := m.cfg.Trunc.Count()
 	m.pool.Run(ncf, w.phNpAdd)
@@ -543,7 +571,7 @@ func (m *Model) vadv(x [][]float64, k, c int) float64 {
 // allocating: grid scratch comes from the step workspace.
 func (m *Model) updateDiagnostics() {
 	w := m.ensureWork()
-	ws := w.ws[0]
+	ws := w.ws0
 	m.tr.SynthesizeInto(w.diagG, m.cur.lnps, ws)
 	for c := range w.diagG {
 		w.diagG[c] = math.Exp(w.diagG[c])

@@ -100,18 +100,13 @@ func (m *Model) bindPhysicsPhases(w *work) {
 	phy := m.phy
 	cfg := m.cfg
 	nlat, nlon, nlev := cfg.NLat, cfg.NLon, cfg.NLev
-	tr := m.tr
 	dt := cfg.Dt
 	kb := nlev - 1
 
 	// Grid fields of the provisional state. Keep pre-physics copies so the
 	// increments can be formed without re-synthesizing afterwards.
-	w.phPhySynth = func(worker, k0, k1 int) {
-		ws := w.ws[worker]
-		plus := w.plus
+	w.phPhyGrid = func(_, k0, k1 int) {
 		for k := k0; k < k1; k++ {
-			tr.SynthesizeInto(phy.tg[k], plus.temp[k], ws)
-			tr.SynthesizeUVInto(phy.baseU[k], phy.baseV[k], plus.vort[k], plus.div[k], ws)
 			copy(phy.baseT[k], phy.tg[k])
 			for j := 0; j < nlat; j++ {
 				inv := 1 / math.Sqrt(m.geom.oneMu2[j])
@@ -203,23 +198,17 @@ func (m *Model) bindPhysicsPhases(w *work) {
 
 	// Fold the physics increments back into the spectral state: parallel
 	// over levels with per-worker grid scratch.
-	w.phFold = func(worker, k0, k1 int) {
-		ws := w.ws[worker]
-		plus := w.plus
-		dT, dU, dV := w.dT[worker], w.dU[worker], w.dV[worker]
-		scr := w.specScr[worker]
+	w.phFoldGrid = func(_, k0, k1 int) {
 		for k := k0; k < k1; k++ {
 			// tg was updated in place by column physics; the spectral
 			// increment is the new grid value minus the pre-physics
 			// synthesis.
+			dT := w.dTs[k]
 			for c := range dT {
 				dT[c] = phy.tg[k][c] - phy.baseT[k][c]
 			}
-			tr.AnalyzeInto(scr, dT, ws)
-			for idx := range plus.temp[k] {
-				plus.temp[k][idx] += scr[idx]
-			}
 			// Momentum increments, converted to U=u cos(lat) images.
+			dU, dV := w.dUs[k], w.dVs[k]
 			for j := 0; j < nlat; j++ {
 				cl := math.Sqrt(m.geom.oneMu2[j])
 				for i := 0; i < nlon; i++ {
@@ -228,11 +217,20 @@ func (m *Model) bindPhysicsPhases(w *work) {
 					dV[c] = phy.vg[k][c]*cl - phy.baseV[k][c]
 				}
 			}
-			tr.AnalyzeDivFormInto(scr, dV, dU, 1, -1, ws)
+		}
+	}
+	w.phFoldAdd = func(_, k0, k1 int) {
+		plus := w.plus
+		for k := k0; k < k1; k++ {
+			scr := w.specT[k]
+			for idx := range plus.temp[k] {
+				plus.temp[k][idx] += scr[idx]
+			}
+			scr = w.specZ[k]
 			for idx := range plus.vort[k] {
 				plus.vort[k][idx] += scr[idx]
 			}
-			tr.AnalyzeDivFormInto(scr, dU, dV, 1, 1, ws)
+			scr = w.specD[k]
 			for idx := range plus.div[k] {
 				plus.div[k][idx] += scr[idx]
 			}
@@ -252,8 +250,12 @@ func (m *Model) physicsStep(plus *specState) {
 	w := phy.w
 	w.plus = plus
 
-	m.pool.Run(nlev, w.phPhySynth)
-	m.tr.SynthesizeInto(w.lnpsG, plus.lnps, w.ws[0])
+	// Grid fields of the provisional state, batched: every level's
+	// temperature in one table pass, every level's winds in another.
+	m.tr.SynthesizeManyInto(phy.tg, plus.temp, w.wsMany)
+	m.tr.SynthesizeUVManyInto(phy.baseU, phy.baseV, plus.vort, plus.div, w.wsMany)
+	m.pool.Run(nlev, w.phPhyGrid)
+	m.tr.SynthesizeInto(w.lnpsG, plus.lnps, w.ws0)
 	for c := 0; c < ncell; c++ {
 		phy.ps[c] = math.Exp(w.lnpsG[c])
 	}
@@ -311,7 +313,13 @@ func (m *Model) physicsStep(plus *specState) {
 	phy.meanPrecip = sumP / sumW
 	phy.meanEvap = sumE / sumW
 
-	m.pool.Run(nlev, w.phFold)
+	// Fold the physics increments back into the spectral state: grid
+	// increments per level, then one fused analysis pass for temperature
+	// and one shared-row pass for the vorticity/divergence pair.
+	m.pool.Run(nlev, w.phFoldGrid)
+	m.tr.AnalyzeManyInto(w.specT, w.dTs, w.wsMany)
+	m.tr.AnalyzeDivPairManyInto(w.specZ, w.specD, w.dVs, w.dUs, 1, -1, 1, 1, w.wsMany)
+	m.pool.Run(nlev, w.phFoldAdd)
 	w.ex = nil
 }
 

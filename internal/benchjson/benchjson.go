@@ -1,0 +1,107 @@
+// Package benchjson defines the schema of the BENCH_*.json performance
+// trajectory files that cmd/foam-bench -json emits and CI verifies. The
+// files are committed artifacts: each PR that changes the hot path
+// re-records them, so the perf trajectory is visible in the history.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema is the identifier every BENCH file must carry.
+const Schema = "foam-bench/v1"
+
+// File is one recorded benchmark suite.
+type File struct {
+	Schema    string  `json:"schema"`
+	Suite     string  `json:"suite"` // "spectral" or "core"
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	Quick     bool    `json:"quick,omitempty"` // reduced benchtime (CI smoke), not a trajectory record
+	Entries   []Entry `json:"entries"`
+}
+
+// Entry is one benchmark measurement. BaselineNs, when present, is the
+// best previously recorded ns/op for the same kernel (the number this
+// recording is compared against in EXPERIMENTS.md).
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	BaselineNs  float64 `json:"baseline_ns,omitempty"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// WriteFile writes the suite as indented JSON.
+func (f *File) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Verify parses and validates a BENCH file, returning the parsed form.
+// It is strict about everything CI depends on: schema id, suite name,
+// non-empty entries, and per-entry sanity (name, positive iteration and
+// timing values, non-negative allocation counts).
+func Verify(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchjson: parse: %w", err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("benchjson: schema %q, want %q", f.Schema, Schema)
+	}
+	if f.Suite != "spectral" && f.Suite != "core" {
+		return nil, fmt.Errorf("benchjson: unknown suite %q", f.Suite)
+	}
+	if f.GoVersion == "" || f.GOOS == "" || f.GOARCH == "" {
+		return nil, fmt.Errorf("benchjson: missing toolchain fields")
+	}
+	if f.NumCPU < 1 {
+		return nil, fmt.Errorf("benchjson: num_cpu %d", f.NumCPU)
+	}
+	if len(f.Entries) == 0 {
+		return nil, fmt.Errorf("benchjson: no entries")
+	}
+	seen := map[string]bool{}
+	for i, e := range f.Entries {
+		if e.Name == "" {
+			return nil, fmt.Errorf("benchjson: entry %d: empty name", i)
+		}
+		key := fmt.Sprintf("%s/workers=%d", e.Name, e.Workers)
+		if seen[key] {
+			return nil, fmt.Errorf("benchjson: duplicate entry %q", key)
+		}
+		seen[key] = true
+		if e.Iterations <= 0 {
+			return nil, fmt.Errorf("benchjson: entry %q: iterations %d", e.Name, e.Iterations)
+		}
+		if e.NsPerOp <= 0 {
+			return nil, fmt.Errorf("benchjson: entry %q: ns_per_op %v", e.Name, e.NsPerOp)
+		}
+		if e.BytesPerOp < 0 || e.AllocsPerOp < 0 {
+			return nil, fmt.Errorf("benchjson: entry %q: negative alloc stats", e.Name)
+		}
+	}
+	return &f, nil
+}
+
+// VerifyFile reads and verifies one BENCH file on disk.
+func VerifyFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Verify(data)
+}

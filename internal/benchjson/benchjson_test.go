@@ -1,0 +1,78 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func valid() *File {
+	return &File{
+		Schema: Schema, Suite: "spectral",
+		GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", NumCPU: 1,
+		Entries: []Entry{{Name: "Analyze", Iterations: 100, NsPerOp: 120000}},
+	}
+}
+
+func verifyOf(t *testing.T, f *File) error {
+	t.Helper()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Verify(data)
+	return err
+}
+
+func TestVerifyAcceptsValid(t *testing.T) {
+	if err := verifyOf(t, valid()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*File)
+		want string
+	}{
+		{"schema", func(f *File) { f.Schema = "x" }, "schema"},
+		{"suite", func(f *File) { f.Suite = "other" }, "suite"},
+		{"toolchain", func(f *File) { f.GoVersion = "" }, "toolchain"},
+		{"cpus", func(f *File) { f.NumCPU = 0 }, "num_cpu"},
+		{"empty", func(f *File) { f.Entries = nil }, "no entries"},
+		{"name", func(f *File) { f.Entries[0].Name = "" }, "empty name"},
+		{"iters", func(f *File) { f.Entries[0].Iterations = 0 }, "iterations"},
+		{"ns", func(f *File) { f.Entries[0].NsPerOp = 0 }, "ns_per_op"},
+		{"allocs", func(f *File) { f.Entries[0].AllocsPerOp = -1 }, "alloc"},
+		{"dup", func(f *File) { f.Entries = append(f.Entries, f.Entries[0]) }, "duplicate"},
+	}
+	for _, c := range cases {
+		f := valid()
+		c.mod(f)
+		err := verifyOf(t, f)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestVerifyRejectsGarbage(t *testing.T) {
+	if _, err := Verify([]byte("not json")); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestWriteAndVerifyFile(t *testing.T) {
+	path := t.TempDir() + "/BENCH_test.json"
+	if err := valid().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Entries[0].Name != "Analyze" {
+		t.Fatalf("round trip lost entry: %+v", f.Entries)
+	}
+}

@@ -163,10 +163,25 @@ func (tr *Transform) SetPool(p pool.Runner) {
 func (tr *Transform) Mu(j int) float64     { return tr.mu[j] }
 func (tr *Transform) Weight(j int) float64 { return tr.w[j] }
 
-// Workspace holds every buffer the *Into transform entry points need: the
-// flat row-major Fourier-row staging area, spectral scratch, and per-worker
-// coefficient rows + FFT scratch keyed by the pool worker id (so pooled
-// runs write disjoint storage and stay bit-identical to serial).
+// mBlock is the cache-blocking width of the (m, k) Legendre-table
+// traversal in the fused accumulation and synthesis phases: a block of
+// mBlock consecutive m strips (each K+1 table values) is at most ~2 KB and
+// stays resident in L1 while every field of a fused batch sweeps it. The
+// j reduction order per coefficient is untouched by the blocking, so the
+// results are bit-identical for every block width.
+const mBlock = 8
+
+// Workspace holds every buffer the *Into transform entry points need. The
+// hot-path storage is split-complex (structure of arrays): Fourier rows and
+// spectral accumulators live in separate re/im float64 planes so the inner
+// Legendre loops are pure float64 multiply-adds against the purely real
+// tables — bit-identical to the complex128 path, which multiplies the same
+// reals and carries a dead zero lane (see DESIGN.md §14). Per-worker
+// coefficient rows and FFT scratch are keyed by pool worker id so pooled
+// runs write disjoint storage and stay bit-identical to serial.
+//
+// Arenas are sized for maxFields fused fields (NewWorkspaceMany); the plain
+// NewWorkspace sizes them for the single-field entry points.
 //
 // A Workspace belongs to the Transform that created it and to one caller
 // at a time: two goroutines may not share one Workspace, and a caller that
@@ -174,24 +189,34 @@ func (tr *Transform) Weight(j int) float64 { return tr.w[j] }
 // Workspace per outer worker (the nested transform runs inline as worker 0,
 // so outer workers would otherwise collide on per[0]). See DESIGN.md §9.
 type Workspace struct {
-	tr *Transform
+	tr        *Transform
+	maxFields int
 
-	rows  []complex128 // flat Fourier rows, stride M+1, one row per latitude
-	rowsB []complex128 // second flat row buffer (div-form analyses)
-	psi   []complex128 // streamfunction scratch (SynthesizeUV)
-	chi   []complex128 // velocity-potential scratch (SynthesizeUV)
-	per   []wsPerWorker
+	// Split Fourier-row arenas: field f, latitude j at (f*NLat+j)*(M+1).
+	rowsRe, rowsIm   []float64
+	rowsBRe, rowsBIm []float64 // second row set (div-form analyses)
+	// Split spectral arenas: field f at f*Count(). specA doubles as the
+	// analysis accumulator, synthesis input, and streamfunction scratch;
+	// specB as the pair-form second output and velocity-potential scratch.
+	specARe, specAIm []float64
+	specBRe, specBIm []float64
+	per              []wsPerWorker
 
 	// Staged arguments for the pooled phases below. The *Into entry point
 	// stages its arguments here, runs the phases, then clears the fields;
 	// the phase funcs themselves are bound once at NewWorkspace so pooled
 	// calls allocate nothing.
-	grid, gridB  []float64
-	spec         []complex128
-	f, dfdl, hmu []float64
-	gU, gV       []float64
-	accA, accB   []complex128
-	signA, signB float64
+	nf             int // staged batch width
+	grids, gridsB  [][]float64
+	specs, specsB  [][]complex128
+	f, dfdl, hmu   []float64
+	signA, signB   float64
+	signA2, signB2 float64
+	pair           bool
+
+	// Persistent one-element batch headers for the single-field wrappers.
+	oneG, oneG2 [][]float64
+	oneS, oneS2 [][]complex128
 
 	phFourier  func(w, lo, hi int)
 	phFourierB func(w, lo, hi int)
@@ -203,30 +228,52 @@ type Workspace struct {
 }
 
 type wsPerWorker struct {
-	c1, c2, c3 []complex128 // coefficient rows, length M+1
+	// Split coefficient rows, maxFields*(M+1) each (three sets: the
+	// derivative synthesis needs three rows, UV two, plain synthesis one).
+	c1Re, c1Im []float64
+	c2Re, c2Im []float64
+	c3Re, c3Im []float64
 	fft        *FFTScratch
 }
 
-// NewWorkspace allocates a workspace sized for this transform and its
-// current pool's worker count. Create workspaces after SetPool.
+// NewWorkspace allocates a workspace sized for this transform, its current
+// pool's worker count, and the single-field entry points. Create
+// workspaces after SetPool.
 //
 //foam:coldpath
 func (tr *Transform) NewWorkspace() *Workspace {
+	return tr.NewWorkspaceMany(1)
+}
+
+// NewWorkspaceMany allocates a workspace whose arenas can fuse up to
+// maxFields fields per call to the *ManyInto entry points (the single-field
+// entry points work with any capacity). Create workspaces after SetPool.
+//
+//foam:coldpath
+func (tr *Transform) NewWorkspaceMany(maxFields int) *Workspace {
+	if maxFields < 1 {
+		panic(fmt.Sprintf("spectral: NewWorkspaceMany(%d): need at least one field", maxFields))
+	}
 	t := tr.Trunc
 	mm := t.M + 1
+	rows := maxFields * tr.NLat * mm
+	cnt := maxFields * t.Count()
 	ws := &Workspace{
-		tr:    tr,
-		rows:  make([]complex128, tr.NLat*mm),
-		rowsB: make([]complex128, tr.NLat*mm),
-		psi:   make([]complex128, t.Count()),
-		chi:   make([]complex128, t.Count()),
-		per:   make([]wsPerWorker, tr.pool.Workers()),
+		tr:        tr,
+		maxFields: maxFields,
+		rowsRe:    make([]float64, rows), rowsIm: make([]float64, rows),
+		rowsBRe: make([]float64, rows), rowsBIm: make([]float64, rows),
+		specARe: make([]float64, cnt), specAIm: make([]float64, cnt),
+		specBRe: make([]float64, cnt), specBIm: make([]float64, cnt),
+		per:  make([]wsPerWorker, tr.pool.Workers()),
+		oneG: make([][]float64, 1), oneG2: make([][]float64, 1),
+		oneS: make([][]complex128, 1), oneS2: make([][]complex128, 1),
 	}
 	for w := range ws.per {
 		ws.per[w] = wsPerWorker{
-			c1:  make([]complex128, mm),
-			c2:  make([]complex128, mm),
-			c3:  make([]complex128, mm),
+			c1Re: make([]float64, maxFields*mm), c1Im: make([]float64, maxFields*mm),
+			c2Re: make([]float64, maxFields*mm), c2Im: make([]float64, maxFields*mm),
+			c3Re: make([]float64, maxFields*mm), c3Im: make([]float64, maxFields*mm),
 			fft: tr.fft.NewScratch(),
 		}
 	}
@@ -237,61 +284,170 @@ func (tr *Transform) NewWorkspace() *Workspace {
 // bindPhases creates the pooled phase closures once. They read their
 // arguments from the staged fields, never from captured per-call state.
 //
+// Bit-identity of the split loops: in the complex path every product has a
+// purely real (or purely imaginary) factor, so its dead lane contributes
+// only a ±0 term; ±0 terms are absorbed exactly by the accumulators (an
+// accumulator that starts at +0 can never become -0 under round-to-nearest)
+// and every non-accumulated boundary value is computed by reconstructing
+// the complex operand and reusing the original expression. The float64
+// conversions around products pin the product rounding against fused
+// multiply-add contraction, matching gc's complex lowering.
+//
 //foam:hotphases
 func (ws *Workspace) bindPhases() {
 	tr := ws.tr
 	t := tr.Trunc
 	mm := t.M + 1
+	kk := t.K + 1
+	cnt := t.Count()
+	nlat := tr.NLat
 
-	fourier := func(dst []complex128, grid []float64, w, lo, hi int) {
+	fourier := func(dstRe, dstIm []float64, grids [][]float64, w, lo, hi int) {
 		s := ws.per[w].fft
 		for j := lo; j < hi; j++ {
-			tr.fft.AnalyzeRealInto(dst[j*mm:(j+1)*mm], grid[j*tr.NLon:(j+1)*tr.NLon], t.M, s)
+			for f := 0; f < ws.nf; f++ {
+				o := (f*nlat + j) * mm
+				tr.fft.AnalyzeRealSplitInto(dstRe[o:o+mm], dstIm[o:o+mm],
+					grids[f][j*tr.NLon:(j+1)*tr.NLon], t.M, s)
+			}
 		}
 	}
-	ws.phFourier = func(w, lo, hi int) { fourier(ws.rows, ws.grid, w, lo, hi) }
-	ws.phFourierB = func(w, lo, hi int) { fourier(ws.rowsB, ws.gridB, w, lo, hi) }
+	ws.phFourier = func(w, lo, hi int) { fourier(ws.rowsRe, ws.rowsIm, ws.grids, w, lo, hi) }
+	ws.phFourierB = func(w, lo, hi int) { fourier(ws.rowsBRe, ws.rowsBIm, ws.gridsB, w, lo, hi) }
 
 	// Analysis accumulation, parallel over m: each coefficient (m,n) is
 	// accumulated by the one worker owning m, in the same ascending-j order
-	// as the serial loop.
+	// as the serial single-field loop; fields share each Legendre strip.
 	ws.phAccum = func(_, m0, m1 int) {
-		spec := ws.spec
-		for j := 0; j < tr.NLat; j++ {
+		nf := ws.nf
+		for f := 0; f < nf; f++ {
+			sr, si := ws.specARe[f*cnt:(f+1)*cnt], ws.specAIm[f*cnt:(f+1)*cnt]
+			for i := t.Index(m0, m0); i < t.Index(m1-1, m1-1)+kk; i++ {
+				sr[i] = 0
+				si[i] = 0
+			}
+		}
+		for j := 0; j < nlat; j++ {
 			wj := tr.w[j]
 			p := tr.pRow(j)
-			row := ws.rows[j*mm : (j+1)*mm]
-			for m := m0; m < m1; m++ {
-				f := row[m] * complex(wj, 0)
-				off := tr.pl.Offset(m)
-				base := t.Index(m, m)
-				for k := 0; k <= t.K; k++ {
-					spec[base+k] += f * complex(p[off+k], 0)
+			for mb := m0; mb < m1; mb += mBlock {
+				me := mb + mBlock
+				if me > m1 {
+					me = m1
 				}
+				for f := 0; f < nf; f++ {
+					o := (f*nlat + j) * mm
+					rowRe, rowIm := ws.rowsRe[o:o+mm], ws.rowsIm[o:o+mm]
+					sr, si := ws.specARe[f*cnt:(f+1)*cnt], ws.specAIm[f*cnt:(f+1)*cnt]
+					for m := mb; m < me; m++ {
+						fre := rowRe[m] * wj
+						fim := rowIm[m] * wj
+						off := tr.pl.Offset(m)
+						base := t.Index(m, m)
+						pk := p[off : off+kk]
+						srk, sik := sr[base:base+kk], si[base:base+kk]
+						for k := range pk {
+							srk[k] += float64(fre * pk[k])
+							sik[k] += float64(fim * pk[k])
+						}
+					}
+				}
+			}
+		}
+		for f := 0; f < nf; f++ {
+			spec := ws.specs[f]
+			sr, si := ws.specARe[f*cnt:(f+1)*cnt], ws.specAIm[f*cnt:(f+1)*cnt]
+			for i := t.Index(m0, m0); i < t.Index(m1-1, m1-1)+kk; i++ {
+				spec[i] = complex(sr[i], si[i])
 			}
 		}
 	}
 
-	// Div-form accumulation over staged row buffers accA/accB with the
-	// signs folded into the per-row scalars (exact: IEEE negation commutes
-	// with every linear operation here bit-for-bit).
+	// Div-form accumulation over the staged row sets with the signs folded
+	// into the per-row scalars (exact: IEEE negation commutes with every
+	// linear operation here bit-for-bit). In pair mode a second output set
+	// with the roles of the row sets swapped accumulates in the same table
+	// sweep — one pass over pTab/hTab serves both tendencies of every field.
 	ws.phAccumDiv = func(_, m0, m1 int) {
-		spec := ws.spec
+		nf := ws.nf
+		pair := ws.pair
+		i0, i1 := t.Index(m0, m0), t.Index(m1-1, m1-1)+kk
+		for f := 0; f < nf; f++ {
+			sr, si := ws.specARe[f*cnt:(f+1)*cnt], ws.specAIm[f*cnt:(f+1)*cnt]
+			for i := i0; i < i1; i++ {
+				sr[i] = 0
+				si[i] = 0
+			}
+			if pair {
+				sr2, si2 := ws.specBRe[f*cnt:(f+1)*cnt], ws.specBIm[f*cnt:(f+1)*cnt]
+				for i := i0; i < i1; i++ {
+					sr2[i] = 0
+					si2[i] = 0
+				}
+			}
+		}
 		inva := 1 / sphere.Radius
-		for j := 0; j < tr.NLat; j++ {
+		for j := 0; j < nlat; j++ {
 			wj := tr.w[j] / tr.oneMu2[j] * inva
 			p := tr.pRow(j)
 			h := tr.hRow(j)
-			rowA := ws.accA[j*mm : (j+1)*mm]
-			rowB := ws.accB[j*mm : (j+1)*mm]
-			for m := m0; m < m1; m++ {
-				fa := rowA[m] * complex(0, ws.signA*(float64(m)*wj))
-				fb := rowB[m] * complex(ws.signB*wj, 0)
-				offP := tr.pl.Offset(m)
-				offH := tr.hl.Offset(m)
-				base := t.Index(m, m)
-				for k := 0; k <= t.K; k++ {
-					spec[base+k] += fa*complex(p[offP+k], 0) - fb*complex(h[offH+k], 0)
+			for mb := m0; mb < m1; mb += mBlock {
+				me := mb + mBlock
+				if me > m1 {
+					me = m1
+				}
+				for f := 0; f < nf; f++ {
+					o := (f*nlat + j) * mm
+					aRe, aIm := ws.rowsRe[o:o+mm], ws.rowsIm[o:o+mm]
+					bRe, bIm := ws.rowsBRe[o:o+mm], ws.rowsBIm[o:o+mm]
+					s1r, s1i := ws.specARe[f*cnt:(f+1)*cnt], ws.specAIm[f*cnt:(f+1)*cnt]
+					s2r, s2i := ws.specBRe[f*cnt:(f+1)*cnt], ws.specBIm[f*cnt:(f+1)*cnt]
+					for m := mb; m < me; m++ {
+						sA := ws.signA * (float64(m) * wj)
+						sB := ws.signB * wj
+						faRe, faIm := -(aIm[m] * sA), aRe[m]*sA
+						fbRe, fbIm := bRe[m]*sB, bIm[m]*sB
+						offP := tr.pl.Offset(m)
+						offH := tr.hl.Offset(m)
+						base := t.Index(m, m)
+						pk := p[offP : offP+kk]
+						hk := h[offH : offH+kk]
+						if !pair {
+							srk, sik := s1r[base:base+kk], s1i[base:base+kk]
+							for k := range pk {
+								srk[k] += float64(faRe*pk[k]) - float64(fbRe*hk[k])
+								sik[k] += float64(faIm*pk[k]) - float64(fbIm*hk[k])
+							}
+							continue
+						}
+						sA2 := ws.signA2 * (float64(m) * wj)
+						sB2 := ws.signB2 * wj
+						gaRe, gaIm := -(bIm[m] * sA2), bRe[m]*sA2
+						gbRe, gbIm := aRe[m]*sB2, aIm[m]*sB2
+						s1rk, s1ik := s1r[base:base+kk], s1i[base:base+kk]
+						s2rk, s2ik := s2r[base:base+kk], s2i[base:base+kk]
+						for k := range pk {
+							pv, hv := pk[k], hk[k]
+							s1rk[k] += float64(faRe*pv) - float64(fbRe*hv)
+							s1ik[k] += float64(faIm*pv) - float64(fbIm*hv)
+							s2rk[k] += float64(gaRe*pv) - float64(gbRe*hv)
+							s2ik[k] += float64(gaIm*pv) - float64(gbIm*hv)
+						}
+					}
+				}
+			}
+		}
+		for f := 0; f < nf; f++ {
+			spec := ws.specs[f]
+			sr, si := ws.specARe[f*cnt:(f+1)*cnt], ws.specAIm[f*cnt:(f+1)*cnt]
+			for i := i0; i < i1; i++ {
+				spec[i] = complex(sr[i], si[i])
+			}
+			if pair {
+				spec2 := ws.specsB[f]
+				sr2, si2 := ws.specBRe[f*cnt:(f+1)*cnt], ws.specBIm[f*cnt:(f+1)*cnt]
+				for i := i0; i < i1; i++ {
+					spec2[i] = complex(sr2[i], si2[i])
 				}
 			}
 		}
@@ -299,27 +455,41 @@ func (ws *Workspace) bindPhases() {
 
 	ws.phSynth = func(w, lo, hi int) {
 		pw := &ws.per[w]
-		coefs := pw.c1
-		spec := ws.spec
+		nf := ws.nf
 		for j := lo; j < hi; j++ {
 			p := tr.pRow(j)
-			for m := 0; m <= t.M; m++ {
-				off := tr.pl.Offset(m)
-				base := t.Index(m, m)
-				var sum complex128
-				for k := 0; k <= t.K; k++ {
-					sum += spec[base+k] * complex(p[off+k], 0)
+			for mb := 0; mb <= t.M; mb += mBlock {
+				me := mb + mBlock
+				if me > t.M+1 {
+					me = t.M + 1
 				}
-				coefs[m] = sum
+				for f := 0; f < nf; f++ {
+					sr, si := ws.specARe[f*cnt:(f+1)*cnt], ws.specAIm[f*cnt:(f+1)*cnt]
+					for m := mb; m < me; m++ {
+						off := tr.pl.Offset(m)
+						base := t.Index(m, m)
+						pk := p[off : off+kk]
+						srk, sik := sr[base:base+kk], si[base:base+kk]
+						var sumRe, sumIm float64
+						for k := range pk {
+							sumRe += float64(srk[k] * pk[k])
+							sumIm += float64(sik[k] * pk[k])
+						}
+						pw.c1Re[f*mm+m] = sumRe
+						pw.c1Im[f*mm+m] = sumIm
+					}
+				}
 			}
-			tr.fft.SynthesizeRealInto(ws.grid[j*tr.NLon:(j+1)*tr.NLon], coefs, pw.fft)
+			for f := 0; f < nf; f++ {
+				tr.fft.SynthesizeRealSplitInto(ws.grids[f][j*tr.NLon:(j+1)*tr.NLon],
+					pw.c1Re[f*mm:(f+1)*mm], pw.c1Im[f*mm:(f+1)*mm], pw.fft)
+			}
 		}
 	}
 
 	ws.phDerivs = func(w, lo, hi int) {
 		pw := &ws.per[w]
-		cf, cd, ch := pw.c1, pw.c2, pw.c3
-		spec := ws.spec
+		sr, si := ws.specARe[:cnt], ws.specAIm[:cnt]
 		for j := lo; j < hi; j++ {
 			p := tr.pRow(j)
 			h := tr.hRow(j)
@@ -327,48 +497,78 @@ func (ws *Workspace) bindPhases() {
 				offP := tr.pl.Offset(m)
 				offH := tr.hl.Offset(m)
 				base := t.Index(m, m)
-				var sf, sh complex128
-				for k := 0; k <= t.K; k++ {
-					c := spec[base+k]
-					sf += c * complex(p[offP+k], 0)
-					sh += c * complex(h[offH+k], 0)
+				pk := p[offP : offP+kk]
+				hk := h[offH : offH+kk]
+				srk, sik := sr[base:base+kk], si[base:base+kk]
+				var sfRe, sfIm, shRe, shIm float64
+				for k := range pk {
+					cr, ci := srk[k], sik[k]
+					sfRe += float64(cr * pk[k])
+					sfIm += float64(ci * pk[k])
+					shRe += float64(cr * hk[k])
+					shIm += float64(ci * hk[k])
 				}
-				cf[m] = sf
-				cd[m] = complex(0, float64(m)) * sf
-				ch[m] = sh
+				cd := complex(0, float64(m)) * complex(sfRe, sfIm)
+				pw.c1Re[m], pw.c1Im[m] = sfRe, sfIm
+				pw.c2Re[m], pw.c2Im[m] = real(cd), imag(cd)
+				pw.c3Re[m], pw.c3Im[m] = shRe, shIm
 			}
-			tr.fft.SynthesizeRealInto(ws.f[j*tr.NLon:(j+1)*tr.NLon], cf, pw.fft)
-			tr.fft.SynthesizeRealInto(ws.dfdl[j*tr.NLon:(j+1)*tr.NLon], cd, pw.fft)
-			tr.fft.SynthesizeRealInto(ws.hmu[j*tr.NLon:(j+1)*tr.NLon], ch, pw.fft)
+			tr.fft.SynthesizeRealSplitInto(ws.f[j*tr.NLon:(j+1)*tr.NLon], pw.c1Re[:mm], pw.c1Im[:mm], pw.fft)
+			tr.fft.SynthesizeRealSplitInto(ws.dfdl[j*tr.NLon:(j+1)*tr.NLon], pw.c2Re[:mm], pw.c2Im[:mm], pw.fft)
+			tr.fft.SynthesizeRealSplitInto(ws.hmu[j*tr.NLon:(j+1)*tr.NLon], pw.c3Re[:mm], pw.c3Im[:mm], pw.fft)
 		}
 	}
 
 	ws.phUV = func(w, lo, hi int) {
 		pw := &ws.per[w]
-		cu, cv := pw.c1, pw.c2
+		nf := ws.nf
 		inva := complex(1/sphere.Radius, 0)
 		for j := lo; j < hi; j++ {
 			p := tr.pRow(j)
 			h := tr.hRow(j)
-			for m := 0; m <= t.M; m++ {
-				offP := tr.pl.Offset(m)
-				offH := tr.hl.Offset(m)
-				base := t.Index(m, m)
-				var sPsi, sChi, hPsi, hChi complex128
-				for k := 0; k <= t.K; k++ {
-					pv := complex(p[offP+k], 0)
-					hv := complex(h[offH+k], 0)
-					sPsi += ws.psi[base+k] * pv
-					sChi += ws.chi[base+k] * pv
-					hPsi += ws.psi[base+k] * hv
-					hChi += ws.chi[base+k] * hv
+			for mb := 0; mb <= t.M; mb += mBlock {
+				me := mb + mBlock
+				if me > t.M+1 {
+					me = t.M + 1
 				}
-				im := complex(0, float64(m))
-				cu[m] = (im*sChi - hPsi) * inva
-				cv[m] = (im*sPsi + hChi) * inva
+				for f := 0; f < nf; f++ {
+					psiRe, psiIm := ws.specARe[f*cnt:(f+1)*cnt], ws.specAIm[f*cnt:(f+1)*cnt]
+					chiRe, chiIm := ws.specBRe[f*cnt:(f+1)*cnt], ws.specBIm[f*cnt:(f+1)*cnt]
+					for m := mb; m < me; m++ {
+						offP := tr.pl.Offset(m)
+						offH := tr.hl.Offset(m)
+						base := t.Index(m, m)
+						pk := p[offP : offP+kk]
+						hk := h[offH : offH+kk]
+						var sPsiRe, sPsiIm, sChiRe, sChiIm float64
+						var hPsiRe, hPsiIm, hChiRe, hChiIm float64
+						for k := range pk {
+							pv, hv := pk[k], hk[k]
+							pr, pi := psiRe[base+k], psiIm[base+k]
+							cr, ci := chiRe[base+k], chiIm[base+k]
+							sPsiRe += float64(pr * pv)
+							sPsiIm += float64(pi * pv)
+							sChiRe += float64(cr * pv)
+							sChiIm += float64(ci * pv)
+							hPsiRe += float64(pr * hv)
+							hPsiIm += float64(pi * hv)
+							hChiRe += float64(cr * hv)
+							hChiIm += float64(ci * hv)
+						}
+						im := complex(0, float64(m))
+						cu := (im*complex(sChiRe, sChiIm) - complex(hPsiRe, hPsiIm)) * inva
+						cv := (im*complex(sPsiRe, sPsiIm) + complex(hChiRe, hChiIm)) * inva
+						pw.c1Re[f*mm+m], pw.c1Im[f*mm+m] = real(cu), imag(cu)
+						pw.c2Re[f*mm+m], pw.c2Im[f*mm+m] = real(cv), imag(cv)
+					}
+				}
 			}
-			tr.fft.SynthesizeRealInto(ws.gU[j*tr.NLon:(j+1)*tr.NLon], cu, pw.fft)
-			tr.fft.SynthesizeRealInto(ws.gV[j*tr.NLon:(j+1)*tr.NLon], cv, pw.fft)
+			for f := 0; f < nf; f++ {
+				tr.fft.SynthesizeRealSplitInto(ws.grids[f][j*tr.NLon:(j+1)*tr.NLon],
+					pw.c1Re[f*mm:(f+1)*mm], pw.c1Im[f*mm:(f+1)*mm], pw.fft)
+				tr.fft.SynthesizeRealSplitInto(ws.gridsB[f][j*tr.NLon:(j+1)*tr.NLon],
+					pw.c2Re[f*mm:(f+1)*mm], pw.c2Im[f*mm:(f+1)*mm], pw.fft)
+			}
 		}
 	}
 }
@@ -409,23 +609,77 @@ func checkNoAliasF(a, b []float64, what string) {
 	}
 }
 
+// checkBatch validates a fused batch: equal field counts within the
+// workspace's arena capacity, every grid and spectral slice full-sized, and
+// pairwise-distinct destination slices where dsts is non-nil.
+func (tr *Transform) checkBatch(ws *Workspace, ng, ns int, what string) {
+	if ng != ns {
+		panic(fmt.Sprintf("spectral: %s batch widths differ: %d grids, %d spectral fields", what, ng, ns))
+	}
+	if ng > ws.maxFields {
+		panic(fmt.Sprintf("spectral: %s batch of %d fields exceeds workspace capacity %d; use NewWorkspaceMany", what, ng, ws.maxFields))
+	}
+}
+
+func checkDistinctF(dsts [][]float64, what string) {
+	for i := range dsts {
+		for j := 0; j < i; j++ {
+			checkNoAliasF(dsts[i], dsts[j], what)
+		}
+	}
+}
+
+func checkDistinctC(dsts [][]complex128, what string) {
+	for i := range dsts {
+		for j := 0; j < i; j++ {
+			checkNoAliasC(dsts[i], dsts[j], what)
+		}
+	}
+}
+
+// analyzeMany runs the fused analysis over staged batches.
+func (tr *Transform) analyzeMany(specs [][]complex128, grids [][]float64, ws *Workspace) {
+	ws.nf, ws.grids, ws.specs = len(specs), grids, specs
+	tr.pool.Run(tr.NLat, ws.phFourier)
+	tr.pool.Run(tr.Trunc.M+1, ws.phAccum)
+	ws.nf, ws.grids, ws.specs = 0, nil, nil
+}
+
 // AnalyzeInto computes spectral coefficients from a grid field without
-// allocating: Fourier rows land in the workspace's flat row buffer, then
-// the Legendre accumulation fills spec (which is zeroed first).
+// allocating: split Fourier rows land in the workspace row arena, then the
+// Legendre accumulation fills spec (every coefficient is overwritten).
 //
 //foam:hotpath
 func (tr *Transform) AnalyzeInto(spec []complex128, grid []float64, ws *Workspace) {
 	ws = tr.ready(ws)
 	tr.checkGrid(grid, "AnalyzeInto")
 	tr.checkSpec(spec, "AnalyzeInto")
-	ws.grid = grid
-	tr.pool.Run(tr.NLat, ws.phFourier)
-	for i := range spec {
-		spec[i] = 0
+	ws.oneS[0], ws.oneG[0] = spec, grid
+	tr.analyzeMany(ws.oneS, ws.oneG, ws)
+	ws.oneS[0], ws.oneG[0] = nil, nil
+}
+
+// AnalyzeManyInto is the fused-batch AnalyzeInto: one pass over the
+// Legendre tables serves every field of the batch, so the per-field table
+// traffic of the atmosphere's per-step analyses is amortized across the
+// batch. Each specs[f] receives the analysis of grids[f], bit-identical to
+// len(specs) calls of AnalyzeInto. The batch width must not exceed the
+// workspace's NewWorkspaceMany capacity; spec destinations must be
+// pairwise distinct.
+//
+//foam:hotpath
+func (tr *Transform) AnalyzeManyInto(specs [][]complex128, grids [][]float64, ws *Workspace) {
+	ws = tr.ready(ws)
+	tr.checkBatch(ws, len(grids), len(specs), "AnalyzeManyInto")
+	if len(specs) == 0 {
+		return
 	}
-	ws.spec = spec
-	tr.pool.Run(tr.Trunc.M+1, ws.phAccum)
-	ws.grid, ws.spec = nil, nil
+	for i := range specs {
+		tr.checkGrid(grids[i], "AnalyzeManyInto")
+		tr.checkSpec(specs[i], "AnalyzeManyInto")
+	}
+	checkDistinctC(specs, "AnalyzeManyInto spec destinations")
+	tr.analyzeMany(specs, grids, ws)
 }
 
 // Analyze computes spectral coefficients from a grid field (allocating
@@ -444,6 +698,22 @@ func (tr *Transform) Synthesize(spec []complex128) []float64 {
 	return grid
 }
 
+// synthesizeMany de-interleaves the spectral batch into the split arena
+// and runs the fused synthesis phase.
+func (tr *Transform) synthesizeMany(grids [][]float64, specs [][]complex128, ws *Workspace) {
+	cnt := tr.Trunc.Count()
+	for f := range specs {
+		sr, si := ws.specARe[f*cnt:(f+1)*cnt], ws.specAIm[f*cnt:(f+1)*cnt]
+		for i, v := range specs[f] {
+			sr[i] = real(v)
+			si[i] = imag(v)
+		}
+	}
+	ws.nf, ws.grids = len(grids), grids
+	tr.pool.Run(tr.NLat, ws.phSynth)
+	ws.nf, ws.grids = 0, nil
+}
+
 // SynthesizeInto writes the synthesis into an existing grid buffer. With a
 // non-nil workspace the call does not allocate.
 //
@@ -452,9 +722,29 @@ func (tr *Transform) SynthesizeInto(grid []float64, spec []complex128, ws *Works
 	ws = tr.ready(ws)
 	tr.checkGrid(grid, "SynthesizeInto")
 	tr.checkSpec(spec, "SynthesizeInto")
-	ws.grid, ws.spec = grid, spec
-	tr.pool.Run(tr.NLat, ws.phSynth)
-	ws.grid, ws.spec = nil, nil
+	ws.oneG[0], ws.oneS[0] = grid, spec
+	tr.synthesizeMany(ws.oneG, ws.oneS, ws)
+	ws.oneG[0], ws.oneS[0] = nil, nil
+}
+
+// SynthesizeManyInto is the fused-batch SynthesizeInto: every field of the
+// batch shares each latitude's Legendre strip, bit-identical to len(grids)
+// calls of SynthesizeInto. Grid destinations must be pairwise distinct;
+// the batch width must not exceed the workspace's capacity.
+//
+//foam:hotpath
+func (tr *Transform) SynthesizeManyInto(grids [][]float64, specs [][]complex128, ws *Workspace) {
+	ws = tr.ready(ws)
+	tr.checkBatch(ws, len(grids), len(specs), "SynthesizeManyInto")
+	if len(grids) == 0 {
+		return
+	}
+	for i := range grids {
+		tr.checkGrid(grids[i], "SynthesizeManyInto")
+		tr.checkSpec(specs[i], "SynthesizeManyInto")
+	}
+	checkDistinctF(grids, "SynthesizeManyInto grid destinations")
+	tr.synthesizeMany(grids, specs, ws)
 }
 
 // SynthesizeWithDerivsInto is the allocation-free form of
@@ -471,9 +761,15 @@ func (tr *Transform) SynthesizeWithDerivsInto(f, dfdl, hmu []float64, spec []com
 	checkNoAliasF(f, dfdl, "SynthesizeWithDerivsInto f/dfdl")
 	checkNoAliasF(f, hmu, "SynthesizeWithDerivsInto f/hmu")
 	checkNoAliasF(dfdl, hmu, "SynthesizeWithDerivsInto dfdl/hmu")
-	ws.f, ws.dfdl, ws.hmu, ws.spec = f, dfdl, hmu, spec
+	cnt := tr.Trunc.Count()
+	sr, si := ws.specARe[:cnt], ws.specAIm[:cnt]
+	for i, v := range spec {
+		sr[i] = real(v)
+		si[i] = imag(v)
+	}
+	ws.f, ws.dfdl, ws.hmu = f, dfdl, hmu
 	tr.pool.Run(tr.NLat, ws.phDerivs)
-	ws.f, ws.dfdl, ws.hmu, ws.spec = nil, nil, nil, nil
+	ws.f, ws.dfdl, ws.hmu = nil, nil, nil
 }
 
 // SynthesizeWithDerivs returns the grid field together with its plain
@@ -509,24 +805,69 @@ func (tr *Transform) SynthesizeUVInto(U, V []float64, vort, div []complex128, ws
 	tr.checkSpec(vort, "SynthesizeUVInto vort")
 	tr.checkSpec(div, "SynthesizeUVInto div")
 	checkNoAliasF(U, V, "SynthesizeUVInto U/V")
+	ws.oneG[0], ws.oneG2[0] = U, V
+	ws.oneS[0], ws.oneS2[0] = vort, div
+	tr.synthesizeUVMany(ws.oneG, ws.oneG2, ws.oneS, ws.oneS2, ws)
+	ws.oneG[0], ws.oneG2[0] = nil, nil
+	ws.oneS[0], ws.oneS2[0] = nil, nil
+}
+
+// synthesizeUVMany stages the scaled streamfunction/velocity-potential
+// batches into the split arenas and runs the fused UV phase.
+func (tr *Transform) synthesizeUVMany(Us, Vs [][]float64, vorts, divs [][]complex128, ws *Workspace) {
 	t := tr.Trunc
+	cnt := t.Count()
 	a2 := sphere.Radius * sphere.Radius
-	for m := 0; m <= t.M; m++ {
-		for n := m; n <= m+t.K; n++ {
-			idx := t.Index(m, n)
-			if n == 0 {
-				ws.psi[idx] = 0
-				ws.chi[idx] = 0
-				continue
+	for f := range vorts {
+		vort, div := vorts[f], divs[f]
+		psiRe, psiIm := ws.specARe[f*cnt:(f+1)*cnt], ws.specAIm[f*cnt:(f+1)*cnt]
+		chiRe, chiIm := ws.specBRe[f*cnt:(f+1)*cnt], ws.specBIm[f*cnt:(f+1)*cnt]
+		for m := 0; m <= t.M; m++ {
+			for n := m; n <= m+t.K; n++ {
+				idx := t.Index(m, n)
+				if n == 0 {
+					psiRe[idx], psiIm[idx] = 0, 0
+					chiRe[idx], chiIm[idx] = 0, 0
+					continue
+				}
+				s := complex(-a2/float64(n*(n+1)), 0)
+				pv := s * vort[idx]
+				cv := s * div[idx]
+				psiRe[idx], psiIm[idx] = real(pv), imag(pv)
+				chiRe[idx], chiIm[idx] = real(cv), imag(cv)
 			}
-			s := complex(-a2/float64(n*(n+1)), 0)
-			ws.psi[idx] = s * vort[idx]
-			ws.chi[idx] = s * div[idx]
 		}
 	}
-	ws.gU, ws.gV = U, V
+	ws.nf, ws.grids, ws.gridsB = len(Us), Us, Vs
 	tr.pool.Run(tr.NLat, ws.phUV)
-	ws.gU, ws.gV = nil, nil
+	ws.nf, ws.grids, ws.gridsB = 0, nil, nil
+}
+
+// SynthesizeUVManyInto is the fused-batch SynthesizeUVInto: each level's
+// wind images Us[f], Vs[f] come from vorts[f], divs[f], bit-identical to
+// per-level SynthesizeUVInto calls, with the Legendre strips shared across
+// the batch. All grid destinations must be pairwise distinct.
+//
+//foam:hotpath
+func (tr *Transform) SynthesizeUVManyInto(Us, Vs [][]float64, vorts, divs [][]complex128, ws *Workspace) {
+	ws = tr.ready(ws)
+	tr.checkBatch(ws, len(Us), len(vorts), "SynthesizeUVManyInto")
+	if len(Us) != len(Vs) || len(vorts) != len(divs) {
+		panic("spectral: SynthesizeUVManyInto batch widths differ")
+	}
+	if len(Us) == 0 {
+		return
+	}
+	for i := range Us {
+		tr.checkGrid(Us[i], "SynthesizeUVManyInto U")
+		tr.checkGrid(Vs[i], "SynthesizeUVManyInto V")
+		tr.checkSpec(vorts[i], "SynthesizeUVManyInto vort")
+		tr.checkSpec(divs[i], "SynthesizeUVManyInto div")
+		checkNoAliasF(Us[i], Vs[i], "SynthesizeUVManyInto U/V")
+	}
+	checkDistinctF(Us, "SynthesizeUVManyInto U destinations")
+	checkDistinctF(Vs, "SynthesizeUVManyInto V destinations")
+	tr.synthesizeUVMany(Us, Vs, vorts, divs, ws)
 }
 
 // SynthesizeUV is the allocating convenience wrapper of SynthesizeUVInto.
@@ -554,23 +895,78 @@ func (tr *Transform) AnalyzeDivFormInto(spec []complex128, A, B []float64, signA
 	tr.checkGrid(A, "AnalyzeDivFormInto A")
 	tr.checkGrid(B, "AnalyzeDivFormInto B")
 	tr.checkSpec(spec, "AnalyzeDivFormInto")
-	ws.grid, ws.gridB = A, B
-	tr.pool.Run(tr.NLat, ws.phFourier)
-	tr.pool.Run(tr.NLat, ws.phFourierB)
-	ws.grid, ws.gridB = nil, nil
-	tr.accumDiv(spec, ws.rows, ws.rowsB, signA, signB, ws)
+	ws.oneS[0], ws.oneG[0], ws.oneG2[0] = spec, A, B
+	tr.analyzeDivMany(ws.oneS, nil, ws.oneG, ws.oneG2, signA, signB, 0, 0, false, ws)
+	ws.oneS[0], ws.oneG[0], ws.oneG2[0] = nil, nil, nil
 }
 
-// accumDiv runs the div-form Legendre accumulation over already-computed
-// flat Fourier-row buffers.
-func (tr *Transform) accumDiv(spec, rowsA, rowsB []complex128, signA, signB float64, ws *Workspace) {
-	for i := range spec {
-		spec[i] = 0
-	}
-	ws.spec, ws.accA, ws.accB = spec, rowsA, rowsB
-	ws.signA, ws.signB = signA, signB
+// analyzeDivMany computes the split Fourier rows of the A and B batches
+// once, then runs the div-form accumulation; with pair set, a second
+// output set with the row roles swapped (and its own signs) accumulates in
+// the same Legendre sweep.
+func (tr *Transform) analyzeDivMany(specs, specsB [][]complex128, As, Bs [][]float64, sA, sB, sA2, sB2 float64, pair bool, ws *Workspace) {
+	ws.nf, ws.grids, ws.gridsB = len(specs), As, Bs
+	tr.pool.Run(tr.NLat, ws.phFourier)
+	tr.pool.Run(tr.NLat, ws.phFourierB)
+	ws.specs, ws.specsB = specs, specsB
+	ws.signA, ws.signB, ws.signA2, ws.signB2, ws.pair = sA, sB, sA2, sB2, pair
 	tr.pool.Run(tr.Trunc.M+1, ws.phAccumDiv)
-	ws.spec, ws.accA, ws.accB = nil, nil, nil
+	ws.nf, ws.grids, ws.gridsB = 0, nil, nil
+	ws.specs, ws.specsB, ws.pair = nil, nil, false
+}
+
+// AnalyzeDivFormManyInto is the fused-batch AnalyzeDivFormInto: specs[f]
+// receives the div-form analysis of As[f], Bs[f] under the shared sign
+// pair, bit-identical to per-field calls. Spec destinations must be
+// pairwise distinct.
+//
+//foam:hotpath
+func (tr *Transform) AnalyzeDivFormManyInto(specs [][]complex128, As, Bs [][]float64, signA, signB float64, ws *Workspace) {
+	ws = tr.ready(ws)
+	tr.checkBatch(ws, len(As), len(specs), "AnalyzeDivFormManyInto")
+	if len(As) != len(Bs) {
+		panic("spectral: AnalyzeDivFormManyInto batch widths differ")
+	}
+	if len(specs) == 0 {
+		return
+	}
+	for i := range specs {
+		tr.checkGrid(As[i], "AnalyzeDivFormManyInto A")
+		tr.checkGrid(Bs[i], "AnalyzeDivFormManyInto B")
+		tr.checkSpec(specs[i], "AnalyzeDivFormManyInto")
+	}
+	checkDistinctC(specs, "AnalyzeDivFormManyInto spec destinations")
+	tr.analyzeDivMany(specs, nil, As, Bs, signA, signB, 0, 0, false, ws)
+}
+
+// AnalyzeDivPairManyInto fuses the two div-form analyses the tendency
+// assemblies need — specs1[f] = divform(As[f], Bs[f], sA1, sB1) and
+// specs2[f] = divform(Bs[f], As[f], sA2, sB2) — into one pass: the Fourier
+// rows of each field are computed once and each Legendre strip is read
+// once for both outputs of every field. Bit-identical to the composed
+// AnalyzeDivFormInto calls. All spec destinations must be pairwise
+// distinct.
+//
+//foam:hotpath
+func (tr *Transform) AnalyzeDivPairManyInto(specs1, specs2 [][]complex128, As, Bs [][]float64, sA1, sB1, sA2, sB2 float64, ws *Workspace) {
+	ws = tr.ready(ws)
+	tr.checkBatch(ws, len(As), len(specs1), "AnalyzeDivPairManyInto")
+	if len(As) != len(Bs) || len(specs1) != len(specs2) {
+		panic("spectral: AnalyzeDivPairManyInto batch widths differ")
+	}
+	if len(specs1) == 0 {
+		return
+	}
+	for i := range specs1 {
+		tr.checkGrid(As[i], "AnalyzeDivPairManyInto A")
+		tr.checkGrid(Bs[i], "AnalyzeDivPairManyInto B")
+		tr.checkSpec(specs1[i], "AnalyzeDivPairManyInto")
+		tr.checkSpec(specs2[i], "AnalyzeDivPairManyInto")
+		checkNoAliasC(specs1[i], specs2[i], "AnalyzeDivPairManyInto spec destinations")
+	}
+	checkDistinctC(specs1, "AnalyzeDivPairManyInto spec destinations")
+	checkDistinctC(specs2, "AnalyzeDivPairManyInto spec destinations")
+	tr.analyzeDivMany(specs1, specs2, As, Bs, sA1, sB1, sA2, sB2, true, ws)
 }
 
 // AnalyzeDivForm is the allocating convenience wrapper of
@@ -605,12 +1001,11 @@ func (tr *Transform) VortDivTendInto(vort, div []complex128, A, B []float64, ws 
 	if len(vort) > 0 && len(div) > 0 && &vort[0] == &div[0] {
 		panic("spectral: VortDivTendInto vort/div must not alias")
 	}
-	ws.grid, ws.gridB = A, B
-	tr.pool.Run(tr.NLat, ws.phFourier)
-	tr.pool.Run(tr.NLat, ws.phFourierB)
-	ws.grid, ws.gridB = nil, nil
-	tr.accumDiv(vort, ws.rows, ws.rowsB, -1, -1, ws)
-	tr.accumDiv(div, ws.rowsB, ws.rows, 1, -1, ws)
+	ws.oneS[0], ws.oneS2[0] = vort, div
+	ws.oneG[0], ws.oneG2[0] = A, B
+	tr.analyzeDivMany(ws.oneS, ws.oneS2, ws.oneG, ws.oneG2, -1, -1, 1, -1, true, ws)
+	ws.oneS[0], ws.oneS2[0] = nil, nil
+	ws.oneG[0], ws.oneG2[0] = nil, nil
 }
 
 // VortDivTend is the allocating convenience wrapper of VortDivTendInto.

@@ -5,7 +5,9 @@ import "testing"
 // BenchmarkTransform* micro-benchmarks time the workspace-backed hot-path
 // entry points at the paper's R15 resolution (48x40 grid). EXPERIMENTS.md
 // records the before/after numbers against the allocating implementations
-// they replaced.
+// they replaced. SetBytes counts the principal field data each op moves
+// (grid bytes per grid field + 16-byte coefficients per spectral field) so
+// -bench reports MB/s alongside ns/op.
 
 func benchSetup() (tr *Transform, grid, grid2 []float64, spec []complex128, ws *Workspace) {
 	tr, grid, grid2, spec = testFields(R15)
@@ -13,9 +15,16 @@ func benchSetup() (tr *Transform, grid, grid2 []float64, spec []complex128, ws *
 	return
 }
 
+// benchBytes is the data volume of one transform op touching ng grid
+// fields and ns spectral fields.
+func benchBytes(tr *Transform, ng, ns int) int64 {
+	return int64(ng*tr.NLat*tr.NLon*8 + ns*tr.Trunc.Count()*16)
+}
+
 func BenchmarkTransformAnalyze(b *testing.B) {
 	tr, grid, _, _, ws := benchSetup()
 	out := make([]complex128, tr.Trunc.Count())
+	b.SetBytes(benchBytes(tr, 1, 1))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -26,6 +35,7 @@ func BenchmarkTransformAnalyze(b *testing.B) {
 func BenchmarkTransformSynthesize(b *testing.B) {
 	tr, _, _, spec, ws := benchSetup()
 	out := make([]float64, tr.NLat*tr.NLon)
+	b.SetBytes(benchBytes(tr, 1, 1))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -37,6 +47,7 @@ func BenchmarkTransformSynthesizeWithDerivs(b *testing.B) {
 	tr, _, _, spec, ws := benchSetup()
 	n := tr.NLat * tr.NLon
 	f, dfdl, hmu := make([]float64, n), make([]float64, n), make([]float64, n)
+	b.SetBytes(benchBytes(tr, 3, 1))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -48,6 +59,7 @@ func BenchmarkTransformSynthesizeUV(b *testing.B) {
 	tr, _, _, spec, ws := benchSetup()
 	n := tr.NLat * tr.NLon
 	U, V := make([]float64, n), make([]float64, n)
+	b.SetBytes(benchBytes(tr, 2, 2))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -58,6 +70,7 @@ func BenchmarkTransformSynthesizeUV(b *testing.B) {
 func BenchmarkTransformAnalyzeDivForm(b *testing.B) {
 	tr, grid, grid2, _, ws := benchSetup()
 	out := make([]complex128, tr.Trunc.Count())
+	b.SetBytes(benchBytes(tr, 2, 1))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -69,9 +82,84 @@ func BenchmarkTransformVortDivTend(b *testing.B) {
 	tr, grid, grid2, _, ws := benchSetup()
 	vort := make([]complex128, tr.Trunc.Count())
 	div := make([]complex128, tr.Trunc.Count())
+	b.SetBytes(benchBytes(tr, 2, 2))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.VortDivTendInto(vort, div, grid, grid2, ws)
+	}
+}
+
+// The fused-batch benchmarks run at the atmosphere's per-step batch width
+// (six levels) so the per-field cost of the shared Legendre-table pass is
+// directly comparable to the single-field entries above.
+
+const benchFields = 6
+
+func benchManySetup() (tr *Transform, grids [][]float64, specs [][]complex128, ws *Workspace) {
+	tr, _, _, _ = testFields(R15)
+	ws = tr.NewWorkspaceMany(2 * benchFields)
+	grids, specs = randFields(tr, 42, 2*benchFields, 2*benchFields)
+	return
+}
+
+func BenchmarkTransformAnalyzeMany(b *testing.B) {
+	tr, grids, _, ws := benchManySetup()
+	out := make([][]complex128, benchFields)
+	for f := range out {
+		out[f] = make([]complex128, tr.Trunc.Count())
+	}
+	b.SetBytes(benchBytes(tr, benchFields, benchFields))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.AnalyzeManyInto(out, grids[:benchFields], ws)
+	}
+}
+
+func BenchmarkTransformSynthesizeMany(b *testing.B) {
+	tr, _, specs, ws := benchManySetup()
+	out := make([][]float64, benchFields)
+	for f := range out {
+		out[f] = make([]float64, tr.NLat*tr.NLon)
+	}
+	b.SetBytes(benchBytes(tr, benchFields, benchFields))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SynthesizeManyInto(out, specs[:benchFields], ws)
+	}
+}
+
+func BenchmarkTransformSynthesizeUVMany(b *testing.B) {
+	tr, _, specs, ws := benchManySetup()
+	n := tr.NLat * tr.NLon
+	Us := make([][]float64, benchFields)
+	Vs := make([][]float64, benchFields)
+	for f := 0; f < benchFields; f++ {
+		Us[f] = make([]float64, n)
+		Vs[f] = make([]float64, n)
+	}
+	b.SetBytes(benchBytes(tr, 2*benchFields, 2*benchFields))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SynthesizeUVManyInto(Us, Vs, specs[:benchFields], specs[benchFields:], ws)
+	}
+}
+
+func BenchmarkTransformAnalyzeDivPairMany(b *testing.B) {
+	tr, grids, _, ws := benchManySetup()
+	out1 := make([][]complex128, benchFields)
+	out2 := make([][]complex128, benchFields)
+	for f := 0; f < benchFields; f++ {
+		out1[f] = make([]complex128, tr.Trunc.Count())
+		out2[f] = make([]complex128, tr.Trunc.Count())
+	}
+	b.SetBytes(benchBytes(tr, 2*benchFields, 2*benchFields))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.AnalyzeDivPairManyInto(out1, out2, grids[:benchFields], grids[benchFields:], 1, -1, 1, 1, ws)
 	}
 }
