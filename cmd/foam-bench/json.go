@@ -234,7 +234,11 @@ func runBenchVerify(paths []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", p, err)
 		}
-		fmt.Printf("%s: ok (suite %s, %d entries)\n", p, f.Suite, len(f.Entries))
+		if f.Serve != nil {
+			fmt.Printf("%s: ok (suite %s, %d members, %.0f steps/s)\n", p, f.Suite, f.Serve.Members, f.Serve.StepsPerSecond)
+		} else {
+			fmt.Printf("%s: ok (suite %s, %d entries)\n", p, f.Suite, len(f.Entries))
+		}
 	}
 	return nil
 }

@@ -1,7 +1,7 @@
 // Command foam-load drives a running foam-serve with a concurrent ensemble
 // workload and writes BENCH_serve.json — the serving entry of the perf
-// trajectory: members sustained, aggregate steps per second, and the API
-// latency percentiles clients observed.
+// trajectory under the foam-bench/v1 schema: members sustained, aggregate
+// steps per second, and the API latency percentiles clients observed.
 //
 // Usage:
 //
@@ -22,12 +22,12 @@ import (
 	"io"
 	"log"
 	"net/http"
-	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"foam/internal/benchjson"
 	"foam/internal/ensemble"
 )
 
@@ -56,33 +56,33 @@ func main() {
 		log.Fatalf("foam-load: %v", err)
 	}
 
-	rep, err := runLoad(c, *preset, *members, *advances, *steps, *concurrency)
+	serve, err := runLoad(c, *preset, *members, *advances, *steps, *concurrency)
 	if err != nil {
 		log.Fatalf("foam-load: %v", err)
 	}
-	blob, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		log.Fatalf("foam-load: %v", err)
+	rep := &benchjson.File{
+		Schema:    benchjson.Schema,
+		Suite:     "serve",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Serve:     serve,
 	}
-	blob = append(blob, '\n')
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	if err := rep.WriteFile(*out); err != nil {
 		log.Fatalf("foam-load: %v", err)
 	}
 	fmt.Printf("%d members x %d advances: %.0f atm steps/s aggregate, advance P99 %.1f ms -> %s\n",
-		rep.Members, rep.AdvancesPerMember, rep.StepsPerSecond, rep.AdvanceMs.P99, *out)
+		serve.Members, serve.AdvancesPerMember, serve.StepsPerSecond, serve.AdvanceMs.P99, *out)
 }
 
 func verifyReport(path string) error {
-	blob, err := os.ReadFile(path)
+	f, err := benchjson.VerifyFile(path)
 	if err != nil {
 		return err
 	}
-	var rep ensemble.BenchReport
-	if err := json.Unmarshal(blob, &rep); err != nil {
-		return fmt.Errorf("%s: %v", path, err)
-	}
-	if err := rep.Validate(); err != nil {
-		return fmt.Errorf("%s: %v", path, err)
+	if f.Suite != "serve" {
+		return fmt.Errorf("%s: suite %q, want \"serve\"", path, f.Suite)
 	}
 	return nil
 }
@@ -147,7 +147,7 @@ func (c *client) waitReady(timeout time.Duration) error {
 // runLoad drives the three phases — create all members, advance them
 // advances times each from concurrent clients, then fetch every member's
 // diagnostics — timing each request.
-func runLoad(c *client, preset string, members, advances, steps, concurrency int) (*ensemble.BenchReport, error) {
+func runLoad(c *client, preset string, members, advances, steps, concurrency int) (*benchjson.Serve, error) {
 	if concurrency < 1 {
 		concurrency = 1
 	}
@@ -219,8 +219,7 @@ func runLoad(c *client, preset string, members, advances, steps, concurrency int
 	}
 
 	totalSteps := total * stepsPer
-	return &ensemble.BenchReport{
-		Benchmark:         "serve",
+	return &benchjson.Serve{
 		GoMaxProcs:        runtime.GOMAXPROCS(0),
 		Workers:           stats.Workers,
 		Members:           members,

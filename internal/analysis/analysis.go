@@ -18,10 +18,15 @@
 //	                      math/rand, or multi-case selects
 //	//foam:coldpath       function: audited constructor / lazy-init /
 //	                      error path; hotpathalloc does not descend
+//	//foam:sharedro       struct type: instances are adopted as shared
+//	                      read-only tables; no reachable storage may be
+//	                      written outside the construction cone
+//	//foam:guards <f...>  sync.Mutex/RWMutex struct field: declares the
+//	                      fields the mutex protects
 //	//foam:allow <name> <reason>
 //	                      suppress one analyzer on this line and the next
 //
-// and seven analyzers enforce them:
+// and eleven analyzers enforce them:
 //
 //	hotpathalloc    allocating constructs reachable from a hotpath root
 //	poolclosure     function literals or method values at pool.Run sites
@@ -33,6 +38,17 @@
 //	                across workers under the block decomposition
 //	fieldshape      flat grid buffers indexed or copied with another
 //	                grid's dimensions
+//	sharedro        writes to storage reachable from //foam:sharedro
+//	                table types outside their construction cone
+//	lockdiscipline  undeclared mutex guard sets, guarded-field access
+//	                without the lock, and blocking operations (channel
+//	                send/receive, WaitGroup.Wait, pool handoff) while a
+//	                mutex is held
+//	schedcontract   sched.Program construction vs the Component
+//	                import/export declarations: producers for every
+//	                import, switch coverage, lag-branch op parity
+//	batchalias      fused *ManyInto batch headers: aliasing slots and
+//	                refills that do not cover the full batch
 //
 // Malformed //foam: directives are diagnostics too (analyzer "pragma"),
 // never silently ignored.
@@ -133,6 +149,10 @@ func Analyzers() []*Analyzer {
 		AnalyzerFloatCmp,
 		AnalyzerPhaseSafety,
 		AnalyzerFieldShape,
+		AnalyzerSharedRO,
+		AnalyzerLockDiscipline,
+		AnalyzerSchedContract,
+		AnalyzerBatchAlias,
 	}
 }
 
@@ -147,6 +167,10 @@ var analyzerNames = map[string]bool{
 	"floatcmp":       true,
 	"phasesafety":    true,
 	"fieldshape":     true,
+	"sharedro":       true,
+	"lockdiscipline": true,
+	"schedcontract":  true,
+	"batchalias":     true,
 }
 
 // Run executes the given analyzers over the program and returns the

@@ -1,0 +1,439 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerBatchAlias extends the intoalias rule to the fused *ManyInto
+// entry points and the persistent batch headers behind them. The fused
+// kernels (PR 7) take slice-of-slice headers whose slots are refilled
+// by pointer copy each step (w.synthSpecs[k] = m.cur.vort[k]); the
+// whole batch is then written in one table pass. Two hazards are
+// invisible to both the type system and the race detector, because a
+// single goroutine does all the writing:
+//
+//   - two batch slots aliasing the same row: the kernel writes the row
+//     twice in one pass and the second write silently wins;
+//   - a refill that covers only part of the batch: the uncovered slots
+//     still point at last step's rows and go stale without an error.
+//
+// The analyzer tracks, per header object, every slot source (indexed
+// fills and append element/spread sources, module-wide) and reports
+// duplicate sources within a header, shared sources between two headers
+// passed to the same fused call, and — when the header's allocation
+// decomposes as const×dim via the fieldshape machinery and the refill
+// loops resolve to that dim — refills whose block coverage misses part
+// of the batch. Fresh allocations (make/composite RHS) are not sources;
+// anything unresolvable is silently accepted.
+var AnalyzerBatchAlias = &Analyzer{
+	Name: "batchalias",
+	Doc:  "reports aliasing batch slots and partial refills at fused *ManyInto entry points",
+	Run:  runBatchAlias,
+}
+
+const manyIntoSuffix = "ManyInto"
+
+// slotSource is one recorded slot filling: the rendered source and
+// where it happened.
+type slotSource struct {
+	render string
+	pos    token.Pos
+	slot   string // rendered index for fills, "" for appends
+}
+
+func runBatchAlias(prog *Program, report func(Diagnostic)) {
+	shapes := collectShapes(prog)
+	// Module-wide slot sources per header object, for the cross-header
+	// check (headers are built in constructors, used in step functions).
+	global := make(map[types.Object][]slotSource)
+	type fnWork struct {
+		pkg   *Package
+		decl  *ast.FuncDecl
+		sc    *fnScope
+		calls []*ast.CallExpr
+	}
+	var work []fnWork
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				sc := newFnScope(pkg, fd.Body)
+				w := fnWork{pkg: pkg, decl: fd, sc: sc}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch e := n.(type) {
+					case *ast.CallExpr:
+						name := calleeName(e)
+						if strings.HasSuffix(name, manyIntoSuffix) && len(name) > len(manyIntoSuffix) {
+							w.calls = append(w.calls, e)
+						}
+					case *ast.AssignStmt:
+						recordSlotSources(pkg, sc, e, global)
+					}
+					return true
+				})
+				work = append(work, w)
+			}
+		}
+	}
+	// Only headers that actually feed a fused call are batch headers;
+	// other slice-of-slice fills are not this analyzer's business.
+	batchHeaders := make(map[types.Object]bool)
+	for _, w := range work {
+		for _, call := range w.calls {
+			for _, a := range call.Args {
+				if !isSliceOfSlice(w.pkg.Info.TypeOf(a)) {
+					continue
+				}
+				if obj := headerObj(w.sc, a); obj != nil {
+					batchHeaders[obj] = true
+				}
+			}
+		}
+	}
+	for _, w := range work {
+		duplicateSlotCheck(prog, w.pkg, w.sc, w.decl, batchHeaders, report)
+		checkBatchFn(prog, w.pkg, w.sc, w.decl, w.calls, shapes, global, report)
+	}
+}
+
+// headerObj resolves a batch-header expression to its storage object.
+func headerObj(sc *fnScope, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return sc.obj(e)
+	case *ast.SelectorExpr:
+		return sc.obj(e.Sel)
+	}
+	return nil
+}
+
+// isSliceOfSlice reports [][]T underlying structure.
+func isSliceOfSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	_, ok = s.Elem().Underlying().(*types.Slice)
+	return ok
+}
+
+// sourceRender renders a slot source when it can alias: reference-like
+// chains only. Fresh allocations and literals return "".
+func sourceRender(pkg *Package, expr ast.Expr) string {
+	e := ast.Unparen(expr)
+	switch e.(type) {
+	case *ast.CallExpr, *ast.CompositeLit, *ast.FuncLit:
+		return ""
+	}
+	if !referenceLike(pkg.Info.TypeOf(e)) {
+		return ""
+	}
+	return types.ExprString(e)
+}
+
+// recordSlotSources records header fills from one assignment:
+// H[idx] = src, H = append(H, a, b), and H = append(H, src...).
+func recordSlotSources(pkg *Package, sc *fnScope, as *ast.AssignStmt, global map[types.Object][]slotSource) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		rhs := ast.Unparen(as.Rhs[i])
+		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			obj := headerObj(sc, idx.X)
+			if obj == nil || !isSliceOfSlice(pkg.Info.TypeOf(idx.X)) {
+				continue
+			}
+			if r := sourceRender(pkg, rhs); r != "" {
+				global[obj] = append(global[obj], slotSource{render: r, pos: rhs.Pos(), slot: types.ExprString(ast.Unparen(idx.Index))})
+			}
+			continue
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		obj := headerObj(sc, lhs)
+		if obj == nil || obj != headerObj(sc, call.Args[0]) || !isSliceOfSlice(pkg.Info.TypeOf(lhs)) {
+			continue
+		}
+		if call.Ellipsis.IsValid() {
+			if len(call.Args) == 2 {
+				if r := sourceRender(pkg, call.Args[1]); r != "" {
+					global[obj] = append(global[obj], slotSource{render: r + "...", pos: call.Args[1].Pos()})
+				}
+			}
+			continue
+		}
+		for _, a := range call.Args[1:] {
+			if r := sourceRender(pkg, a); r != "" {
+				global[obj] = append(global[obj], slotSource{render: r, pos: a.Pos()})
+			}
+		}
+	}
+}
+
+func checkBatchFn(prog *Program, pkg *Package, sc *fnScope, fd *ast.FuncDecl, calls []*ast.CallExpr,
+	shapes map[types.Object]*shapeInfo, global map[types.Object][]slotSource, report func(Diagnostic)) {
+	for _, call := range calls {
+		var headers []types.Object
+		renders := make(map[types.Object]string)
+		for _, a := range call.Args {
+			if !isSliceOfSlice(pkg.Info.TypeOf(a)) {
+				continue
+			}
+			if obj := headerObj(sc, a); obj != nil {
+				headers = append(headers, obj)
+				renders[obj] = types.ExprString(ast.Unparen(a))
+			}
+		}
+		// Cross-header aliasing: two headers of one fused call sharing a
+		// slot source mean the kernel reads and writes the same row.
+		for i := 0; i < len(headers); i++ {
+			for j := i + 1; j < len(headers); j++ {
+				a, b := headers[i], headers[j]
+				if a == b {
+					continue // identical header args are intoalias's finding
+				}
+				if shared := sharedSource(global[a], global[b]); shared != "" {
+					report(Diagnostic{
+						Pos: prog.position(call.Pos()),
+						Message: fmt.Sprintf("batch headers %s and %s both hold slot source %s at %s; two batch slots must not alias the same row",
+							renders[a], renders[b], shared, calleeName(call)),
+					})
+				}
+			}
+		}
+		for _, h := range headers {
+			checkRefillCoverage(prog, pkg, sc, fd, call, h, renders[h], shapes, report)
+		}
+	}
+}
+
+func sharedSource(a, b []slotSource) string {
+	if len(a) == 0 || len(b) == 0 {
+		return ""
+	}
+	seen := make(map[string]bool, len(a))
+	for _, s := range a {
+		seen[s.render] = true
+	}
+	for _, s := range b {
+		if seen[s.render] {
+			return s.render
+		}
+	}
+	return ""
+}
+
+// duplicateSlotCheck reports two slots of one header filled from the
+// same source within one function body.
+func duplicateSlotCheck(prog *Program, pkg *Package, sc *fnScope, fd *ast.FuncDecl, batchHeaders map[types.Object]bool, report func(Diagnostic)) {
+	local := make(map[types.Object][]slotSource)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			recordSlotSources(pkg, sc, as, local)
+		}
+		return true
+	})
+	for obj, sources := range local {
+		if !batchHeaders[obj] {
+			continue
+		}
+		seen := make(map[string]slotSource)
+		for _, s := range sources {
+			prev, dup := seen[s.render]
+			if !dup {
+				seen[s.render] = s
+				continue
+			}
+			if prev.slot != "" && prev.slot == s.slot {
+				continue // same slot overwritten, not an alias
+			}
+			report(Diagnostic{
+				Pos: prog.position(s.pos),
+				Message: fmt.Sprintf("batch header %s gets slot source %s twice; two batch slots must not alias the same row",
+					obj.Name(), s.render),
+			})
+		}
+	}
+}
+
+// checkRefillCoverage proves that the indexed refills of a header in
+// this function cover every block of the batch before the fused call.
+// The header's allocation must decompose as const blocks × one named
+// dim (3*nlev), and every refill must sit in a for k := 0; k < dim; k++
+// loop with index m*dim + k. Partial coverage leaves stale slots.
+func checkRefillCoverage(prog *Program, pkg *Package, sc *fnScope, fd *ast.FuncDecl, call *ast.CallExpr,
+	header types.Object, render string, shapes map[types.Object]*shapeInfo, report func(Diagnostic)) {
+	si := shapes[header]
+	if si == nil || len(si.own) != 2 {
+		return
+	}
+	var blocks int64
+	var dim gdim
+	switch {
+	case si.own[0].key == "" && si.own[0].hasVal && si.own[1].key != "":
+		blocks, dim = si.own[0].val, si.own[1]
+	case si.own[1].key == "" && si.own[1].hasVal && si.own[0].key != "":
+		blocks, dim = si.own[1].val, si.own[0]
+	default:
+		return
+	}
+	if blocks < 2 || blocks > 64 {
+		return
+	}
+	covered := make(map[int64]bool)
+	resolvable := true
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		loopVar, bound := loopVarAndBound(pkg, sc, loop)
+		if loopVar == nil {
+			return true
+		}
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok || headerObj(sc, idx.X) != header {
+					continue
+				}
+				found = true
+				if bound == nil || !sameDim(*bound, dim) {
+					resolvable = false
+					continue
+				}
+				m, ok := blockOf(pkg, sc, idx.Index, loopVar, dim)
+				if !ok {
+					resolvable = false
+					continue
+				}
+				covered[m] = true
+			}
+			return true
+		})
+		return true
+	})
+	if !found || !resolvable {
+		return
+	}
+	var missing []string
+	for b := int64(0); b < blocks; b++ {
+		if !covered[b] {
+			missing = append(missing, fmt.Sprintf("%d", b))
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	report(Diagnostic{
+		Pos: prog.position(call.Pos()),
+		Message: fmt.Sprintf("refill of batch header %s covers only %d of %d blocks before %s (missing block %s); stale slots would reuse last step's rows",
+			render, int64(len(covered)), blocks, calleeName(call), strings.Join(missing, ", ")),
+	})
+}
+
+// loopVarAndBound matches for k := 0; k < bound; k++ and resolves the
+// bound to a named dimension.
+func loopVarAndBound(pkg *Package, sc *fnScope, loop *ast.ForStmt) (types.Object, *gdim) {
+	init, ok := loop.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 {
+		return nil, nil
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	obj := pkg.Info.Defs[id]
+	if obj == nil {
+		return nil, nil
+	}
+	cond, ok := ast.Unparen(loop.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS {
+		return obj, nil
+	}
+	if lhs, ok := ast.Unparen(cond.X).(*ast.Ident); !ok || pkg.Info.Uses[lhs] != obj {
+		return obj, nil
+	}
+	d, ok := sc.dimOf(cond.Y, 0)
+	if !ok {
+		return obj, nil
+	}
+	return obj, &d
+}
+
+func sameDim(a, b gdim) bool {
+	if a.key != "" && a.key == b.key {
+		return true
+	}
+	return a.hasVal && b.hasVal && a.val == b.val
+}
+
+// blockOf decomposes an index written as m*dim + k (any term order,
+// m possibly 0) into the block number m.
+func blockOf(pkg *Package, sc *fnScope, idx ast.Expr, loopVar types.Object, dim gdim) (int64, bool) {
+	sawLoopVar := false
+	var block int64
+	for _, term := range flattenSumSc(sc, idx, 0) {
+		term = ast.Unparen(term)
+		if id, ok := term.(*ast.Ident); ok {
+			if pkg.Info.Uses[id] == loopVar {
+				if sawLoopVar {
+					return 0, false
+				}
+				sawLoopVar = true
+				continue
+			}
+		}
+		coef := int64(1)
+		sawDim := false
+		for _, f := range flattenProduct(term) {
+			d, ok := sc.dimOf(f, 0)
+			if !ok {
+				return 0, false
+			}
+			switch {
+			case sameDim(d, dim):
+				if sawDim {
+					return 0, false
+				}
+				sawDim = true
+			case d.key == "" && d.hasVal:
+				coef *= d.val
+			default:
+				return 0, false
+			}
+		}
+		if !sawDim {
+			return 0, false
+		}
+		block += coef
+	}
+	if !sawLoopVar {
+		return 0, false
+	}
+	return block, true
+}

@@ -1,20 +1,29 @@
 package analysis
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"sort"
 )
 
 // ApplyFixes applies every diagnostic's suggested fix to the files on
-// disk and returns the diagnostics that had no fix (still outstanding)
-// plus the number of edits applied. Fixes are grouped per file and
-// applied back-to-front so earlier offsets stay valid; overlapping
-// fixes in one file are rejected rather than guessed at. Diagnostic
-// positions must still carry the load-time filenames (relativize after
-// fixing, not before).
+// disk and returns the diagnostics that were not fixed (no fix attached,
+// or the fix was refused) plus the number of edits applied. Fixes are
+// grouped per file and applied back-to-front so earlier offsets stay
+// valid; overlapping fixes in one file are rejected rather than guessed
+// at. A fix whose byte range touches a line carrying a toolchain
+// directive (//go:build, //go:generate, ... or a legacy // +build tag)
+// is refused and its diagnostic returned as outstanding: rewriting
+// those lines can silently change what compiles. Diagnostic positions
+// must still carry the load-time filenames (relativize after fixing,
+// not before).
 func ApplyFixes(diags []Diagnostic) (remaining []Diagnostic, applied int, err error) {
-	byFile := make(map[string][]*Fix)
+	type pending struct {
+		diag Diagnostic
+		fix  *Fix
+	}
+	byFile := make(map[string][]pending)
 	var files []string
 	for _, d := range diags {
 		if d.Fix == nil {
@@ -24,22 +33,28 @@ func ApplyFixes(diags []Diagnostic) (remaining []Diagnostic, applied int, err er
 		if _, ok := byFile[d.Pos.Filename]; !ok {
 			files = append(files, d.Pos.Filename)
 		}
-		byFile[d.Pos.Filename] = append(byFile[d.Pos.Filename], d.Fix)
+		byFile[d.Pos.Filename] = append(byFile[d.Pos.Filename], pending{d, d.Fix})
 	}
 	sort.Strings(files)
 	for _, file := range files {
-		fixes := byFile[file]
-		sort.Slice(fixes, func(i, j int) bool { return fixes[i].Start > fixes[j].Start })
+		pends := byFile[file]
+		sort.Slice(pends, func(i, j int) bool { return pends[i].fix.Start > pends[j].fix.Start })
 		src, rerr := os.ReadFile(file)
 		if rerr != nil {
 			return nil, applied, rerr
 		}
-		for i, f := range fixes {
-			if f.Start < 0 || f.End > len(src) || f.Start > f.End {
+		orig := src
+		for i, p := range pends {
+			f := p.fix
+			if f.Start < 0 || f.End > len(orig) || f.Start > f.End {
 				return nil, applied, fmt.Errorf("%s: fix range [%d, %d) out of bounds", file, f.Start, f.End)
 			}
-			if i > 0 && f.End > fixes[i-1].Start {
+			if i > 0 && f.End > pends[i-1].fix.Start {
 				return nil, applied, fmt.Errorf("%s: overlapping fixes at offset %d", file, f.Start)
+			}
+			if fixTouchesToolDirective(orig, f) {
+				remaining = append(remaining, p.diag)
+				continue
 			}
 			buf := make([]byte, 0, len(src)+len(f.NewText)-(f.End-f.Start))
 			buf = append(buf, src[:f.Start]...)
@@ -53,4 +68,28 @@ func ApplyFixes(diags []Diagnostic) (remaining []Diagnostic, applied int, err er
 		}
 	}
 	return remaining, applied, nil
+}
+
+// fixTouchesToolDirective reports whether the fix's byte range, widened
+// to whole lines, intersects a toolchain directive. Line widening also
+// covers the case of a fix that would splice out the newline separating
+// an ordinary line from a following directive line.
+func fixTouchesToolDirective(src []byte, f *Fix) bool {
+	start := f.Start
+	for start > 0 && src[start-1] != '\n' {
+		start--
+	}
+	end := f.End
+	for end < len(src) && src[end] != '\n' {
+		end++
+	}
+	for _, line := range bytes.Split(src[start:end], []byte{'\n'}) {
+		t := bytes.TrimLeft(line, " \t")
+		if bytes.HasPrefix(t, []byte("//go:")) ||
+			bytes.HasPrefix(t, []byte("// +build")) ||
+			bytes.HasPrefix(t, []byte("//+build")) {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixTagSrc is a constrained file: a //go:build header plus the legacy
+// // +build mirror, with a fixable spaced foam directive further down.
+const fixTagSrc = `//go:build !skipfix
+// +build !skipfix
+
+// Package fixtag carries toolchain directives above a fixable foam
+// directive typo; -fix must repair the typo without disturbing them.
+package fixtag
+
+// foam:hotpath
+func hot() {}
+`
+
+func writeFixModule(t *testing.T, src string) (dir, path string) {
+	t.Helper()
+	dir = t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixtag\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path = filepath.Join(dir, "fixtag.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, path
+}
+
+// TestApplyFixesPreservesBuildTags: the directive-normalization fix in a
+// file with a build-constraint header applies without touching the
+// //go:build or // +build lines.
+func TestApplyFixesPreservesBuildTags(t *testing.T) {
+	dir, path := writeFixModule(t, fixTagSrc)
+	prog, err := LoadModule(dir, "fixtag")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	diags := prog.Run(Analyzers())
+	if len(diags) != 1 || diags[0].Fix == nil || !strings.Contains(diags[0].Message, "no space") {
+		t.Fatalf("want exactly the spaced-directive finding with a fix, got %v", diags)
+	}
+	remaining, applied, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if applied != 1 || len(remaining) != 0 {
+		t.Fatalf("applied=%d remaining=%v, want 1 applied and none remaining", applied, remaining)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(got), "//go:build !skipfix\n// +build !skipfix\n") {
+		t.Fatalf("build-constraint header not preserved:\n%s", got)
+	}
+	if !strings.Contains(string(got), "\n//foam:hotpath\n") {
+		t.Fatalf("spaced directive not normalized:\n%s", got)
+	}
+	prog2, err := LoadModule(dir, "fixtag")
+	if err != nil {
+		t.Fatalf("re-LoadModule: %v", err)
+	}
+	if again := prog2.Run(Analyzers()); len(again) != 0 {
+		t.Fatalf("fixed module still reports findings: %v", again)
+	}
+}
+
+// TestApplyFixesRefusesDirectiveLines: a fix whose range touches a
+// //go: directive or legacy build tag line is refused — the file stays
+// byte-identical and the finding is returned as outstanding.
+func TestApplyFixesRefusesDirectiveLines(t *testing.T) {
+	src := fixTagSrc
+	cases := []struct {
+		name       string
+		start, end int
+	}{
+		{"on the //go:build line", 3, 11},
+		{"newline splice into // +build", strings.Index(src, "\n// +build"), strings.Index(src, "\n// +build") + 4},
+		{"range spanning both tag lines", 0, strings.Index(src, "\n\n")},
+		{"trailing //go:generate line", strings.LastIndex(src, "func hot"), len(src)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fileSrc := src
+			if strings.Contains(tc.name, "go:generate") {
+				fileSrc = src + "\n//go:generate echo hi\n"
+				tc.end = len(fileSrc)
+			}
+			_, path := writeFixModule(t, fileSrc)
+			d := Diagnostic{
+				Pos:      token.Position{Filename: path, Line: 1, Column: 1},
+				Analyzer: "pragma",
+				Message:  "synthetic finding for directive-guard test",
+				Fix:      &Fix{Start: tc.start, End: tc.end, NewText: "// clobbered"},
+			}
+			remaining, applied, err := ApplyFixes([]Diagnostic{d})
+			if err != nil {
+				t.Fatalf("ApplyFixes: %v", err)
+			}
+			if applied != 0 {
+				t.Fatalf("applied %d fixes across a directive line, want 0", applied)
+			}
+			if len(remaining) != 1 || remaining[0].Message != d.Message {
+				t.Fatalf("refused fix not returned as outstanding: %v", remaining)
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if string(got) != fileSrc {
+				t.Fatalf("file mutated despite refusal:\n%s", got)
+			}
+		})
+	}
+}
+
+// TestApplyFixesMixedFile: in one file, the fix clear of directives
+// applies while the one touching a directive line is refused.
+func TestApplyFixesMixedFile(t *testing.T) {
+	_, path := writeFixModule(t, fixTagSrc)
+	okStart := strings.Index(fixTagSrc, "// foam:hotpath")
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: path, Line: 8, Column: 1},
+			Analyzer: "pragma",
+			Message:  "no space allowed between // and foam:",
+			Fix:      &Fix{Start: okStart, End: okStart + len("// foam:hotpath"), NewText: "//foam:hotpath"},
+		},
+		{
+			Pos:      token.Position{Filename: path, Line: 1, Column: 1},
+			Analyzer: "pragma",
+			Message:  "synthetic finding on the build tag",
+			Fix:      &Fix{Start: 0, End: len("//go:build !skipfix"), NewText: "// clobbered"},
+		},
+	}
+	remaining, applied, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied=%d, want 1", applied)
+	}
+	if len(remaining) != 1 || remaining[0].Message != "synthetic finding on the build tag" {
+		t.Fatalf("wrong outstanding set: %v", remaining)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(got), "//go:build !skipfix\n// +build !skipfix\n") {
+		t.Fatalf("header clobbered:\n%s", got)
+	}
+	if !strings.Contains(string(got), "\n//foam:hotpath\n") {
+		t.Fatalf("eligible fix not applied:\n%s", got)
+	}
+}

@@ -15,6 +15,12 @@ import (
 //	//foam:hotphases              — on a func declaration (phase binder)
 //	//foam:coldpath               — on a func declaration
 //	//foam:deterministic          — in a package doc comment
+//	//foam:sharedro               — on a struct type declaration: instances
+//	      adopted as shared tables; no field reachable through a pointer
+//	      may be written outside the type's construction cone
+//	//foam:guards <field...>      — on a sync.Mutex/RWMutex struct field:
+//	      declares the fields it protects (sibling names, or Type.field
+//	      for same-package cross-struct guarding)
 //	//foam:allow <analyzer> <reason...> — anywhere; suppresses the named
 //	      analyzer on the comment's line and the line directly below it
 //
@@ -40,8 +46,23 @@ type pragmaInfo struct {
 	hot    map[*types.Func]bool
 	phases map[*types.Func]bool
 	cold   map[*types.Func]bool
-	allow  []allowRange
-	diags  []Diagnostic
+	// sharedro holds the struct types marked //foam:sharedro.
+	sharedro map[*types.TypeName]bool
+	// guards records which mutex fields carry a //foam:guards declaration;
+	// guarded maps each protected field to the mutexes that guard it.
+	guards  map[types.Object]bool
+	guarded map[types.Object][]guardEntry
+	allow   []allowRange
+	diags   []Diagnostic
+}
+
+// guardEntry is one declared protection relation: accessing the guarded
+// field requires holding mutex. sameStruct is true for sibling-field
+// declarations, where the lock and the field must be reached through the
+// same instance; Type.field declarations accept any held instance.
+type guardEntry struct {
+	mutex      types.Object
+	sameStruct bool
 }
 
 func (pi *pragmaInfo) suppressed(d Diagnostic) bool {
@@ -59,9 +80,12 @@ func (pi *pragmaInfo) suppressed(d Diagnostic) bool {
 // malformed or misplaced one into a diagnostic.
 func collectPragmas(prog *Program) *pragmaInfo {
 	pi := &pragmaInfo{
-		hot:    make(map[*types.Func]bool),
-		phases: make(map[*types.Func]bool),
-		cold:   make(map[*types.Func]bool),
+		hot:      make(map[*types.Func]bool),
+		phases:   make(map[*types.Func]bool),
+		cold:     make(map[*types.Func]bool),
+		sharedro: make(map[*types.TypeName]bool),
+		guards:   make(map[types.Object]bool),
+		guarded:  make(map[types.Object][]guardEntry),
 	}
 	for _, pkg := range prog.Packages {
 		for _, file := range pkg.Files {
@@ -103,6 +127,10 @@ func (pi *pragmaInfo) collectFile(prog *Program, pkg *Package, file *ast.File) {
 				pi.parseAllow(prog, c, report)
 			case "hotpath", "hotphases", "coldpath":
 				report(c.Pos(), "//foam:%s must be attached to a function declaration, not the package doc", verb)
+			case "sharedro":
+				report(c.Pos(), "//foam:sharedro must be attached to a struct type declaration, not the package doc")
+			case "guards":
+				report(c.Pos(), "//foam:guards must be attached to a sync.Mutex struct field, not the package doc")
 			default:
 				report(c.Pos(), "unknown foam directive //foam:%s", verb)
 			}
@@ -152,10 +180,78 @@ func (pi *pragmaInfo) collectFile(prog *Program, pkg *Package, file *ast.File) {
 				}
 			case "deterministic":
 				report(c.Pos(), "//foam:deterministic must be in the package doc comment, not on a function")
+			case "sharedro":
+				report(c.Pos(), "//foam:sharedro must be attached to a struct type declaration, not a function")
+			case "guards":
+				report(c.Pos(), "//foam:guards must be attached to a sync.Mutex struct field, not a function")
 			case "allow":
 				pi.parseAllow(prog, c, report)
 			default:
 				report(c.Pos(), "unknown foam directive //foam:%s", verb)
+			}
+		}
+	}
+
+	// Type attachment: //foam:sharedro on struct type declarations, and
+	// //foam:guards on sync.Mutex struct fields inside them.
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			docs := []*ast.CommentGroup{ts.Doc, ts.Comment}
+			if len(gd.Specs) == 1 {
+				docs = append(docs, gd.Doc)
+			}
+			for _, cg := range docs {
+				if cg == nil {
+					continue
+				}
+				for _, c := range cg.List {
+					verb, args, ok := splitDirective(c.Text)
+					if !ok || verb != "sharedro" {
+						continue // other verbs fall through to the catch-all
+					}
+					consumed[c] = true
+					if args != "" {
+						report(c.Pos(), "//foam:sharedro takes no arguments (got %q)", args)
+						continue
+					}
+					tn, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if tn == nil {
+						report(c.Pos(), "//foam:sharedro on an undeclared type")
+						continue
+					}
+					if _, isStruct := tn.Type().Underlying().(*types.Struct); !isStruct {
+						report(c.Pos(), "//foam:sharedro must mark a struct type (%s is not a struct)", ts.Name.Name)
+						continue
+					}
+					pi.sharedro[tn] = true
+				}
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if cg == nil {
+						continue
+					}
+					for _, c := range cg.List {
+						verb, args, ok := splitDirective(c.Text)
+						if !ok || verb != "guards" {
+							continue
+						}
+						consumed[c] = true
+						pi.parseGuards(pkg, ts, field, c, args, report)
+					}
+				}
 			}
 		}
 	}
@@ -197,6 +293,10 @@ func (pi *pragmaInfo) collectFile(prog *Program, pkg *Package, file *ast.File) {
 				report(c.Pos(), "misplaced //foam:%s: it must be the doc comment of a function declaration", verb)
 			case "deterministic":
 				report(c.Pos(), "misplaced //foam:deterministic: it must be in the package doc comment")
+			case "sharedro":
+				report(c.Pos(), "misplaced //foam:sharedro: it must be the doc comment of a struct type declaration")
+			case "guards":
+				report(c.Pos(), "misplaced //foam:guards: it must be attached to a sync.Mutex struct field")
 			default:
 				report(c.Pos(), "unknown foam directive //foam:%s", verb)
 			}
@@ -225,6 +325,86 @@ func (pi *pragmaInfo) parseAllow(prog *Program, c *ast.Comment, report func(toke
 	}
 	pos := prog.position(c.Pos())
 	pi.allow = append(pi.allow, allowRange{file: pos.Filename, line: pos.Line, analyzer: name})
+}
+
+// parseGuards parses "//foam:guards <field...>" attached to a struct
+// field. The carrying field must be a named sync.Mutex or sync.RWMutex;
+// each argument is either a sibling field name (instance-level guarding)
+// or Type.field naming a field of another same-package struct
+// (type-level guarding, for lock-owner/record splits like
+// Scheduler.mu protecting member bookkeeping).
+func (pi *pragmaInfo) parseGuards(pkg *Package, ts *ast.TypeSpec, field *ast.Field, c *ast.Comment, args string, report func(token.Pos, string, ...any)) {
+	if len(field.Names) != 1 {
+		report(c.Pos(), "//foam:guards must be attached to a single named field")
+		return
+	}
+	mutexObj := pkg.Info.Defs[field.Names[0]]
+	if mutexObj == nil || !isMutexType(mutexObj.Type()) {
+		report(c.Pos(), "//foam:guards must be attached to a sync.Mutex or sync.RWMutex field (got %s)", field.Names[0].Name)
+		return
+	}
+	names := strings.Fields(args)
+	if len(names) == 0 {
+		report(c.Pos(), "//foam:guards needs at least one protected field name")
+		return
+	}
+	owner, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+	pi.guards[mutexObj] = true
+	for _, name := range names {
+		typeName, fieldName, qualified := strings.Cut(name, ".")
+		var target types.Object
+		sameStruct := !qualified
+		if qualified {
+			tn, _ := pkg.Types.Scope().Lookup(typeName).(*types.TypeName)
+			if tn == nil {
+				report(c.Pos(), "//foam:guards names unknown type %q", typeName)
+				continue
+			}
+			target = structFieldByName(tn.Type(), fieldName)
+			if target == nil {
+				report(c.Pos(), "//foam:guards names unknown field %q of %s", fieldName, typeName)
+				continue
+			}
+		} else {
+			if owner != nil {
+				target = structFieldByName(owner.Type(), name)
+			}
+			if target == nil {
+				report(c.Pos(), "//foam:guards names unknown sibling field %q", name)
+				continue
+			}
+			if target == mutexObj {
+				report(c.Pos(), "//foam:guards cannot name the mutex itself (%s)", name)
+				continue
+			}
+		}
+		pi.guarded[target] = append(pi.guarded[target], guardEntry{mutex: mutexObj, sameStruct: sameStruct})
+	}
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// structFieldByName resolves a field of t's underlying struct.
+func structFieldByName(t types.Type, name string) types.Object {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == name {
+			return f
+		}
+	}
+	return nil
 }
 
 // splitDirective returns (verb, args, true) for a comment of the form

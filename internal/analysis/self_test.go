@@ -18,9 +18,30 @@ func TestRepoLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("LoadModule: %v", err)
 	}
+	// One run of the suite, reported per analyzer so a failure names the
+	// invariant that broke (pragma parse errors included).
 	diags := prog.Run(Analyzers())
+	byAnalyzer := make(map[string][]Diagnostic)
 	for _, d := range diags {
-		t.Errorf("%s", d)
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d)
+	}
+	names := []string{pragmaAnalyzer}
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, d := range byAnalyzer[name] {
+				t.Errorf("%s", d)
+			}
+		})
+		delete(byAnalyzer, name)
+	}
+	for name, rest := range byAnalyzer {
+		for _, d := range rest {
+			t.Errorf("unattributed (%s): %s", name, d)
+		}
 	}
 	if len(diags) > 0 {
 		t.Fatalf("foam-lint found %d violation(s) in the repository", len(diags))

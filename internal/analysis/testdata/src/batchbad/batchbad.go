@@ -1,0 +1,67 @@
+// Package batchbad aliases and under-fills persistent batch headers at
+// fused *ManyInto entry points. A single goroutine does every write
+// here, so the race detector has nothing to say — the bugs are a row
+// written twice in one fused pass (second write silently wins) and
+// slots left pointing at last step's rows.
+package batchbad
+
+const nlev = 4
+
+type kern struct{}
+
+func (k *kern) SynthesizeManyInto(grids, specs [][]float64) {}
+func (k *kern) AnalyzeManyInto(specs, grids [][]float64)    {}
+func (k *kern) AnalyzeDivManyInto(a, b [][]float64)         {}
+
+type work struct {
+	grids [][]float64
+	specs [][]float64
+	vort  [][]float64
+	x, y  [][]float64
+	buf   [][]float64
+}
+
+// stepAliased fills two slots of one header from the same row; the
+// fused kernel writes that row twice in one pass.
+func (w *work) stepAliased(k *kern) {
+	for j := 0; j < nlev; j++ {
+		w.specs[j] = w.vort[j]
+		w.specs[nlev+j] = w.vort[j] // want `batch header specs gets slot source w\.vort\[j\] twice; two batch slots must not alias the same row`
+	}
+	k.SynthesizeManyInto(w.grids, w.specs)
+}
+
+// fillShared routes both headers at the same backing rows.
+func (w *work) fillShared() {
+	w.x = append(w.x, w.buf...)
+	w.y = append(w.y, w.buf...)
+}
+
+// runShared then hands both headers to one fused call: the kernel
+// reads rows it is concurrently overwriting.
+func (w *work) runShared(k *kern) {
+	w.fillShared()
+	k.AnalyzeDivManyInto(w.x, w.y) // want `batch headers w\.x and w\.y both hold slot source w\.buf\.\.\. at AnalyzeDivManyInto; two batch slots must not alias the same row`
+}
+
+type cover struct {
+	hdr [][]float64
+	dst [][]float64
+}
+
+func newCover() *cover {
+	c := &cover{}
+	c.hdr = make([][]float64, 3*nlev)
+	c.dst = make([][]float64, 3*nlev)
+	return c
+}
+
+// step refills blocks 0 and 2 but forgets block 1: those slots still
+// point at the previous step's rows and go stale without any error.
+func (c *cover) step(k *kern, a, d [][]float64) {
+	for j := 0; j < nlev; j++ {
+		c.hdr[j] = a[j]
+		c.hdr[2*nlev+j] = d[j]
+	}
+	k.AnalyzeManyInto(c.dst, c.hdr) // want `refill of batch header c\.hdr covers only 2 of 3 blocks before AnalyzeManyInto \(missing block 1\); stale slots would reuse last step's rows`
+}

@@ -1,0 +1,57 @@
+// Package batchok refills and routes persistent batch headers
+// correctly: full block coverage from distinct sources, same-slot
+// overwrites (not aliases), and fresh allocations (never aliasing
+// sources). Nothing here may be reported.
+package batchok
+
+const nlev = 4
+
+type kern struct{}
+
+func (k *kern) SynthesizeManyInto(grids, specs [][]float64) {}
+
+type work struct {
+	hdr  [][]float64
+	dst  [][]float64
+	vort [][]float64
+	div  [][]float64
+	temp [][]float64
+}
+
+func newWork() *work {
+	w := &work{}
+	w.hdr = make([][]float64, 3*nlev)
+	w.dst = make([][]float64, 3*nlev)
+	return w
+}
+
+// step covers all three blocks from three distinct row sources.
+func (w *work) step(k *kern) {
+	for j := 0; j < nlev; j++ {
+		w.hdr[j] = w.vort[j]
+		w.hdr[nlev+j] = w.div[j]
+		w.hdr[2*nlev+j] = w.temp[j]
+	}
+	k.SynthesizeManyInto(w.dst, w.hdr)
+}
+
+// reuse overwrites slot j twice; the second fill wins and no two slots
+// alias.
+func (w *work) reuse(k *kern) {
+	for j := 0; j < nlev; j++ {
+		w.hdr[j] = w.vort[j]
+	}
+	for j := 0; j < nlev; j++ {
+		w.hdr[j] = w.vort[j]
+		w.hdr[nlev+j] = w.div[j]
+		w.hdr[2*nlev+j] = w.temp[j]
+	}
+	k.SynthesizeManyInto(w.dst, w.hdr)
+}
+
+// alloc fills slots with fresh allocations, which can never alias.
+func (w *work) alloc() {
+	for j := 0; j < 3*nlev; j++ {
+		w.dst[j] = make([]float64, 8)
+	}
+}

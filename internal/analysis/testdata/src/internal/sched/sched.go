@@ -1,0 +1,35 @@
+// Package sched is a minimal stand-in for the repo's internal/sched so
+// fixtures can exercise the schedcontract analyzer: the analyzer
+// resolves the Field, Op, and OpKind types by package-path suffix
+// ("internal/sched"), which this stub satisfies inside the fixture
+// module.
+package sched
+
+// Field names one coupling field carried between components.
+type Field string
+
+// Stub coupling fields.
+const (
+	FieldSST  Field = "sst"
+	FieldTauX Field = "taux"
+	FieldHeat Field = "heat"
+	FieldRain Field = "rain"
+)
+
+// OpKind discriminates schedule program operations.
+type OpKind int
+
+// Program op kinds.
+const (
+	OpStep OpKind = iota
+	OpCouple
+	OpXfer
+)
+
+// Op is one operation of a compiled schedule program.
+type Op struct {
+	Kind     OpKind
+	Comp     int
+	Src, Dst int
+	Fields   []Field
+}

@@ -1,0 +1,128 @@
+// Package lockok follows the ensemble locking contracts: declared guard
+// sets, fast-fail before blocking, the *Locked caller-holds convention,
+// cond vars, freshly constructed values, and one documented buffered
+// send carried by an allow. Nothing here may be reported.
+package lockok
+
+import "sync"
+
+// Sched guards its member bookkeeping.
+type Sched struct {
+	//foam:guards busy queued
+	mu     sync.Mutex
+	busy   bool
+	queued int
+	done   chan struct{}
+}
+
+// newSched writes guarded fields of a value that has not escaped yet.
+func newSched() *Sched {
+	s := &Sched{done: make(chan struct{}, 1)}
+	s.queued = 0
+	return s
+}
+
+// advance is the ErrBusy fast-fail path done right: check under the
+// lock, release it, and only then block.
+func (s *Sched) advance() bool {
+	s.mu.Lock()
+	if s.busy {
+		s.mu.Unlock()
+		return false
+	}
+	s.busy = true
+	s.mu.Unlock()
+	<-s.done
+	s.mu.Lock()
+	s.busy = false
+	s.mu.Unlock()
+	return true
+}
+
+// size uses the defer convention: the lock is held to the end.
+func (s *Sched) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// queueLocked requires the caller to hold s.mu (naming convention).
+func (s *Sched) queueLocked(n int) {
+	s.queued += n
+}
+
+func (s *Sched) enqueue(n int) {
+	s.mu.Lock()
+	s.queueLocked(n)
+	s.mu.Unlock()
+}
+
+// signal sends under the lock, but the channel is buffered and drained
+// before any requeue, so the send can never block.
+func (s *Sched) signal() {
+	s.mu.Lock()
+	s.busy = false
+	//foam:allow lockdiscipline done is buffered(1) and drained before requeue, so this send never blocks
+	s.done <- struct{}{}
+	s.mu.Unlock()
+}
+
+// Pump waits on a cond var; Wait releases the mutex by contract, so it
+// is not a blocking operation under the lock.
+type Pump struct {
+	//foam:guards depth
+	mu    sync.Mutex
+	cond  *sync.Cond
+	depth int
+}
+
+func newPump() *Pump {
+	p := &Pump{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *Pump) pop() int {
+	p.mu.Lock()
+	for p.depth == 0 {
+		p.cond.Wait()
+	}
+	p.depth--
+	v := p.depth
+	p.mu.Unlock()
+	return v
+}
+
+// Stats reads under an RWMutex read lock; RLock counts as holding.
+type Stats struct {
+	//foam:guards sum
+	mu  sync.RWMutex
+	sum float64
+}
+
+func (st *Stats) read() float64 {
+	st.mu.RLock()
+	v := st.sum
+	st.mu.RUnlock()
+	return v
+}
+
+// Owner guards its members' counters with a type-level declaration: any
+// holder of o.mu may touch member.hits.
+type Owner struct {
+	//foam:guards items member.hits
+	mu    sync.Mutex
+	items []*member
+}
+
+type member struct {
+	hits int
+}
+
+func (o *Owner) bump() {
+	o.mu.Lock()
+	for _, m := range o.items {
+		m.hits++
+	}
+	o.mu.Unlock()
+}

@@ -1,0 +1,73 @@
+// Package schedbad wires its components and schedule programs wrong:
+// an import with no producer, a dead export, a dispatch switch that
+// covers the wrong field set, a transfer from a component that never
+// steps, and lag branches that cover different op sets. Each of these
+// fails only at runtime (a default panic, or silent state drift) — the
+// schedcontract analyzer pins them at lint time.
+package schedbad
+
+import "foam/internal/sched"
+
+type atm struct{}
+
+var atmImports = []sched.Field{sched.FieldSST, sched.FieldRain} // want `component atm imports FieldRain but no other component exports it; every declared import needs a producer`
+
+func (a *atm) Imports() []sched.Field { return atmImports }
+
+func (a *atm) Exports() []sched.Field {
+	return []sched.Field{sched.FieldTauX, sched.FieldHeat} // want `component atm exports FieldHeat but no other component imports it; dead exports hide wiring mistakes`
+}
+
+// Import dispatches on the declared import set — except it handles a
+// field it never declared and forgets one it did.
+func (a *atm) Import(f sched.Field, v float64) {
+	switch f { // want `atm\.Import is missing a case for declared imports field FieldRain; the first coupling tick would hit the default panic`
+	case sched.FieldSST:
+		_ = v
+	case sched.FieldTauX: // want `atm\.Import handles FieldTauX, which is not declared in Imports\(\); the schedule compiler will never produce this transfer`
+		_ = v
+	default:
+		panic("schedbad: unknown import")
+	}
+}
+
+type ocn struct{}
+
+func (o *ocn) Imports() []sched.Field { return []sched.Field{sched.FieldTauX} }
+func (o *ocn) Exports() []sched.Field { return []sched.Field{sched.FieldSST} }
+
+func (o *ocn) ExportInto(f sched.Field, dst []float64) {
+	switch f {
+	case sched.FieldSST:
+		for i := range dst {
+			dst[i] = 0
+		}
+	default:
+		panic("schedbad: unknown export")
+	}
+}
+
+// buildStale transfers from a component that never steps or couples in
+// this program: its export buffer is last tick's state.
+func buildStale() []sched.Op {
+	ops := []sched.Op{{Kind: sched.OpStep, Comp: 0}}
+	ops = append(ops, sched.Op{Kind: sched.OpXfer, Src: 1, Dst: 0}) // want `OpXfer from component 1 has no OpStep or OpCouple for that component in this program; a transfer source that never steps exports stale state`
+	return ops
+}
+
+// buildLag branches on the coupling lag but drops the transfer in the
+// lag-1 variant.
+func buildLag(lag int) []sched.Op {
+	ops := []sched.Op{{Kind: sched.OpStep, Comp: 0}}
+	couple := []sched.Op{
+		{Kind: sched.OpCouple, Comp: 1},
+		{Kind: sched.OpStep, Comp: 1},
+	}
+	if lag == 0 { // want `schedule branches append different op sets \(only first branch: Dst=0 Kind=2 Src=1\); lag variants may reorder ops but must cover the same steps and transfers`
+		ops = append(ops, couple...)
+		ops = append(ops, sched.Op{Kind: sched.OpXfer, Src: 1, Dst: 0})
+	} else {
+		ops = append(ops, couple...)
+	}
+	return ops
+}

@@ -1,0 +1,52 @@
+// Package schedok wires components and schedule programs by the book:
+// every import has a producer, every export a consumer, dispatch
+// switches cover exactly the declared lists, transfers come from
+// components that step, and lag variants reorder but never drop ops.
+// Nothing here may be reported.
+package schedok
+
+import "foam/internal/sched"
+
+type atm struct{}
+
+func (a *atm) Imports() []sched.Field { return []sched.Field{sched.FieldSST} }
+func (a *atm) Exports() []sched.Field { return []sched.Field{sched.FieldTauX} }
+
+func (a *atm) Import(f sched.Field, v float64) {
+	switch f {
+	case sched.FieldSST:
+		_ = v
+	default:
+		panic("schedok: unknown import")
+	}
+}
+
+type ocn struct{}
+
+func (o *ocn) Imports() []sched.Field { return []sched.Field{sched.FieldTauX} }
+func (o *ocn) Exports() []sched.Field { return []sched.Field{sched.FieldSST} }
+
+func (o *ocn) ExportInto(f sched.Field, dst []float64) {
+	switch f {
+	case sched.FieldSST:
+		for i := range dst {
+			dst[i] = 0
+		}
+	default:
+		panic("schedok: unknown export")
+	}
+}
+
+// buildLag reorders ops between the lag variants but covers the same
+// multiset, and the transfer source steps in the same program.
+func buildLag(lag int) []sched.Op {
+	ops := []sched.Op{{Kind: sched.OpStep, Comp: 0}}
+	if lag == 0 {
+		ops = append(ops, sched.Op{Kind: sched.OpCouple, Comp: 1})
+		ops = append(ops, sched.Op{Kind: sched.OpXfer, Src: 0, Dst: 1})
+	} else {
+		ops = append(ops, sched.Op{Kind: sched.OpXfer, Src: 0, Dst: 1})
+		ops = append(ops, sched.Op{Kind: sched.OpCouple, Comp: 1})
+	}
+	return ops
+}

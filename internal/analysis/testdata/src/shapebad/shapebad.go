@@ -8,6 +8,7 @@ const (
 	oceanLon = 128
 	atmosLat = 40
 	atmosLon = 48
+	atmosLev = 8
 )
 
 type oceanGrid struct{ NLat, NLon int }
@@ -68,4 +69,41 @@ func scaleInto(dst []float64, s float64) {
 func badInto() {
 	oc := make([]float64, oceanLat*oceanLon)
 	scaleInto(oc, 2)
+}
+
+// AnalyzeManyInto mimics the fused spectral analysis entry point: one
+// flat coefficient buffer holds every batch slot. batchInto binds it to
+// an ocean-shaped buffer, so the atmosphere batch stride below mixes
+// grids.
+func AnalyzeManyInto(specs []float64, grids [][]float64) {
+	for k := range grids {
+		for j := 0; j < atmosLat; j++ {
+			specs[k*atmosLat+j] = grids[k][j] // want `specs is allocated with shape shapebad\.oceanLat\*shapebad\.oceanLon but indexed with stride shapebad\.atmosLat from a different grid`
+		}
+	}
+}
+
+func batchInto() {
+	specs := make([]float64, oceanLat*oceanLon)
+	grids := make([][]float64, 3)
+	AnalyzeManyInto(specs, grids)
+}
+
+// SynthesizeUVManyInto mimics the fused UV synthesis: the flat U/V
+// buffers hold one atmosLat row per level slot, so the batch stride
+// must be the level-row length — not the ocean row length used below.
+func SynthesizeUVManyInto(U, V []float64, wsMany [][]float64) {
+	for k := range wsMany {
+		for j := 0; j < atmosLat; j++ {
+			U[k*oceanLat+j] = wsMany[k][j] // want `U is allocated with shape shapebad\.atmosLev\*shapebad\.atmosLat but indexed with stride shapebad\.oceanLat from a different grid`
+			V[k*oceanLat+j] = wsMany[k][j] // want `V is allocated with shape shapebad\.atmosLev\*shapebad\.atmosLat but indexed with stride shapebad\.oceanLat from a different grid`
+		}
+	}
+}
+
+func batchUV() {
+	u := make([]float64, atmosLev*atmosLat)
+	v := make([]float64, atmosLev*atmosLat)
+	ws := make([][]float64, atmosLev)
+	SynthesizeUVManyInto(u, v, ws)
 }

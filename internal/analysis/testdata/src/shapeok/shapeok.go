@@ -82,3 +82,36 @@ func sum(buf []float64) float64 {
 func (m *model) reduce() float64 {
 	return sum(m.fld) + sum(m.u)
 }
+
+// AnalyzeManyInto-style fused entry point indexed with the stride its
+// bound buffer was allocated with.
+func AnalyzeManyInto(specs []float64, grids [][]float64) {
+	for k := range grids {
+		for j := 0; j < nLat; j++ {
+			specs[k*nLat+j] = grids[k][j]
+		}
+	}
+}
+
+func (m *model) fused() {
+	specs := make([]float64, nLev*nLat)
+	grids := make([][]float64, nLev)
+	AnalyzeManyInto(specs, grids)
+}
+
+// SynthesizeUVManyInto uses the level-row batch stride throughout.
+func SynthesizeUVManyInto(U, V []float64, wsMany [][]float64) {
+	for k := range wsMany {
+		for j := 0; j < nLat; j++ {
+			U[k*nLat+j] = wsMany[k][j]
+			V[k*nLat+j] = wsMany[k][j]
+		}
+	}
+}
+
+func (m *model) fusedUV() {
+	u := make([]float64, nLev*nLat)
+	v := make([]float64, nLev*nLat)
+	ws := make([][]float64, nLev)
+	SynthesizeUVManyInto(u, v, ws)
+}

@@ -1,0 +1,62 @@
+// Package sharedrook exercises the sharedro exemptions: construction
+// cones (including helper callees), value-copy rebinding (the Share
+// idiom), plain reads, and //foam:allow for a documented per-copy
+// mutable binding. Nothing here may be reported.
+package sharedrook
+
+// Trans is a shared table set with one documented mutable binding.
+//
+//foam:sharedro
+type Trans struct {
+	Rows [][]float64
+	pool []float64
+	n    int
+}
+
+// NewTrans builds the tables; cone writes are legal, including in
+// helpers the builder calls.
+func NewTrans(n int) *Trans {
+	t := &Trans{Rows: make([][]float64, n), n: n}
+	for i := range t.Rows {
+		t.Rows[i] = make([]float64, n)
+	}
+	seed(t)
+	return t
+}
+
+func seed(t *Trans) {
+	t.Rows[0][0] = 1
+}
+
+// Share returns a shallow copy sharing the table rows. Builders (any
+// function returning the marked type) are cone members by definition.
+func (t *Trans) Share() *Trans {
+	cp := *t
+	cp.pool = nil
+	return &cp
+}
+
+// SetPool rebinds the scratch pool on this copy; the one documented
+// post-adoption mutation, carried by an allow with its invariant.
+func (t *Trans) SetPool(p []float64) {
+	//foam:allow sharedro pool is the per-copy mutable binding; each sharer owns its own copy
+	t.pool = p
+}
+
+// Mean only reads the shared rows; reads are always fine.
+func (t *Trans) Mean() float64 {
+	s := 0.0
+	for _, row := range t.Rows {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s / float64(t.n*t.n)
+}
+
+// scratch writes local storage that merely has the same element type.
+func scratch(n int) []float64 {
+	buf := make([]float64, n)
+	buf[0] = 1
+	return buf
+}

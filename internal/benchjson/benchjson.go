@@ -13,16 +13,19 @@ import (
 // Schema is the identifier every BENCH file must carry.
 const Schema = "foam-bench/v1"
 
-// File is one recorded benchmark suite.
+// File is one recorded benchmark suite. Kernel suites ("spectral",
+// "core") carry Entries; the serving suite ("serve") carries the Serve
+// payload instead.
 type File struct {
 	Schema    string  `json:"schema"`
-	Suite     string  `json:"suite"` // "spectral" or "core"
+	Suite     string  `json:"suite"` // "spectral", "core" or "serve"
 	GoVersion string  `json:"go_version"`
 	GOOS      string  `json:"goos"`
 	GOARCH    string  `json:"goarch"`
 	NumCPU    int     `json:"num_cpu"`
 	Quick     bool    `json:"quick,omitempty"` // reduced benchtime (CI smoke), not a trajectory record
-	Entries   []Entry `json:"entries"`
+	Entries   []Entry `json:"entries,omitempty"`
+	Serve     *Serve  `json:"serve,omitempty"`
 }
 
 // Entry is one benchmark measurement. BaselineNs, when present, is the
@@ -39,6 +42,37 @@ type Entry struct {
 	Workers     int     `json:"workers,omitempty"`
 	BaselineNs  float64 `json:"baseline_ns,omitempty"`
 	Note        string  `json:"note,omitempty"`
+}
+
+// Serve is the serving-throughput record foam-load measures against a
+// running foam-serve: how many concurrent members one box sustains, at
+// what aggregate stepping rate, and the API latency clients observed.
+type Serve struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	Workers    int `json:"workers"` // scheduler stepping goroutines
+
+	Members           int    `json:"members"`
+	Preset            string `json:"preset"`
+	Concurrency       int    `json:"concurrency"` // load-generator clients
+	AdvancesPerMember int    `json:"advances_per_member"`
+	StepsPerAdvance   int    `json:"steps_per_advance"` // atmosphere steps
+
+	TotalAtmSteps  int     `json:"total_atm_steps"`
+	WallSeconds    float64 `json:"wall_seconds"`     // advance phase only
+	StepsPerSecond float64 `json:"steps_per_second"` // aggregate, all members
+
+	CreateMs  Latency `json:"create_ms"`
+	AdvanceMs Latency `json:"advance_ms"`
+	DiagMs    Latency `json:"diag_ms"`
+}
+
+// Latency summarizes one endpoint's observed latencies in milliseconds.
+type Latency struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
 }
 
 // WriteFile writes the suite as indented JSON.
@@ -62,7 +96,7 @@ func Verify(data []byte) (*File, error) {
 	if f.Schema != Schema {
 		return nil, fmt.Errorf("benchjson: schema %q, want %q", f.Schema, Schema)
 	}
-	if f.Suite != "spectral" && f.Suite != "core" {
+	if f.Suite != "spectral" && f.Suite != "core" && f.Suite != "serve" {
 		return nil, fmt.Errorf("benchjson: unknown suite %q", f.Suite)
 	}
 	if f.GoVersion == "" || f.GOOS == "" || f.GOARCH == "" {
@@ -70,6 +104,21 @@ func Verify(data []byte) (*File, error) {
 	}
 	if f.NumCPU < 1 {
 		return nil, fmt.Errorf("benchjson: num_cpu %d", f.NumCPU)
+	}
+	if f.Suite == "serve" {
+		if len(f.Entries) != 0 {
+			return nil, fmt.Errorf("benchjson: serve suite carries a serve payload, not entries")
+		}
+		if f.Serve == nil {
+			return nil, fmt.Errorf("benchjson: serve suite without serve payload")
+		}
+		if err := f.Serve.validate(); err != nil {
+			return nil, err
+		}
+		return &f, nil
+	}
+	if f.Serve != nil {
+		return nil, fmt.Errorf("benchjson: suite %q must not carry a serve payload", f.Suite)
 	}
 	if len(f.Entries) == 0 {
 		return nil, fmt.Errorf("benchjson: no entries")
@@ -95,6 +144,38 @@ func Verify(data []byte) (*File, error) {
 		}
 	}
 	return &f, nil
+}
+
+// validate checks the serve payload: the CI smoke job gates on this
+// after running foam-load against a live daemon.
+func (s *Serve) validate() error {
+	if s.Members < 1 {
+		return fmt.Errorf("benchjson: serve: members %d < 1", s.Members)
+	}
+	if s.Concurrency < 1 {
+		return fmt.Errorf("benchjson: serve: concurrency %d < 1", s.Concurrency)
+	}
+	if s.TotalAtmSteps < s.Members {
+		return fmt.Errorf("benchjson: serve: total steps %d below member count %d", s.TotalAtmSteps, s.Members)
+	}
+	if s.WallSeconds <= 0 {
+		return fmt.Errorf("benchjson: serve: non-positive wall time %g", s.WallSeconds)
+	}
+	if s.StepsPerSecond <= 0 {
+		return fmt.Errorf("benchjson: serve: non-positive throughput %g", s.StepsPerSecond)
+	}
+	for _, l := range []struct {
+		name string
+		lat  Latency
+	}{{"create_ms", s.CreateMs}, {"advance_ms", s.AdvanceMs}, {"diag_ms", s.DiagMs}} {
+		if l.lat.Count < 1 {
+			return fmt.Errorf("benchjson: serve: empty %s summary", l.name)
+		}
+		if l.lat.P50 < 0 || l.lat.P50 > l.lat.P90 || l.lat.P90 > l.lat.P99 || l.lat.P99 > l.lat.Max {
+			return fmt.Errorf("benchjson: serve: %s percentiles not monotonic", l.name)
+		}
+	}
+	return nil
 }
 
 // VerifyFile reads and verifies one BENCH file on disk.

@@ -57,6 +57,54 @@ func TestVerifyRejects(t *testing.T) {
 	}
 }
 
+func validServe() *File {
+	lat := func(n int) Latency { return Latency{Count: n, P50: 1, P90: 2, P99: 3, Max: 4} }
+	return &File{
+		Schema: Schema, Suite: "serve",
+		GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", NumCPU: 1,
+		Serve: &Serve{
+			GoMaxProcs: 1, Workers: 1,
+			Members: 8, Preset: "reduced", Concurrency: 4,
+			AdvancesPerMember: 2, StepsPerAdvance: 4,
+			TotalAtmSteps: 64, WallSeconds: 1.5, StepsPerSecond: 42,
+			CreateMs: lat(8), AdvanceMs: lat(16), DiagMs: lat(8),
+		},
+	}
+}
+
+func TestVerifyAcceptsServe(t *testing.T) {
+	if err := verifyOf(t, validServe()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsServe(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*File)
+		want string
+	}{
+		{"payload", func(f *File) { f.Serve = nil }, "without serve payload"},
+		{"entries", func(f *File) { f.Entries = valid().Entries }, "not entries"},
+		{"kernel+serve", func(f *File) { f.Suite = "core"; f.Entries = valid().Entries }, "must not carry a serve payload"},
+		{"members", func(f *File) { f.Serve.Members = 0 }, "members"},
+		{"concurrency", func(f *File) { f.Serve.Concurrency = 0 }, "concurrency"},
+		{"steps", func(f *File) { f.Serve.TotalAtmSteps = 1 }, "below member count"},
+		{"wall", func(f *File) { f.Serve.WallSeconds = 0 }, "wall time"},
+		{"rate", func(f *File) { f.Serve.StepsPerSecond = 0 }, "throughput"},
+		{"latcount", func(f *File) { f.Serve.AdvanceMs.Count = 0 }, "empty advance_ms"},
+		{"latorder", func(f *File) { f.Serve.DiagMs.P90 = 9 }, "diag_ms percentiles"},
+	}
+	for _, c := range cases {
+		f := validServe()
+		c.mod(f)
+		err := verifyOf(t, f)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
 func TestVerifyRejectsGarbage(t *testing.T) {
 	if _, err := Verify([]byte("not json")); err == nil {
 		t.Fatal("want parse error")

@@ -30,6 +30,8 @@ type OverlapCell struct {
 
 // Overlap is the full overlap decomposition plus the per-cell area sums
 // needed for averaging.
+//
+//foam:sharedro
 type Overlap struct {
 	Cells   []OverlapCell
 	AtmArea []float64 // total overlap area per atm cell (ocean-covered part)

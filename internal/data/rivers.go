@@ -20,6 +20,8 @@ const (
 )
 
 // RiverNetwork holds flow directions and downstream distances on a grid.
+//
+//foam:sharedro
 type RiverNetwork struct {
 	Grid *sphere.Grid
 	// Dir[c] is a neighbour index 0-7, or DirMouth/DirOcean. For DirMouth

@@ -1,48 +1,17 @@
 package ensemble
 
 import (
-	"fmt"
 	"sort"
+
+	"foam/internal/benchjson"
 )
 
-// BenchReport is the schema of BENCH_serve.json, the serving-throughput
-// entry of the perf trajectory: how many concurrent members one box
-// sustains, at what aggregate stepping rate, and what API latency clients
-// see. foam-load writes it; CI verifies and archives it per commit.
-type BenchReport struct {
-	Benchmark  string `json:"benchmark"` // always "serve"
-	GoMaxProcs int    `json:"gomaxprocs"`
-	Workers    int    `json:"workers"` // scheduler stepping goroutines
-
-	Members           int    `json:"members"`
-	Preset            string `json:"preset"`
-	Concurrency       int    `json:"concurrency"` // load-generator clients
-	AdvancesPerMember int    `json:"advances_per_member"`
-	StepsPerAdvance   int    `json:"steps_per_advance"` // atmosphere steps
-
-	TotalAtmSteps  int     `json:"total_atm_steps"`
-	WallSeconds    float64 `json:"wall_seconds"`     // advance phase only
-	StepsPerSecond float64 `json:"steps_per_second"` // aggregate, all members
-
-	CreateMs  LatencyMs `json:"create_ms"`
-	AdvanceMs LatencyMs `json:"advance_ms"`
-	DiagMs    LatencyMs `json:"diag_ms"`
-}
-
-// LatencyMs summarizes one endpoint's observed latencies in milliseconds.
-type LatencyMs struct {
-	Count int     `json:"count"`
-	P50   float64 `json:"p50"`
-	P90   float64 `json:"p90"`
-	P99   float64 `json:"p99"`
-	Max   float64 `json:"max"`
-}
-
-// SummarizeMs reduces raw latency samples (milliseconds) to percentiles.
-// The sample slice is sorted in place.
-func SummarizeMs(samples []float64) LatencyMs {
+// SummarizeMs reduces raw latency samples (milliseconds) to the
+// percentile summary recorded in BENCH_serve.json under the
+// foam-bench/v1 schema. The sample slice is sorted in place.
+func SummarizeMs(samples []float64) benchjson.Latency {
 	if len(samples) == 0 {
-		return LatencyMs{}
+		return benchjson.Latency{}
 	}
 	sort.Float64s(samples)
 	pick := func(q float64) float64 {
@@ -55,35 +24,11 @@ func SummarizeMs(samples []float64) LatencyMs {
 		}
 		return samples[i]
 	}
-	return LatencyMs{
+	return benchjson.Latency{
 		Count: len(samples),
 		P50:   pick(0.50),
 		P90:   pick(0.90),
 		P99:   pick(0.99),
 		Max:   samples[len(samples)-1],
 	}
-}
-
-// Validate checks that a report is well-formed — the CI smoke job gates on
-// this after running foam-load.
-func (r *BenchReport) Validate() error {
-	if r.Benchmark != "serve" {
-		return fmt.Errorf("bench: benchmark is %q, want \"serve\"", r.Benchmark)
-	}
-	if r.Members < 1 {
-		return fmt.Errorf("bench: members %d < 1", r.Members)
-	}
-	if r.TotalAtmSteps < r.Members {
-		return fmt.Errorf("bench: total steps %d below member count %d", r.TotalAtmSteps, r.Members)
-	}
-	if r.WallSeconds <= 0 {
-		return fmt.Errorf("bench: non-positive wall time %g", r.WallSeconds)
-	}
-	if r.StepsPerSecond <= 0 {
-		return fmt.Errorf("bench: non-positive throughput %g", r.StepsPerSecond)
-	}
-	if r.AdvanceMs.Count < 1 || r.AdvanceMs.P99 <= 0 {
-		return fmt.Errorf("bench: empty advance latency summary")
-	}
-	return nil
 }

@@ -61,6 +61,7 @@ type message struct {
 
 // mailbox holds undelivered messages for one rank.
 type mailbox struct {
+	//foam:guards msgs
 	mu   sync.Mutex
 	cond *sync.Cond
 	msgs []message

@@ -84,6 +84,8 @@ func smoothAtLeast(n int) int {
 // caller-supplied Workspace. The allocating convenience methods (Analyze,
 // Synthesize, ...) wrap them with a throwaway workspace and are meant for
 // construction-time and test code, not the per-step hot path.
+//
+//foam:sharedro
 type Transform struct {
 	Trunc      Truncation
 	NLat, NLon int
@@ -156,6 +158,7 @@ func (tr *Transform) SetPool(p pool.Runner) {
 	if p == nil {
 		p = pool.Serial
 	}
+	//foam:allow sharedro pool is the documented per-instance mutable binding; sharers each own their copy's pool
 	tr.pool = p
 }
 

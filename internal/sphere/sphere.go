@@ -119,6 +119,8 @@ func UniformLongitudes(nlon int) []float64 {
 // longitudes ascend eastward from 0. Cell (j,i) is centered at
 // (Lats[j], Lons[i]); LatEdges/LonEdges give the nlat+1 / nlon+1 box
 // boundaries used for areas and overlap construction.
+//
+//foam:sharedro
 type Grid struct {
 	Lats, Lons         []float64 // cell centers, radians
 	LatEdges, LonEdges []float64 // cell edges, radians
