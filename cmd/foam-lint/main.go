@@ -25,12 +25,12 @@
 // Exit status: 0 clean, 1 findings or stale baseline entries, 2 usage
 // or load failure. Text output is one "path:line:col: message
 // [analyzer]" line per finding, sorted by (path, line, column) so CI
-// logs diff cleanly; -json emits the same findings as a JSON array and
-// -sarif as a SARIF 2.1.0 log for CI inline annotations.
+// logs diff cleanly; -json emits the same findings as a versioned JSON
+// report (see analysis.JSONSchemaVersion — a stable schema for tooling)
+// and -sarif as a SARIF 2.1.0 log for CI inline annotations.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -48,7 +48,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("foam-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := fs.Bool("json", false, "emit a versioned JSON findings report (stable schema)")
 	sarifOut := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
 	fix := fs.Bool("fix", false, "apply suggested fixes in place and report only what remains")
 	baselinePath := fs.String("baseline", "", "baseline findings file with ratchet semantics")
@@ -170,26 +170,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	case *jsonOut:
-		type jsonDiag struct {
-			Analyzer string `json:"analyzer"`
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Column   int    `json:"column"`
-			Message  string `json:"message"`
-		}
-		out := make([]jsonDiag, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, jsonDiag{
-				Analyzer: d.Analyzer,
-				File:     filepath.ToSlash(d.Pos.Filename),
-				Line:     d.Pos.Line,
-				Column:   d.Pos.Column,
-				Message:  d.Message,
-			})
-		}
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "\t")
-		if err := enc.Encode(out); err != nil {
+		if err := analysis.WriteJSON(stdout, diags); err != nil {
 			fmt.Fprintln(stderr, "foam-lint:", err)
 			return 2
 		}

@@ -122,9 +122,15 @@ func main() {
 		}
 		if !*quiet && daysDone%10 == 0 {
 			di := m.Diagnostics()
-			fmt.Printf("day %4d: T=%.1fK ps=%.0f wind=%.1f SST=%.2fC ice=%.2e speedup so far %.0fx\n",
-				daysDone, di.Atm.MeanT, di.Atm.MeanPs, di.Atm.MaxWind, di.Ocn.MeanSST,
-				di.Ocn.IceFlux, float64(daysDone)*86400/time.Since(t0).Seconds())
+			// Unit suffixes come from the diag.Units table (checked
+			// against the //foam:units annotations), not literals.
+			fmt.Printf("day %4d: T=%.1f%s ps=%.0f%s wind=%.1f%s SST=%.2f%s ice=%.2e %s speedup so far %.0fx\n",
+				daysDone, di.Atm.MeanT, diag.Unit("MeanT"),
+				di.Atm.MeanPs, diag.Unit("MeanPs"),
+				di.Atm.MaxWind, diag.Unit("MaxWind"),
+				di.Ocn.MeanSST, diag.Unit("MeanSST"),
+				di.Ocn.IceFlux, diag.Unit("IceFlux"),
+				float64(daysDone)*86400/time.Since(t0).Seconds())
 		}
 	}
 	el := time.Since(t0)

@@ -23,10 +23,18 @@
 //	                      written outside the construction cone
 //	//foam:guards <f...>  sync.Mutex/RWMutex struct field: declares the
 //	                      fields the mutex protects
+//	//foam:units <name>=<unit-expr> ...
+//	                      struct field, var/const spec, or function:
+//	                      declares the physical dimension (kg, m, s, K,
+//	                      psu, W, J, N, Pa, degC, rad, 1) of the named
+//	                      values; "return" names a single result
+//	//foam:transient <field> <reason>
+//	                      struct field: exempts per-step scratch from
+//	                      the snapshot-completeness proof
 //	//foam:allow <name> <reason>
 //	                      suppress one analyzer on this line and the next
 //
-// and eleven analyzers enforce them:
+// and thirteen analyzers enforce them:
 //
 //	hotpathalloc    allocating constructs reachable from a hotpath root
 //	poolclosure     function literals or method values at pool.Run sites
@@ -49,6 +57,12 @@
 //	                import, switch coverage, lag-branch op parity
 //	batchalias      fused *ManyInto batch headers: aliasing slots and
 //	                refills that do not cover the full batch
+//	unitcheck       dimensional analysis over //foam:units annotations:
+//	                arithmetic, stores, calls, and returns combining
+//	                incompatible physical units
+//	snapshotcomplete every mutable field reachable from a sched
+//	                Snapshotter is captured by Snapshot and restored by
+//	                RestoreSnapshot, //foam:transient excepted
 //
 // Malformed //foam: directives are diagnostics too (analyzer "pragma"),
 // never silently ignored.
@@ -153,6 +167,8 @@ func Analyzers() []*Analyzer {
 		AnalyzerLockDiscipline,
 		AnalyzerSchedContract,
 		AnalyzerBatchAlias,
+		AnalyzerUnitCheck,
+		AnalyzerSnapshotComplete,
 	}
 }
 
@@ -171,6 +187,9 @@ var analyzerNames = map[string]bool{
 	"lockdiscipline": true,
 	"schedcontract":  true,
 	"batchalias":     true,
+
+	"unitcheck":        true,
+	"snapshotcomplete": true,
 }
 
 // Run executes the given analyzers over the program and returns the

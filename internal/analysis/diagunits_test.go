@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+
+	"foam/internal/diag"
+)
+
+// TestDiagUnitsMatchAnnotations pins the diag.Units table — the source of
+// printed diagnostic column headers — to the //foam:units annotations on
+// ocean.Diagnostics and atmos.StepDiagnostics. The annotations are what
+// unitcheck verifies, so this test is the bridge that keeps what the model
+// prints and what the analyzer proves from drifting apart: every field of
+// those structs must be annotated, every annotation must appear in
+// diag.Units with the same canonical unit, and every table entry must name
+// a real annotated field.
+func TestDiagUnitsMatchAnnotations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root, modPath, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	prog, err := LoadModule(root, modPath)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+
+	diagStructs := []struct{ pkg, typ string }{
+		{"foam/internal/ocean", "Diagnostics"},
+		{"foam/internal/atmos", "StepDiagnostics"},
+	}
+	annotated := make(map[string]Unit)
+	for _, s := range diagStructs {
+		var pkg *Package
+		for _, p := range prog.Packages {
+			if p.Path == s.pkg {
+				pkg = p
+			}
+		}
+		if pkg == nil {
+			t.Fatalf("package %s not loaded", s.pkg)
+		}
+		obj := pkg.Types.Scope().Lookup(s.typ)
+		if obj == nil {
+			t.Fatalf("%s.%s not found", s.pkg, s.typ)
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			t.Fatalf("%s.%s is not a struct", s.pkg, s.typ)
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			u, ok := prog.pragmas.units[f]
+			if !ok {
+				t.Errorf("%s.%s has no //foam:units annotation; every diagnostic field must declare its unit", s.typ, f.Name())
+				continue
+			}
+			if prev, dup := annotated[f.Name()]; dup && prev.Canonical() != u.Canonical() {
+				t.Errorf("diagnostic name %s is declared with two different units (%s vs %s); diag.Units cannot disambiguate it", f.Name(), prev.Canonical(), u.Canonical())
+			}
+			annotated[f.Name()] = u
+		}
+	}
+
+	for name, src := range diag.Units {
+		want, ok := annotated[name]
+		if !ok {
+			t.Errorf("diag.Units[%q] names no annotated diagnostics field", name)
+			continue
+		}
+		got, err := ParseUnit(src)
+		if err != nil {
+			t.Errorf("diag.Units[%q] = %q does not parse: %v", name, src, err)
+			continue
+		}
+		if got.Canonical() != want.Canonical() {
+			t.Errorf("diag.Units[%q] = %q (canonical %s), but the //foam:units annotation says %s", name, src, got.Canonical(), want.Canonical())
+		}
+	}
+	for name := range annotated {
+		if _, ok := diag.Units[name]; !ok {
+			t.Errorf("field %s carries //foam:units but is missing from diag.Units; printed headers would not know its unit", name)
+		}
+	}
+}

@@ -59,3 +59,34 @@ func FuzzParsePragma(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseUnit throws arbitrary text at the unit-expression parser and
+// checks the grammar's invariants: ParseUnit must never panic, and for
+// every accepted expression parse→Canonical→parse must be a fixed point —
+// the canonical string parses back to the same dimension vector and
+// canonicalizes to itself.
+func FuzzParseUnit(f *testing.F) {
+	for _, seed := range []string{
+		"m", "s", "kg", "K", "psu",
+		"W/m^2", "kg/m^2/s", "N/m^2", "J/kg/K", "W/m^2/K^4",
+		"m^2/s^2", "degC", "degC*m^3", "rad/s", "1", "1/s",
+		"m/s/s", "kg*m/s^2", "m^-1", "m^0", "1^2", "furlong",
+		"", "/", "*", "m/", "/m", "m**s", "m^", "m^x", "m^9999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := ParseUnit(src)
+		if err != nil {
+			return // rejected input: only the no-panic invariant applies
+		}
+		canon := u.Canonical()
+		u2, err := ParseUnit(canon)
+		if err != nil {
+			t.Fatalf("ParseUnit(%q) accepted, but its canonical %q does not parse: %v", src, canon, err)
+		}
+		if got := u2.Canonical(); got != canon {
+			t.Fatalf("canonical not a fixed point: ParseUnit(%q) -> %q, reparsed -> %q", src, canon, got)
+		}
+	})
+}

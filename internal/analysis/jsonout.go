@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// JSONSchemaVersion identifies the foam-lint -json envelope layout.
+// Consumers should reject reports with a version they do not know.
+// The schema is append-only within a version: new optional fields may
+// appear, but existing fields never change meaning, type, or name.
+const JSONSchemaVersion = 1
+
+// JSONFinding is one finding in a -json report. Field names and types
+// are part of the stable schema (see JSONSchemaVersion).
+type JSONFinding struct {
+	// Analyzer is the suite analyzer that produced the finding (a SARIF
+	// rule ID, e.g. "unitcheck").
+	Analyzer string `json:"analyzer"`
+	// File is the slash-separated path, relative to the working
+	// directory when inside the module.
+	File string `json:"file"`
+	// Line and Column are 1-based.
+	Line   int `json:"line"`
+	Column int `json:"column"`
+	// Message is the human-readable finding text.
+	Message string `json:"message"`
+}
+
+// JSONReport is the foam-lint -json envelope: a versioned document so
+// tooling can consume findings without parsing text output, with the
+// findings array always present (empty on a clean run, never null) and
+// sorted by (file, line, column) like the text output.
+type JSONReport struct {
+	SchemaVersion int           `json:"schemaVersion"`
+	Tool          string        `json:"tool"`
+	Findings      []JSONFinding `json:"findings"`
+}
+
+// WriteJSON writes diags to w as a JSONReport, tab-indented with a
+// trailing newline.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	rep := JSONReport{
+		SchemaVersion: JSONSchemaVersion,
+		Tool:          "foam-lint",
+		Findings:      make([]JSONFinding, 0, len(diags)),
+	}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, JSONFinding{
+			Analyzer: d.Analyzer,
+			File:     filepath.ToSlash(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(rep)
+}

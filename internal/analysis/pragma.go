@@ -21,6 +21,16 @@ import (
 //	//foam:guards <field...>      — on a sync.Mutex/RWMutex struct field:
 //	      declares the fields it protects (sibling names, or Type.field
 //	      for same-package cross-struct guarding)
+//	//foam:units <name>=<unit-expr> [<name>=<unit-expr>...] — on a struct
+//	      field, a var/const spec, or a func declaration: declares the
+//	      physical dimension of the named field(s), value(s), parameter(s)
+//	      or result(s); "return" names a function's single result. Unit
+//	      expressions follow the grammar in unit.go (kg, m, s, K, psu,
+//	      W, J, N, Pa, degC, rad, 1; "*", "/", "^int"); slice/array/
+//	      pointer targets declare the unit of their numeric elements
+//	//foam:transient <field> <reason...> — on a struct field: exempts it
+//	      from the snapshotcomplete coverage proof (scratch rebuilt every
+//	      step, caches, diagnostics); the reason is mandatory
 //	//foam:allow <analyzer> <reason...> — anywhere; suppresses the named
 //	      analyzer on the comment's line and the line directly below it
 //
@@ -52,8 +62,17 @@ type pragmaInfo struct {
 	// guarded maps each protected field to the mutexes that guard it.
 	guards  map[types.Object]bool
 	guarded map[types.Object][]guardEntry
-	allow   []allowRange
-	diags   []Diagnostic
+	// units maps //foam:units-annotated objects (struct fields, vars,
+	// consts, params, named results) to their declared dimension;
+	// returnUnit covers "return=" declarations on functions with one
+	// unnamed result.
+	units      map[types.Object]Unit
+	returnUnit map[*types.Func]Unit
+	// transient maps //foam:transient struct fields to their mandatory
+	// reason string.
+	transient map[types.Object]string
+	allow     []allowRange
+	diags     []Diagnostic
 }
 
 // guardEntry is one declared protection relation: accessing the guarded
@@ -80,12 +99,15 @@ func (pi *pragmaInfo) suppressed(d Diagnostic) bool {
 // malformed or misplaced one into a diagnostic.
 func collectPragmas(prog *Program) *pragmaInfo {
 	pi := &pragmaInfo{
-		hot:      make(map[*types.Func]bool),
-		phases:   make(map[*types.Func]bool),
-		cold:     make(map[*types.Func]bool),
-		sharedro: make(map[*types.TypeName]bool),
-		guards:   make(map[types.Object]bool),
-		guarded:  make(map[types.Object][]guardEntry),
+		hot:        make(map[*types.Func]bool),
+		phases:     make(map[*types.Func]bool),
+		cold:       make(map[*types.Func]bool),
+		sharedro:   make(map[*types.TypeName]bool),
+		guards:     make(map[types.Object]bool),
+		guarded:    make(map[types.Object][]guardEntry),
+		units:      make(map[types.Object]Unit),
+		returnUnit: make(map[*types.Func]Unit),
+		transient:  make(map[types.Object]string),
 	}
 	for _, pkg := range prog.Packages {
 		for _, file := range pkg.Files {
@@ -131,6 +153,10 @@ func (pi *pragmaInfo) collectFile(prog *Program, pkg *Package, file *ast.File) {
 				report(c.Pos(), "//foam:sharedro must be attached to a struct type declaration, not the package doc")
 			case "guards":
 				report(c.Pos(), "//foam:guards must be attached to a sync.Mutex struct field, not the package doc")
+			case "units":
+				report(c.Pos(), "//foam:units must be attached to a struct field, var/const spec, or func declaration, not the package doc")
+			case "transient":
+				report(c.Pos(), "//foam:transient must be attached to a struct field, not the package doc")
 			default:
 				report(c.Pos(), "unknown foam directive //foam:%s", verb)
 			}
@@ -184,6 +210,10 @@ func (pi *pragmaInfo) collectFile(prog *Program, pkg *Package, file *ast.File) {
 				report(c.Pos(), "//foam:sharedro must be attached to a struct type declaration, not a function")
 			case "guards":
 				report(c.Pos(), "//foam:guards must be attached to a sync.Mutex struct field, not a function")
+			case "units":
+				pi.parseFuncUnits(pkg, fd, c, args, report)
+			case "transient":
+				report(c.Pos(), "//foam:transient must be attached to a struct field, not a function")
 			case "allow":
 				pi.parseAllow(prog, c, report)
 			default:
@@ -245,12 +275,64 @@ func (pi *pragmaInfo) collectFile(prog *Program, pkg *Package, file *ast.File) {
 					}
 					for _, c := range cg.List {
 						verb, args, ok := splitDirective(c.Text)
-						if !ok || verb != "guards" {
+						if !ok {
 							continue
 						}
-						consumed[c] = true
-						pi.parseGuards(pkg, ts, field, c, args, report)
+						switch verb {
+						case "guards":
+							consumed[c] = true
+							pi.parseGuards(pkg, ts, field, c, args, report)
+						case "units":
+							consumed[c] = true
+							pi.parseFieldUnits(pkg, field, c, args, report)
+						case "transient":
+							consumed[c] = true
+							pi.parseTransient(pkg, field, c, args, report)
+						}
 					}
+				}
+			}
+		}
+	}
+
+	// Value attachment: //foam:units on var/const declarations. A
+	// directive on a multi-spec block's doc comment resolves its names
+	// across every spec in the block (how constant tables are annotated).
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || (gd.Tok != token.VAR && gd.Tok != token.CONST) {
+			continue
+		}
+		if gd.Doc != nil && len(gd.Specs) > 1 {
+			for _, c := range gd.Doc.List {
+				verb, args, ok := splitDirective(c.Text)
+				if !ok || verb != "units" {
+					continue
+				}
+				consumed[c] = true
+				pi.parseDeclUnits(pkg, gd, c, args, report)
+			}
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			docs := []*ast.CommentGroup{vs.Doc, vs.Comment}
+			if len(gd.Specs) == 1 {
+				docs = append(docs, gd.Doc)
+			}
+			for _, cg := range docs {
+				if cg == nil {
+					continue
+				}
+				for _, c := range cg.List {
+					verb, args, ok := splitDirective(c.Text)
+					if !ok || verb != "units" {
+						continue
+					}
+					consumed[c] = true
+					pi.parseValueUnits(pkg, vs, c, args, report)
 				}
 			}
 		}
@@ -297,6 +379,10 @@ func (pi *pragmaInfo) collectFile(prog *Program, pkg *Package, file *ast.File) {
 				report(c.Pos(), "misplaced //foam:sharedro: it must be the doc comment of a struct type declaration")
 			case "guards":
 				report(c.Pos(), "misplaced //foam:guards: it must be attached to a sync.Mutex struct field")
+			case "units":
+				report(c.Pos(), "misplaced //foam:units: it must be attached to a struct field, var/const spec, or func declaration")
+			case "transient":
+				report(c.Pos(), "misplaced //foam:transient: it must be attached to a struct field")
 			default:
 				report(c.Pos(), "unknown foam directive //foam:%s", verb)
 			}
@@ -380,6 +466,188 @@ func (pi *pragmaInfo) parseGuards(pkg *Package, ts *ast.TypeSpec, field *ast.Fie
 		}
 		pi.guarded[target] = append(pi.guarded[target], guardEntry{mutex: mutexObj, sameStruct: sameStruct})
 	}
+}
+
+// parseUnitPairs parses the "<name>=<unit-expr> [<name>=<unit-expr>...]"
+// argument list shared by every //foam:units attachment and hands each
+// well-formed pair to bind; malformed pairs become diagnostics.
+func parseUnitPairs(c *ast.Comment, args string, report func(token.Pos, string, ...any), bind func(name string, u Unit)) {
+	pairs := strings.Fields(args)
+	if len(pairs) == 0 {
+		report(c.Pos(), "//foam:units needs at least one <name>=<unit-expr> pair")
+		return
+	}
+	for _, pair := range pairs {
+		name, expr, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || expr == "" {
+			report(c.Pos(), "//foam:units argument %q is not of the form <name>=<unit-expr>", pair)
+			continue
+		}
+		u, err := ParseUnit(expr)
+		if err != nil {
+			report(c.Pos(), "//foam:units %s: bad unit expression: %v", name, err)
+			continue
+		}
+		bind(name, u)
+	}
+}
+
+// unitTargetOK reports whether a //foam:units annotation makes sense on
+// an object of type t: a numeric value, or slices/arrays/pointers
+// unwrapping to one (the annotation then declares the element unit).
+func unitTargetOK(t types.Type) bool {
+	for i := 0; i < dimDepth && t != nil; i++ {
+		switch ut := t.Underlying().(type) {
+		case *types.Basic:
+			return ut.Info()&(types.IsNumeric) != 0
+		case *types.Slice:
+			t = ut.Elem()
+		case *types.Array:
+			t = ut.Elem()
+		case *types.Pointer:
+			t = ut.Elem()
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// bindUnit records obj's declared unit, rejecting conflicting duplicate
+// declarations and non-numeric targets.
+func (pi *pragmaInfo) bindUnit(obj types.Object, u Unit, c *ast.Comment, report func(token.Pos, string, ...any)) {
+	if obj == nil {
+		report(c.Pos(), "//foam:units on an undeclared name")
+		return
+	}
+	if !unitTargetOK(obj.Type()) {
+		report(c.Pos(), "//foam:units on %s: type %s has no numeric elements to carry a unit", obj.Name(), obj.Type())
+		return
+	}
+	if prev, ok := pi.units[obj]; ok && !prev.Equal(u) {
+		report(c.Pos(), "//foam:units on %s conflicts with an earlier declaration (%s vs %s)", obj.Name(), prev.Canonical(), u.Canonical())
+		return
+	}
+	pi.units[obj] = u
+}
+
+// parseFieldUnits parses //foam:units attached to a struct field list:
+// each name must be one of the names this field declares.
+func (pi *pragmaInfo) parseFieldUnits(pkg *Package, field *ast.Field, c *ast.Comment, args string, report func(token.Pos, string, ...any)) {
+	parseUnitPairs(c, args, report, func(name string, u Unit) {
+		for _, id := range field.Names {
+			if id.Name == name {
+				pi.bindUnit(pkg.Info.Defs[id], u, c, report)
+				return
+			}
+		}
+		report(c.Pos(), "//foam:units names %q, which this field declaration does not declare", name)
+	})
+}
+
+// parseDeclUnits parses //foam:units attached to a multi-spec var/const
+// block: each name may resolve in any spec of the block.
+func (pi *pragmaInfo) parseDeclUnits(pkg *Package, gd *ast.GenDecl, c *ast.Comment, args string, report func(token.Pos, string, ...any)) {
+	parseUnitPairs(c, args, report, func(name string, u Unit) {
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, id := range vs.Names {
+				if id.Name == name {
+					pi.bindUnit(pkg.Info.Defs[id], u, c, report)
+					return
+				}
+			}
+		}
+		report(c.Pos(), "//foam:units names %q, which this declaration does not declare", name)
+	})
+}
+
+// parseValueUnits parses //foam:units attached to a var/const spec.
+func (pi *pragmaInfo) parseValueUnits(pkg *Package, vs *ast.ValueSpec, c *ast.Comment, args string, report func(token.Pos, string, ...any)) {
+	parseUnitPairs(c, args, report, func(name string, u Unit) {
+		for _, id := range vs.Names {
+			if id.Name == name {
+				pi.bindUnit(pkg.Info.Defs[id], u, c, report)
+				return
+			}
+		}
+		report(c.Pos(), "//foam:units names %q, which this declaration does not declare", name)
+	})
+}
+
+// parseFuncUnits parses //foam:units attached to a func declaration:
+// names resolve to parameters or named results, and "return" declares
+// the unit of the function's single (possibly unnamed) result.
+func (pi *pragmaInfo) parseFuncUnits(pkg *Package, fd *ast.FuncDecl, c *ast.Comment, args string, report func(token.Pos, string, ...any)) {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		report(c.Pos(), "//foam:units on an undeclared function")
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	parseUnitPairs(c, args, report, func(name string, u Unit) {
+		if name == "return" {
+			if sig.Results().Len() != 1 {
+				report(c.Pos(), "//foam:units return= needs exactly one result (%s has %d)", fd.Name.Name, sig.Results().Len())
+				return
+			}
+			if !unitTargetOK(sig.Results().At(0).Type()) {
+				report(c.Pos(), "//foam:units return= on %s: result type %s has no numeric elements to carry a unit", fd.Name.Name, sig.Results().At(0).Type())
+				return
+			}
+			if prev, ok := pi.returnUnit[fn]; ok && !prev.Equal(u) {
+				report(c.Pos(), "//foam:units return= on %s conflicts with an earlier declaration (%s vs %s)", fd.Name.Name, prev.Canonical(), u.Canonical())
+				return
+			}
+			pi.returnUnit[fn] = u
+			return
+		}
+		if sig.Recv() != nil && sig.Recv().Name() == name {
+			pi.bindUnit(sig.Recv(), u, c, report)
+			return
+		}
+		for _, tuple := range []*types.Tuple{sig.Params(), sig.Results()} {
+			for i := 0; i < tuple.Len(); i++ {
+				if v := tuple.At(i); v.Name() == name {
+					pi.bindUnit(v, u, c, report)
+					return
+				}
+			}
+		}
+		report(c.Pos(), "//foam:units names %q, which is not a parameter or result of %s", name, fd.Name.Name)
+	})
+}
+
+// parseTransient parses "//foam:transient <field> <reason...>" attached
+// to a struct field: the named field must be (one of) the field(s) this
+// declaration declares, and the reason is mandatory — an unexplained
+// checkpoint exemption is indistinguishable from a forgotten one.
+func (pi *pragmaInfo) parseTransient(pkg *Package, field *ast.Field, c *ast.Comment, args string, report func(token.Pos, string, ...any)) {
+	name, reason, _ := strings.Cut(args, " ")
+	if name == "" {
+		report(c.Pos(), "//foam:transient needs a field name and a reason: //foam:transient <field> <reason>")
+		return
+	}
+	reason = strings.TrimSpace(reason)
+	if reason == "" {
+		report(c.Pos(), "//foam:transient %s is missing its reason", name)
+		return
+	}
+	for _, id := range field.Names {
+		if id.Name == name {
+			obj := pkg.Info.Defs[id]
+			if obj == nil {
+				report(c.Pos(), "//foam:transient on an undeclared field")
+				return
+			}
+			pi.transient[obj] = reason
+			return
+		}
+	}
+	report(c.Pos(), "//foam:transient names %q, which this field declaration does not declare", name)
 }
 
 // isMutexType reports whether t is sync.Mutex or sync.RWMutex.

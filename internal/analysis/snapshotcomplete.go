@@ -1,0 +1,613 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerSnapshotComplete turns the fork/resume determinism of the
+// serving tier from a tested property into a proven one. foam-serve's
+// snapshot/fork/resume (PR 6) and the checkpoint round-trip both rest
+// on the sched Snapshotter contract: Snapshot() must capture every
+// mutable field reachable from the component and RestoreSnapshot must
+// put every one of them back. A new prognostic or accumulator field
+// that silently skips the checkpoint produces forks that drift from
+// their parent only after the next coupling interval — plausible
+// output, wrong physics, and a test only catches it if it happens to
+// advance past the divergence point.
+//
+// For every module type with the Snapshotter shape (Snapshot() any /
+// RestoreSnapshot(any) error), the analyzer computes the reachable
+// mutable-field set — walking struct fields through pointers, slices,
+// and nested module structs, pruning //foam:sharedro table cones,
+// //foam:transient fields, and interface/func/chan values — and calls a
+// leaf mutable when some module function writes it (directly, through
+// a reference-typed local, or by passing it to a helper whose parameter
+// is written — a fixpoint over call edges) outside the construction
+// cones of both the write's root type and the field's owner type. Each
+// mutable leaf must then be mentioned inside the Snapshot method's call
+// cone and written inside the RestoreSnapshot cone (itself, or a
+// containing field). //foam:transient <field> <reason> is the audited
+// escape hatch for per-step scratch, caches, and diagnostics.
+var AnalyzerSnapshotComplete = &Analyzer{
+	Name: "snapshotcomplete",
+	Doc:  "proves every mutable field reachable from a sched Snapshotter is captured by Snapshot and restored by RestoreSnapshot",
+	Run:  runSnapshotComplete,
+}
+
+// snapshotter is one detected Snapshotter implementation.
+type snapshotter struct {
+	tn   *types.TypeName
+	snap *funcNode
+	rest *funcNode
+}
+
+// fieldWrite is one non-local write: the function it happens in and the
+// named type the destination chain is rooted at (nil when the root is
+// not a named type).
+type fieldWrite struct {
+	node *funcNode
+	root *types.TypeName
+}
+
+// callEdge is one argument binding at a static call site, kept for the
+// written-parameter fixpoint: fields is the selector chain of the
+// argument (outermost first, empty for a bare variable), fromRoot the
+// variable the chain bottoms out in.
+type callEdge struct {
+	node     *funcNode
+	fields   []types.Object
+	fromRoot types.Object
+	rootTN   *types.TypeName
+	toParam  *types.Var
+}
+
+type snapAnalysis struct {
+	prog       *Program
+	fieldOwner map[types.Object]*types.TypeName
+	// writes: outermost written field -> sites. chainWriters: every
+	// field appearing anywhere in a write-destination chain -> functions
+	// doing it (restore coverage). mentions: field -> functions whose
+	// bodies reference it at all (snapshot coverage).
+	writes       map[types.Object][]fieldWrite
+	chainWriters map[types.Object]map[*funcNode]bool
+	mentions     map[types.Object]map[*funcNode]bool
+	paramWritten map[*types.Var]bool
+	edges        []callEdge
+	cones        map[*types.TypeName]map[*funcNode]bool
+}
+
+func runSnapshotComplete(prog *Program, report func(Diagnostic)) {
+	snaps := findSnapshotters(prog)
+	if len(snaps) == 0 {
+		return
+	}
+	sa := &snapAnalysis{
+		prog:         prog,
+		fieldOwner:   make(map[types.Object]*types.TypeName),
+		writes:       make(map[types.Object][]fieldWrite),
+		chainWriters: make(map[types.Object]map[*funcNode]bool),
+		mentions:     make(map[types.Object]map[*funcNode]bool),
+		paramWritten: make(map[*types.Var]bool),
+	}
+	sa.indexFieldOwners()
+	sa.scanBodies()
+	sa.fixpointParamWrites()
+	sa.resolveCallWrites()
+	sa.buildCones(snaps)
+
+	for _, s := range snaps {
+		sa.checkSnapshotter(s, report)
+	}
+}
+
+// findSnapshotters locates every module named struct type carrying both
+// halves of the sched Snapshotter shape. Detection is structural — the
+// signatures, not the interface — so fixtures and future components
+// outside internal/sched are covered identically.
+func findSnapshotters(prog *Program) []*snapshotter {
+	byType := make(map[*types.TypeName]*snapshotter)
+	for _, node := range prog.funcs {
+		if node.decl == nil || node.decl.Body == nil {
+			continue
+		}
+		sig, ok := node.fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		tn := namedOf(sig.Recv().Type())
+		if tn == nil {
+			continue
+		}
+		switch node.fn.Name() {
+		case "Snapshot":
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 && isEmptyInterface(sig.Results().At(0).Type()) {
+				ent(byType, tn).snap = node
+			}
+		case "RestoreSnapshot":
+			if sig.Params().Len() == 1 && isEmptyInterface(sig.Params().At(0).Type()) &&
+				sig.Results().Len() == 1 && isErrorType(sig.Results().At(0).Type()) {
+				ent(byType, tn).rest = node
+			}
+		}
+	}
+	var out []*snapshotter
+	for tn, s := range byType {
+		if s.snap != nil && s.rest != nil {
+			if _, isStruct := tn.Type().Underlying().(*types.Struct); isStruct {
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].tn.Pkg().Path()+"."+out[i].tn.Name() < out[j].tn.Pkg().Path()+"."+out[j].tn.Name()
+	})
+	return out
+}
+
+func ent(m map[*types.TypeName]*snapshotter, tn *types.TypeName) *snapshotter {
+	s := m[tn]
+	if s == nil {
+		s = &snapshotter{tn: tn}
+		m[tn] = s
+	}
+	return s
+}
+
+func isEmptyInterface(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	return ok && iface.Empty()
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// indexFieldOwners maps every field of every named module struct to the
+// type declaring it, for the owner-cone exemption.
+func (sa *snapAnalysis) indexFieldOwners() {
+	for _, pkg := range sa.prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				sa.fieldOwner[st.Field(i)] = tn
+			}
+		}
+	}
+}
+
+// scanBodies walks every function body once, recording direct writes,
+// field mentions, directly written parameters, and call edges for the
+// fixpoint.
+func (sa *snapAnalysis) scanBodies() {
+	for _, node := range sa.prog.funcs {
+		if node.decl == nil || node.decl.Body == nil {
+			continue
+		}
+		node := node
+		pkg := node.pkg
+		sc := newFnScope(pkg, node.decl.Body)
+		params := paramSetOf(node)
+
+		recordWrite := func(e ast.Expr, forceStepped bool) {
+			fields, rootTN, rootObj, stepped := destChain(pkg, sc, e, 0)
+			if forceStepped {
+				stepped = true
+			}
+			if len(fields) > 0 {
+				sa.writes[fields[0]] = append(sa.writes[fields[0]], fieldWrite{node: node, root: rootTN})
+				for _, f := range fields {
+					markSet(sa.chainWriters, f, node)
+				}
+				return
+			}
+			if v, ok := rootObj.(*types.Var); ok && params[v] && stepped {
+				sa.paramWritten[v] = true
+			}
+		}
+
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if v, ok := pkg.Info.Uses[x].(*types.Var); ok && v.IsField() {
+					markSet(sa.mentions, types.Object(v), node)
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+						continue // rebinding, not a write through storage
+					}
+					recordWrite(lhs, false)
+				}
+			case *ast.IncDecStmt:
+				if _, isIdent := ast.Unparen(x.X).(*ast.Ident); !isIdent {
+					recordWrite(x.X, false)
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+					if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+						if (b.Name() == "copy" || b.Name() == "clear") && len(x.Args) >= 1 {
+							recordWrite(x.Args[0], true)
+						}
+						return true
+					}
+				}
+				sa.recordCallEdges(node, pkg, sc, x)
+			}
+			return true
+		})
+	}
+}
+
+// recordCallEdges captures the argument->parameter bindings of one
+// static call for the written-parameter fixpoint.
+func (sa *snapAnalysis) recordCallEdges(node *funcNode, pkg *Package, sc *fnScope, call *ast.CallExpr) {
+	fn := staticCallee(pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	addEdge := func(arg ast.Expr, p *types.Var) {
+		if p == nil || !referenceLike(p.Type()) {
+			return
+		}
+		fields, rootTN, rootObj, _ := destChain(pkg, sc, arg, 0)
+		if len(fields) == 0 && rootObj == nil {
+			return
+		}
+		sa.edges = append(sa.edges, callEdge{
+			node: node, fields: fields, fromRoot: rootObj, rootTN: rootTN, toParam: p,
+		})
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sig.Recv() != nil {
+		addEdge(sel.X, sig.Recv())
+	}
+	n := sig.Params().Len()
+	if sig.Variadic() {
+		n--
+	}
+	for i := 0; i < n && i < len(call.Args); i++ {
+		addEdge(call.Args[i], sig.Params().At(i))
+	}
+}
+
+// fixpointParamWrites propagates written-ness backwards through bare
+// parameter pass-throughs: if g passes its parameter p straight to a
+// parameter of h that h writes, p is written too.
+func (sa *snapAnalysis) fixpointParamWrites() {
+	paramSets := make(map[*funcNode]map[*types.Var]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, e := range sa.edges {
+			if len(e.fields) != 0 || !sa.paramWritten[e.toParam] {
+				continue
+			}
+			v, ok := e.fromRoot.(*types.Var)
+			if !ok || sa.paramWritten[v] {
+				continue
+			}
+			ps := paramSets[e.node]
+			if ps == nil {
+				ps = paramSetOf(e.node)
+				paramSets[e.node] = ps
+			}
+			if ps[v] {
+				sa.paramWritten[v] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// resolveCallWrites converts field-chain arguments bound to written
+// parameters into writes of the chain's outermost field: passing
+// m.exch to a helper that fills it mutates exch.
+func (sa *snapAnalysis) resolveCallWrites() {
+	for _, e := range sa.edges {
+		if len(e.fields) == 0 || !sa.paramWritten[e.toParam] {
+			continue
+		}
+		sa.writes[e.fields[0]] = append(sa.writes[e.fields[0]], fieldWrite{node: e.node, root: e.rootTN})
+		for _, f := range e.fields {
+			markSet(sa.chainWriters, f, e.node)
+		}
+	}
+}
+
+// buildCones builds the construction cones for every named type that
+// roots or owns a recorded write, plus the snapshotter types.
+func (sa *snapAnalysis) buildCones(snaps []*snapshotter) {
+	need := make(map[*types.TypeName]bool)
+	for _, sites := range sa.writes {
+		for _, w := range sites {
+			if w.root != nil {
+				need[w.root] = true
+			}
+		}
+	}
+	for f := range sa.writes {
+		if tn := sa.fieldOwner[f]; tn != nil {
+			need[tn] = true
+		}
+	}
+	for _, s := range snaps {
+		need[s.tn] = true
+	}
+	sa.cones = buildConstructionCones(sa.prog, need)
+}
+
+// mutatedOutsideCones reports whether field f has a write that is
+// construction-time for neither the destination chain's root type nor
+// f's owner type.
+func (sa *snapAnalysis) mutatedOutsideCones(f types.Object) bool {
+	owner := sa.fieldOwner[f]
+	for _, w := range sa.writes[f] {
+		if w.root != nil && sa.cones[w.root][w.node] {
+			continue
+		}
+		if owner != nil && sa.cones[owner][w.node] {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// funcCone is the closure of a method and its module-local callees —
+// the code allowed to satisfy a snapshot or restore obligation.
+func funcCone(prog *Program, root *funcNode) map[*funcNode]bool {
+	cone := make(map[*funcNode]bool)
+	queue := []*funcNode{root}
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		if cone[node] || node.decl == nil || node.decl.Body == nil {
+			continue
+		}
+		cone[node] = true
+		for _, callee := range calleesOf(prog, node.pkg, node.decl.Body) {
+			if !cone[callee] {
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return cone
+}
+
+// checkSnapshotter proves (or refutes) the coverage obligation for one
+// Snapshotter type.
+func (sa *snapAnalysis) checkSnapshotter(s *snapshotter, report func(Diagnostic)) {
+	snapCone := funcCone(sa.prog, s.snap)
+	restCone := funcCone(sa.prog, s.rest)
+	recvName := "(*" + s.tn.Pkg().Name() + "." + s.tn.Name() + ")"
+
+	seen := make(map[string]bool)
+	sa.walkLeaves(s.tn, nil, map[*types.TypeName]bool{s.tn: true}, func(path []types.Object, leaf types.Object) {
+		pathNames := make([]string, 0, len(path)+1)
+		for _, f := range path {
+			pathNames = append(pathNames, f.Name())
+		}
+		pathNames = append(pathNames, leaf.Name())
+		key := strings.Join(pathNames, ".")
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+
+		// Mutable? Any field along the path written outside construction
+		// counts: a whole-struct store dirties every leaf under it.
+		dirty := sa.mutatedOutsideCones(leaf)
+		for _, f := range path {
+			if dirty {
+				break
+			}
+			dirty = sa.mutatedOutsideCones(f)
+		}
+		if !dirty {
+			return // construction-time-only, or never written at all
+		}
+
+		snapCovered := false
+		restCovered := false
+		for _, f := range append(append([]types.Object{}, path...), leaf) {
+			if !snapCovered {
+				for n := range sa.mentions[f] {
+					if snapCone[n] {
+						snapCovered = true
+						break
+					}
+				}
+			}
+			if !restCovered {
+				for n := range sa.chainWriters[f] {
+					if restCone[n] {
+						restCovered = true
+						break
+					}
+				}
+			}
+		}
+		if !snapCovered {
+			report(Diagnostic{
+				Pos: sa.prog.position(s.snap.decl.Name.Pos()),
+				Message: fmt.Sprintf("%s.Snapshot does not capture mutable field %s; write it into the snapshot or mark it //foam:transient with a reason",
+					recvName, key),
+			})
+		}
+		if !restCovered {
+			report(Diagnostic{
+				Pos: sa.prog.position(s.rest.decl.Name.Pos()),
+				Message: fmt.Sprintf("%s.RestoreSnapshot does not restore mutable field %s; restore it from the snapshot or mark it //foam:transient with a reason",
+					recvName, key),
+			})
+		}
+	})
+}
+
+// walkLeaves enumerates the reachable mutable-candidate leaves of tn's
+// struct, pruning //foam:transient fields, //foam:sharedro table types,
+// and values that carry behavior rather than state (interfaces, funcs,
+// channels). Nested module structs are walked recursively; visited
+// guards type cycles.
+func (sa *snapAnalysis) walkLeaves(tn *types.TypeName, path []types.Object, visited map[*types.TypeName]bool, visit func(path []types.Object, leaf types.Object)) {
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok || len(path) > dimDepth {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if _, isTransient := sa.prog.pragmas.transient[f]; isTransient {
+			continue
+		}
+		t := f.Type()
+		// Unwrap pointers and element layers to the carried value type.
+		for depth := 0; depth < dimDepth; depth++ {
+			switch u := t.Underlying().(type) {
+			case *types.Pointer:
+				t = u.Elem()
+				continue
+			case *types.Slice:
+				t = u.Elem()
+				continue
+			case *types.Array:
+				t = u.Elem()
+				continue
+			}
+			break
+		}
+		switch t.Underlying().(type) {
+		case *types.Interface, *types.Signature, *types.Chan:
+			continue
+		case *types.Struct:
+			inner := namedOf(t)
+			if inner == nil {
+				continue // anonymous struct fields carry no named contract
+			}
+			if sa.prog.pragmas.sharedro[inner] {
+				continue // immutable by the sharedro proof
+			}
+			if !sa.moduleLocal(inner) {
+				continue // sync.Mutex and friends: not model state
+			}
+			if visited[inner] {
+				continue
+			}
+			visited[inner] = true
+			sa.walkLeaves(inner, append(path, f), visited, visit)
+			visited[inner] = false
+		default:
+			// Basic values, maps, named scalars: a state-carrying leaf.
+			visit(path, f)
+		}
+	}
+}
+
+// moduleLocal reports whether tn is declared inside the analyzed module.
+func (sa *snapAnalysis) moduleLocal(tn *types.TypeName) bool {
+	pkg := tn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == sa.prog.ModulePath || strings.HasPrefix(path, sa.prog.ModulePath+"/")
+}
+
+// paramSetOf returns the parameter and receiver variables of a function
+// node.
+func paramSetOf(node *funcNode) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	sig, ok := node.fn.Type().(*types.Signature)
+	if !ok {
+		return out
+	}
+	if r := sig.Recv(); r != nil {
+		out[r] = true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out[sig.Params().At(i)] = true
+	}
+	return out
+}
+
+// markSet records node in the per-object function set.
+func markSet(m map[types.Object]map[*funcNode]bool, f types.Object, node *funcNode) {
+	s := m[f]
+	if s == nil {
+		s = make(map[*funcNode]bool)
+		m[f] = s
+	}
+	s[node] = true
+}
+
+// destChain unwraps a write destination or argument expression into its
+// selector chain: the ordered field objects (outermost first), the
+// named type of the root, the root object when the chain bottoms out in
+// a variable, and whether the walk passed through storage (deref,
+// index, or selector) rather than naming a binding.
+func destChain(pkg *Package, sc *fnScope, e ast.Expr, depth int) (fields []types.Object, rootTN *types.TypeName, rootObj types.Object, stepped bool) {
+	if depth > 2*dimDepth {
+		return nil, nil, nil, false
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.IndexExpr:
+		fields, rootTN, rootObj, _ = destChain(pkg, sc, x.X, depth+1)
+		return fields, rootTN, rootObj, true
+	case *ast.StarExpr:
+		fields, rootTN, rootObj, _ = destChain(pkg, sc, x.X, depth+1)
+		return fields, rootTN, rootObj, true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return destChain(pkg, sc, x.X, depth+1)
+		}
+	case *ast.SelectorExpr:
+		if fo := fieldObjOf(pkg, x); fo != nil {
+			sub, tn, ro, _ := destChain(pkg, sc, x.X, depth+1)
+			return append([]types.Object{fo}, sub...), tn, ro, true
+		}
+		// Package-qualified var or method value: resolve the object.
+		if obj := pkg.Info.Uses[x.Sel]; obj != nil {
+			return nil, namedOf(obj.Type()), obj, false
+		}
+	case *ast.CallExpr:
+		if t := pkg.Info.TypeOf(x); t != nil {
+			return nil, namedOf(t), nil, true
+		}
+	case *ast.CompositeLit:
+		// Reached by following a single-assignment local back to
+		// `&T{...}`: the root type must survive, or every constructor
+		// that fills fields after the literal looks like a dirty write.
+		if t := pkg.Info.TypeOf(x); t != nil {
+			return nil, namedOf(t), nil, true
+		}
+	case *ast.Ident:
+		obj := sc.obj(x)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return nil, nil, obj, false
+		}
+		// Follow reference-typed single-assignment locals: an alias does
+		// not launder the write. Value copies rebind (struct copy).
+		if referenceLike(v.Type()) {
+			if rhs, rec := sc.single[v]; rec && rhs != nil && ast.Unparen(rhs) != ast.Unparen(e) {
+				return destChain(pkg, sc, rhs, depth+1)
+			}
+		}
+		return nil, namedOf(v.Type()), v, false
+	}
+	return nil, nil, nil, false
+}

@@ -88,6 +88,66 @@ type guardBox struct {
 	v int
 }
 
+// want(+2) `//foam:units needs at least one <name>=<unit-expr> pair`
+//
+//foam:units
+var uBare float64
+
+// want(+2) `//foam:units argument "uPair" is not of the form <name>=<unit-expr>`
+//
+//foam:units uPair
+var uPair float64
+
+// want(+2) `//foam:units uExpr: bad unit expression`
+//
+//foam:units uExpr=furlong/s
+var uExpr float64
+
+// want(+2) `//foam:units names "other", which this declaration does not declare`
+//
+//foam:units other=m
+var uName float64
+
+// want(+2) `//foam:units on uString: type string has no numeric elements to carry a unit`
+//
+//foam:units uString=m
+var uString string
+
+// want(+2) `misplaced //foam:units: it must be attached to a struct field, var/const spec, or func declaration`
+//
+//foam:units T=K
+type uType struct{ T float64 }
+
+// want(+2) `//foam:units names "zz", which is not a parameter or result of fnUnits`
+//
+//foam:units zz=m
+func fnUnits(a float64) float64 { return a }
+
+// want(+2) `//foam:units return= needs exactly one result \(fnTwo has 2\)`
+//
+//foam:units return=m
+func fnTwo() (float64, float64) { return 0, 0 }
+
+// want(+2) `//foam:transient must be attached to a struct field, not a function`
+//
+//foam:transient buf scratch
+func fnTransient() {}
+
+// transientBox holds every way to write //foam:transient wrong.
+type transientBox struct {
+	//foam:transient
+	// want(-1) `//foam:transient needs a field name and a reason: //foam:transient <field> <reason>`
+	a int
+
+	//foam:transient b
+	// want(-1) `//foam:transient b is missing its reason`
+	b int
+
+	//foam:transient zz per-step scratch
+	// want(-1) `//foam:transient names "zz", which this field declaration does not declare`
+	c int
+}
+
 func body() {
 	//foam:hotpath
 	// want(-1) `misplaced //foam:hotpath`

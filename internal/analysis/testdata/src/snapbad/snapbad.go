@@ -1,0 +1,57 @@
+// Package snapbad drops state from a checkpoint. comp accumulates a
+// running diagnostic sum (acc) and a step counter (steps) every step;
+// Snapshot forgets acc entirely and RestoreSnapshot puts back neither
+// acc nor steps. Every fork of this component silently diverges from
+// its parent on the first post-fork step — but only in acc and steps,
+// so a fork-consistency test comparing the primary state vector passes,
+// and the race detector has nothing to say. Checkpoint completeness has
+// to be a static proof.
+package snapbad
+
+type comp struct {
+	state []float64
+	acc   []float64
+	steps int
+}
+
+func newComp(n int) *comp {
+	return &comp{state: make([]float64, n), acc: make([]float64, n)}
+}
+
+type snap struct {
+	State []float64
+	Steps int
+}
+
+func (c *comp) Step(dt float64) {
+	for i := range c.state {
+		c.state[i] += dt
+		c.acc[i] += c.state[i]
+	}
+	c.steps++
+}
+
+func (c *comp) Snapshot() any { // want `\(\*snapbad\.comp\)\.Snapshot does not capture mutable field acc; write it into the snapshot or mark it //foam:transient with a reason`
+	return &snap{
+		State: append([]float64(nil), c.state...),
+		Steps: c.steps,
+	}
+}
+
+func (c *comp) RestoreSnapshot(s any) error { // want `\(\*snapbad\.comp\)\.RestoreSnapshot does not restore mutable field acc` `\(\*snapbad\.comp\)\.RestoreSnapshot does not restore mutable field steps`
+	v, ok := s.(*snap)
+	if !ok {
+		return errBadSnapshot
+	}
+	copy(c.state, v.State)
+	// steps is read for validation but never written back: reading is
+	// not restoring.
+	_ = c.steps
+	return nil
+}
+
+type snapError string
+
+func (e snapError) Error() string { return string(e) }
+
+const errBadSnapshot = snapError("snapbad: wrong snapshot type")

@@ -1,0 +1,112 @@
+// Package unitbad commits the dimensional crimes unitcheck exists to
+// catch. Each one is numerically plausible — the run keeps producing
+// ocean-shaped numbers — which is exactly why the race detector, the
+// determinism matrix, and the allocation gate all stay silent: only
+// dimensional analysis can see that a W/m^2 flux was added to a
+// kg/m^2/s flux.
+package unitbad
+
+import "math"
+
+// Flux is one exchange record of the toy coupler.
+type Flux struct {
+	//foam:units Heat=W/m^2
+	Heat []float64
+	//foam:units Evap=kg/m^2/s
+	Evap []float64
+	//foam:units TauX=N/m^2
+	TauX []float64
+	// Rain has no annotation yet: the sink rule below insists on one.
+	Rain []float64
+}
+
+// bounds carries one annotated limit.
+type bounds struct {
+	//foam:units maxHeat=W/m^2
+	maxHeat float64
+}
+
+// LVap is the latent heat of vaporization.
+//
+//foam:units LVap=J/kg
+const LVap = 2.5e6
+
+// dtStep is the coupling interval.
+//
+//foam:units dtStep=s
+var dtStep = 1800.0
+
+// MaxStress mirrors the coupler's clampAbs flux bound, but its pragma
+// declares the wrong dimension (a heat flux instead of a stress) — what
+// happens if someone edits a conversion constant's declared unit without
+// editing its uses.
+//
+//foam:units MaxStress=W/m^2
+const MaxStress = 2.0
+
+// bound declares its parameter's dimension.
+//
+//foam:units h=W/m^2
+func bound(h float64) float64 { return h }
+
+// through is an unannotated helper: return inference carries the
+// argument's unit through it.
+func through(x float64) float64 { return x }
+
+// wrongReturn promises W/m^2 and delivers a freshwater flux.
+//
+//foam:units return=W/m^2
+func wrongReturn(f *Flux, i int) float64 {
+	return f.Evap[i] // want `unit mismatch: returning f\.Evap\[i\] \(kg/m\^2/s\) from wrongReturn declared kg/s\^3`
+}
+
+func (f *Flux) accumulate(i int) {
+	// The Figure-1 bug: adding a heat flux to a freshwater flux.
+	total := f.Heat[i] + f.Evap[i] // want `unit mismatch: "\+" combines f\.Heat\[i\] \(kg/s\^3\) and f\.Evap\[i\] \(kg/m\^2/s\)`
+	_ = total
+
+	// Comparing momentum against heat.
+	if f.TauX[i] > f.Heat[i] { // want `unit mismatch: ">" combines f\.TauX\[i\] \(kg/m/s\^2\) and f\.Heat\[i\] \(kg/s\^3\)`
+		return
+	}
+
+	// Storing a freshwater flux into a heat-flux slot.
+	f.Heat[i] = f.Evap[i] // want `unit mismatch: storing f\.Evap\[i\] \(kg/m\^2/s\) into f\.Heat\[i\] declared kg/s\^3`
+
+	// Scaling by a dimensioned factor silently re-units the slot: after
+	// this, TauX holds N*s/m^2, not N/m^2.
+	f.TauX[i] *= dtStep // want `unit mismatch: "\*=" by dtStep \(s\) changes f\.TauX\[i\] from its declared kg/m/s\^2 in place`
+
+	// Passing the wrong flux to an annotated parameter.
+	_ = bound(f.Evap[i]) // want `unit mismatch: argument f\.Evap\[i\] \(kg/m\^2/s\) passed to parameter h of bound declared kg/s\^3`
+
+	// Unannotated fields of a partially annotated struct must not leak
+	// into annotated sinks: the missing annotation is where the next
+	// bug hides.
+	f.Heat[i] = f.Rain[i] // want `unannotated field f\.Rain\[i\] of Flux flows into f\.Heat\[i\] declared kg/s\^3; annotate Flux\.Rain with //foam:units`
+
+	// Keyed literals are stores too.
+	_ = bounds{maxHeat: f.Evap[i]} // want `unit mismatch: field maxHeat declared kg/s\^3 initialized with f\.Evap\[i\] \(kg/m\^2/s\)`
+
+	// Clamping a heat flux against a momentum flux.
+	_ = math.Max(f.Heat[i], f.TauX[i]) // want `unit mismatch: math\.Max combines f\.Heat\[i\] \(kg/s\^3\) and f\.TauX\[i\] \(kg/m/s\^2\)`
+
+	// Units survive unannotated helpers (return inference) and
+	// single-assignment locals: laundering does not help.
+	h := through(f.Heat[i])
+	e := f.Evap[i]
+	_ = h - e // want `unit mismatch: "-" combines h \(kg/s\^3\) and e \(kg/m\^2/s\)`
+
+	// LVap*Evap is a correct latent-heat conversion (J/kg * kg/m^2/s =
+	// W/m^2), so storing it into Evap is wrong on the OTHER side.
+	f.Evap[i] = LVap * f.Evap[i] // want `unit mismatch: storing LVap \* f\.Evap\[i\] \(kg/s\^3\) into f\.Evap\[i\] declared kg/m\^2/s`
+}
+
+// clampStress is the coupler's flux clamp with the drifted bound above:
+// the comparison is where the wrong declared unit surfaces.
+func clampStress(f *Flux, i int) float64 {
+	if f.TauX[i] > MaxStress { // want `unit mismatch: ">" combines f\.TauX\[i\] \(kg/m/s\^2\) and MaxStress \(kg/s\^3\)`
+		return MaxStress
+	}
+	return f.TauX[i]
+}

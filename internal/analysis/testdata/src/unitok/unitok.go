@@ -1,0 +1,81 @@
+// Package unitok is the correct mirror of unitbad: real conversion
+// chains from the coupler's flux scheme, written with the right
+// factors. unitcheck must stay silent on all of it — constants are
+// polymorphic (offsets and tuning factors never trip the algebra),
+// division composes dimensions, Sqrt and integer Pow propagate, and
+// helpers carry units through without annotations.
+package unitok
+
+import "math"
+
+// Surface is a fully annotated exchange state.
+type Surface struct {
+	//foam:units SST=degC Heat=W/m^2 Evap=kg/m^2/s Rain=kg/m^2/s
+	SST, Heat, Evap, Rain []float64
+	//foam:units TauX=N/m^2 TauY=N/m^2
+	TauX, TauY []float64
+	//foam:units Water=m
+	Water []float64
+}
+
+// Physical constants with their dimensions.
+//
+//foam:units LVap=J/kg StefBo=W/m^2/K^4 RhoWater=kg/m^3 Cp=J/kg/K
+const (
+	LVap     = 2.501e6
+	StefBo   = 5.670e-8
+	RhoWater = 1000.0
+	Cp       = 1004.64
+)
+
+// clampAbs limits v to [-lim, lim]; return inference gives the result
+// the unit of its arguments at each call site.
+func clampAbs(v, lim float64) float64 {
+	if v > lim {
+		return lim
+	}
+	if v < -lim {
+		return -lim
+	}
+	return v
+}
+
+// maxTau is the momentum-flux bound.
+//
+//foam:units maxTau=N/m^2
+const maxTau = 2.0
+
+//foam:units u=m/s v=m/s return=m/s
+func windSpeed(u, v float64) float64 {
+	return math.Sqrt(u*u + v*v)
+}
+
+//foam:units dt=s
+func (s *Surface) step(i int, dt, uWind, vWind float64) {
+	// Affine offsets are polymorphic: degC + 273.15 is fine.
+	sstK := s.SST[i] + 273.15
+
+	// Stefan-Boltzmann: K^4 * W/m^2/K^4 = W/m^2.
+	lw := 0.97 * StefBo * math.Pow(sstK, 4)
+
+	// Latent heat: kg/m^2/s * J/kg = W/m^2. Accumulating like into like.
+	s.Heat[i] += lw + LVap*s.Evap[i]
+
+	// Freshwater depth: kg/m^2/s * s / (kg/m^3) = m.
+	s.Water[i] += (s.Rain[i] - s.Evap[i]) * dt / RhoWater
+
+	// Dimensionless scaling keeps the slot's unit.
+	s.Heat[i] *= 0.5
+
+	// Sqrt of a squared speed is a speed; tuning factors are
+	// polymorphic under multiplication.
+	_ = 1.2e-3 * windSpeed(uWind, vWind)
+
+	// Bounds carry the same unit as the value they clamp, through an
+	// unannotated helper.
+	s.TauX[i] = clampAbs(s.TauX[i], maxTau)
+	s.TauY[i] = clampAbs(s.TauY[i], maxTau)
+
+	// math.Max over matching units preserves them.
+	s.Evap[i] = math.Max(s.Evap[i], 0)
+}

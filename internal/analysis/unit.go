@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The dimensional algebra behind the unitcheck analyzer. A Unit is a
+// vector of integer exponents over the SI base dimensions the model
+// actually uses — kg, m, s, K — plus psu for salinity (a non-SI
+// practical unit that never cancels against anything else). Derived
+// symbols accepted in //foam:units expressions (W, J, N, Pa, degC, rad)
+// are expanded to this base immediately, so two spellings of the same
+// physical dimension — "W/m^2" and "kg/s^3" — compare equal, and a flux
+// in kg/m^2/s can never silently add to one in W/m^2.
+//
+// The algebra is deliberately blind to affine offsets and scale: degC
+// and K share a dimension (a temperature difference is a temperature
+// difference), and bare numeric constants are polymorphic (see uval in
+// unitcheck.go), so sstC+273.15 type-checks while sstC+heatFlux does
+// not.
+
+// Unit maps a base dimension symbol to its exponent. Entries with a
+// zero exponent are never stored; the nil/empty map is dimensionless.
+type Unit map[string]int
+
+// baseUnits are the dimension symbols a canonical Unit is expressed in.
+var baseUnits = map[string]bool{
+	"kg":  true,
+	"m":   true,
+	"s":   true,
+	"K":   true,
+	"psu": true,
+}
+
+// derivedUnits expands the accepted non-base symbols. Angles (rad) are
+// dimensionless; degC aliases K because the algebra tracks dimensions,
+// not offsets.
+var derivedUnits = map[string]Unit{
+	"degC": {"K": 1},
+	"rad":  {},
+	"W":    {"kg": 1, "m": 2, "s": -3},
+	"J":    {"kg": 1, "m": 2, "s": -2},
+	"N":    {"kg": 1, "m": 1, "s": -2},
+	"Pa":   {"kg": 1, "m": -1, "s": -2},
+}
+
+// ParseUnit parses a //foam:units expression:
+//
+//	expr = term { ("*" | "/") term }
+//	term = symbol [ "^" [ "-" ] digits ] | "1"
+//
+// Symbols are the base dimensions (kg, m, s, K, psu) or the derived
+// symbols (W, J, N, Pa, degC, rad), which expand to base form. "1" is
+// the dimensionless unit and is only meaningful as a numerator term
+// ("1", or "1/s" for a rate). No whitespace is allowed: unit
+// expressions are single tokens inside space-separated pragma
+// arguments.
+func ParseUnit(src string) (Unit, error) {
+	if src == "" {
+		return nil, fmt.Errorf("empty unit expression")
+	}
+	u := make(Unit)
+	rest := src
+	sign := 1
+	for i := 0; ; i++ {
+		term := rest
+		sep := strings.IndexAny(rest, "*/")
+		if sep >= 0 {
+			term, rest = rest[:sep], rest[sep+1:]
+		} else {
+			rest = ""
+		}
+		if err := parseTerm(u, term, sign); err != nil {
+			return nil, fmt.Errorf("%s: %w", src, err)
+		}
+		if term == "1" && i > 0 {
+			return nil, fmt.Errorf("%s: \"1\" is only valid as the leading numerator term", src)
+		}
+		if sep < 0 {
+			break
+		}
+		if src[len(src)-len(rest)-1] == '/' {
+			sign = -1
+		} else {
+			sign = 1
+		}
+	}
+	u.normalize()
+	return u, nil
+}
+
+// parseTerm folds one sym[^exp] factor into u with the given sign.
+func parseTerm(u Unit, term string, sign int) error {
+	if term == "" {
+		return fmt.Errorf("empty term")
+	}
+	sym, expStr, hasExp := strings.Cut(term, "^")
+	exp := 1
+	if hasExp {
+		n, err := strconv.Atoi(expStr)
+		if err != nil || n == 0 {
+			return fmt.Errorf("bad exponent %q (want a nonzero integer)", expStr)
+		}
+		exp = n
+	}
+	if sym == "1" {
+		if hasExp {
+			return fmt.Errorf("\"1\" takes no exponent")
+		}
+		return nil
+	}
+	if baseUnits[sym] {
+		u[sym] += sign * exp
+		return nil
+	}
+	if d, ok := derivedUnits[sym]; ok {
+		for b, e := range d {
+			u[b] += sign * exp * e
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown unit symbol %q", sym)
+}
+
+// normalize drops zero exponents so Equal and Canonical see one
+// representation per dimension.
+func (u Unit) normalize() {
+	for sym, exp := range u {
+		if exp == 0 {
+			delete(u, sym)
+		}
+	}
+}
+
+// Canonical renders u in the fixed base-symbol form that ParseUnit
+// round-trips exactly: positive factors sorted and joined with "*",
+// negative factors appended as "/sym" or "/sym^k", and "1" when there
+// is no numerator ("1", "1/s", "kg/m^2/s").
+func (u Unit) Canonical() string {
+	syms := make([]string, 0, len(u))
+	for sym, exp := range u {
+		if exp != 0 {
+			syms = append(syms, sym)
+		}
+	}
+	sort.Strings(syms)
+	var b strings.Builder
+	for _, sym := range syms {
+		if exp := u[sym]; exp > 0 {
+			if b.Len() > 0 {
+				b.WriteByte('*')
+			}
+			b.WriteString(sym)
+			if exp > 1 {
+				fmt.Fprintf(&b, "^%d", exp)
+			}
+		}
+	}
+	if b.Len() == 0 {
+		b.WriteByte('1')
+	}
+	for _, sym := range syms {
+		if exp := u[sym]; exp < 0 {
+			b.WriteByte('/')
+			b.WriteString(sym)
+			if exp < -1 {
+				fmt.Fprintf(&b, "^%d", -exp)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Equal reports dimensional equality.
+func (u Unit) Equal(v Unit) bool {
+	for sym, exp := range u {
+		if exp != 0 && v[sym] != exp {
+			return false
+		}
+	}
+	for sym, exp := range v {
+		if exp != 0 && u[sym] != exp {
+			return false
+		}
+	}
+	return true
+}
+
+// Dimensionless reports whether u has no dimension.
+func (u Unit) Dimensionless() bool {
+	for _, exp := range u {
+		if exp != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns the product dimension u·v.
+func (u Unit) Mul(v Unit) Unit {
+	out := make(Unit, len(u)+len(v))
+	for sym, exp := range u {
+		out[sym] += exp
+	}
+	for sym, exp := range v {
+		out[sym] += exp
+	}
+	out.normalize()
+	return out
+}
+
+// Div returns the quotient dimension u/v.
+func (u Unit) Div(v Unit) Unit {
+	out := make(Unit, len(u)+len(v))
+	for sym, exp := range u {
+		out[sym] += exp
+	}
+	for sym, exp := range v {
+		out[sym] -= exp
+	}
+	out.normalize()
+	return out
+}
+
+// Pow returns u raised to the integer power n.
+func (u Unit) Pow(n int) Unit {
+	out := make(Unit, len(u))
+	for sym, exp := range u {
+		out[sym] = exp * n
+	}
+	out.normalize()
+	return out
+}
+
+// Root returns (u^(1/n), true) when every exponent divides evenly —
+// how math.Sqrt propagates m^2/s^2 to m/s — and (nil, false) otherwise.
+func (u Unit) Root(n int) (Unit, bool) {
+	out := make(Unit, len(u))
+	for sym, exp := range u {
+		if exp%n != 0 {
+			return nil, false
+		}
+		out[sym] = exp / n
+	}
+	out.normalize()
+	return out, true
+}

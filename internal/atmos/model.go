@@ -143,6 +143,7 @@ func (s *specState) copyFrom(o *specState) {
 // dynamical core and column physics, and exchanges surface fluxes through a
 // Boundary (the coupler, in the coupled model).
 type Model struct {
+	//foam:transient cfg run configuration, fixed after construction; Restore requires a model of identical configuration
 	cfg  Config
 	grid *sphere.Grid
 	tr   *spectral.Transform
@@ -152,8 +153,9 @@ type Model struct {
 
 	cur, old *specState // time levels t and t-1
 
-	q    [][]float64 // grid specific humidity [lev][cell], kg/kg
-	phiS []float64   // surface geopotential on grid, m^2/s^2
+	q [][]float64 // grid specific humidity [lev][cell], kg/kg
+	//foam:transient phiS orography, installed once by SetOrography before the first step; forks share identical boundary geometry
+	phiS []float64 // surface geopotential on grid, m^2/s^2
 
 	boundary Boundary
 	phy      *physicsState
@@ -167,6 +169,7 @@ type Model struct {
 
 	// CostTrace, when enabled with EnableCostTrace, records wall-time
 	// breakdowns of the latest step for the parallel performance harness.
+	//foam:transient costEnabled cost-trace toggle for the performance harness, not simulation state
 	costEnabled bool
 	lastCost    StepCost
 }
@@ -202,11 +205,17 @@ type geomTables struct {
 
 // StepDiagnostics carries per-step globals for monitoring and tests.
 type StepDiagnostics struct {
-	MeanPs      float64 // area-mean surface pressure, Pa
-	MeanT       float64 // mass-weighted mean temperature, K
-	MaxWind     float64 // max |u| over grid, m/s
-	PrecipMean  float64 // area-mean precipitation rate, kg/m^2/s
-	EvapMean    float64 // area-mean evaporation, kg/m^2/s
+	//foam:units MeanPs=Pa
+	MeanPs float64 // area-mean surface pressure, Pa
+	//foam:units MeanT=K
+	MeanT float64 // mass-weighted mean temperature, K
+	//foam:units MaxWind=m/s
+	MaxWind float64 // max |u| over grid, m/s
+	//foam:units PrecipMean=kg/m^2/s
+	PrecipMean float64 // area-mean precipitation rate, kg/m^2/s
+	//foam:units EvapMean=kg/m^2/s
+	EvapMean float64 // area-mean evaporation, kg/m^2/s
+	//foam:units KineticMean=m^2/s^2
 	KineticMean float64 // mean kinetic energy per unit mass
 }
 

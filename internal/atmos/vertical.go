@@ -13,6 +13,8 @@ import (
 )
 
 // Thermodynamic constants (SI).
+//
+//foam:units RDry=J/kg/K Cp=J/kg/K LVap=J/kg LFus=J/kg RVap=J/kg/K P00=Pa TRef=K StefBo=W/m^2/K^4
 const (
 	RDry   = 287.04  // gas constant for dry air, J/(kg K)
 	Cp     = 1004.64 // specific heat at constant pressure, J/(kg K)

@@ -28,25 +28,32 @@ type Coupler struct {
 
 	// landFrac is the land fraction per atmosphere cell (1 = all land).
 	landFrac []float64
+	//foam:units wetAtmArea=m^2
 	// wetAtmArea is the wet-ocean overlap area per atmosphere cell, m^2.
 	wetAtmArea []float64
 
 	// Ocean-side state mirrored on the ocean grid (refreshed by AbsorbOcean
 	// or, in the message-passing configuration, by received messages).
+	//foam:units sstC=degC
 	sstC    []float64 // deg C
 	ocnMask []float64
+	//foam:units iceForm=kg/m^2/s
 	iceForm []float64 // kg/m^2/s freezing flux from the ocean clamp
 
 	// Forcing accumulators on the ocean grid (averaged over the atmosphere
 	// steps between ocean calls).
+	//foam:units accTauX=N/m^2 accTauY=N/m^2
 	accTauX, accTauY []float64
-	accHeat, accFW   []float64
-	accSteps         int
+	//foam:units accHeat=W/m^2 accFW=kg/m^2/s
+	accHeat, accFW []float64
+	accSteps       int
 
+	//foam:units accRunoff=kg/m^2/s
 	// Runoff accumulator on the atmosphere grid.
 	accRunoff []float64
 
 	// Ocean-grid metrics for ice drift (lazy).
+	//foam:units ocnDx=m ocnDy=m
 	ocnDx, ocnDy, ocnCos []float64
 
 	// Scratch. The buffers below are reused every Exchange/DrainOceanForcing
@@ -76,22 +83,28 @@ type Coupler struct {
 // pieceFlux is the flux contribution of one overlap piece, already
 // multiplied by its area weights.
 type pieceFlux struct {
-	ok                                    bool // piece is wet and contributes
+	ok bool // piece is wet and contributes
+	//foam:units tsurf=K taux=N/m^2 tauy=N/m^2 sens=W/m^2 evap=kg/m^2/s
 	tsurf, albedo, taux, tauy, sens, evap float64
-	otx, oty, oheat, ofw                  float64
+	//foam:units otx=N/m^2 oty=N/m^2 oheat=W/m^2 ofw=kg/m^2/s
+	otx, oty, oheat, ofw float64
 }
 
 // lowestOnOcn holds atmosphere lowest-level state remapped to the ocean
 // grid, used to drive the per-ocean-cell sea ice model.
 type lowestOnOcn struct {
+	//foam:units T=K U=m/s V=m/s Ps=Pa Z=m SW=W/m^2 LW=W/m^2 Snow=kg/m^2/s
 	T, Q, U, V, Ps, Z, SW, LW, Snow []float64
 }
 
 // WaterBudget tracks the global hydrological cycle for closure tests
 // (experiment E9). All terms are kg accumulated since Reset.
 type WaterBudget struct {
+	//foam:units Precip=kg Evap=kg
 	Precip, Evap float64 // over land
-	Runoff       float64 // land -> rivers
+	//foam:units Runoff=kg
+	Runoff float64 // land -> rivers
+	//foam:units RiverToOcean=kg
 	RiverToOcean float64 // rivers -> ocean
 }
 
@@ -438,8 +451,8 @@ func (cp *Coupler) computePieceFlux(piece *OverlapCell, in *atmos.LowestLevel, i
 		tsurf: wAtm * sstK, albedo: wAtm * 0.07,
 		taux: wAtm * tx, tauy: wAtm * ty,
 		sens: wAtm * sh, evap: wAtm * ev,
-		otx: wOcn * clampAbs(tx, 2.0), oty: wOcn * clampAbs(ty, 2.0),
-		oheat: wOcn * clampAbs(netHeat, 1500),
+		otx: wOcn * clampStress(tx, MaxStressIntoOcean), oty: wOcn * clampStress(ty, MaxStressIntoOcean),
+		oheat: wOcn * clampHeat(netHeat, MaxHeatIntoOcean),
 		ofw:   wOcn * (in.RainRate[a] + in.SnowRate[a] - ev),
 	}
 }
@@ -462,6 +475,35 @@ func (cp *Coupler) accumulatePiece(piece *OverlapCell, pf *pieceFlux, ex *atmos.
 	cp.accHeat[oc] += pf.oheat
 	cp.accFW[oc] += pf.ofw
 }
+
+// Flux bounds applied by clampAbs before atmosphere-side fluxes reach the
+// ocean accumulators. Each bound carries its unit so unitcheck proves the
+// clamp compares like with like; the magnitudes are set just above the
+// strongest values real forcing reaches, so they only bite during the
+// atmosphere's first-day spin-up shock (see the coupler bounds table test
+// for the physical justification of each number).
+//
+//foam:units MaxStressIntoOcean=N/m^2 MaxHeatIntoOcean=W/m^2
+const (
+	// MaxStressIntoOcean caps the wind stress passed to the ocean. Observed
+	// storm-force stress peaks near 1.5 N/m^2 (hurricane drag saturation);
+	// 2 N/m^2 passes everything physical.
+	MaxStressIntoOcean = 2.0
+	// MaxHeatIntoOcean caps the net surface heat flux magnitude. Peak
+	// observed air-sea fluxes (cold-air outbreaks over western boundary
+	// currents) reach ~1000 W/m^2; 1500 W/m^2 passes everything physical.
+	MaxHeatIntoOcean = 1500.0
+)
+
+// clampStress and clampHeat are the dimension-checked faces of clampAbs:
+// their parameter annotations are what turns a drifted declared unit on
+// either bound constant into a unitcheck finding at the call site.
+//
+//foam:units x=N/m^2 lim=N/m^2 return=N/m^2
+func clampStress(x, lim float64) float64 { return clampAbs(x, lim) }
+
+//foam:units x=W/m^2 lim=W/m^2 return=W/m^2
+func clampHeat(x, lim float64) float64 { return clampAbs(x, lim) }
 
 // clampAbs bounds a flux to a physically plausible magnitude, protecting
 // the ocean from the atmosphere's first-day spin-up shock.

@@ -16,34 +16,57 @@ import (
 	"foam/internal/sphere"
 )
 
+// RhoWater converts between water mass per area (kg/m^2) and liquid water
+// depth (m): the density of fresh water.
+//
+//foam:units RhoWater=kg/m^3
+const RhoWater = 1000.0
+
 // Field capacity of the soil moisture bucket, metres of water (the paper's
 // 15 cm box).
+//
+//foam:units BucketCapacity=m
 const BucketCapacity = 0.15
 
 // SnowShedDepth is the liquid-water-equivalent snow depth above which the
 // excess is sent to the river model (ice-sheet mimic).
+//
+//foam:units SnowShedDepth=m
 const SnowShedDepth = 1.0
 
 // Input is the per-cell atmospheric state and radiation the land model
 // consumes each step.
 type Input struct {
+	//foam:units SWDown=W/m^2 LWDown=W/m^2
 	SWDown, LWDown float64 // W/m^2
-	TAir, QAir     float64 // lowest-level temperature (K) and humidity
-	UAir, VAir     float64 // lowest-level winds, m/s
-	Ps             float64 // surface pressure, Pa
-	ZRef           float64 // height of the lowest level, m
+	//foam:units TAir=K
+	TAir, QAir float64 // lowest-level temperature (K) and humidity
+	//foam:units UAir=m/s VAir=m/s
+	UAir, VAir float64 // lowest-level winds, m/s
+	//foam:units Ps=Pa
+	Ps float64 // surface pressure, Pa
+	//foam:units ZRef=m
+	ZRef float64 // height of the lowest level, m
+	//foam:units Rain=kg/m^2/s Snowfall=kg/m^2/s
 	Rain, Snowfall float64 // kg/m^2/s reaching the ground
 }
 
 // Output is the land model's reply.
 type Output struct {
-	TSurf    float64 // radiative surface temperature, K
-	Albedo   float64
+	//foam:units TSurf=K
+	TSurf  float64 // radiative surface temperature, K
+	Albedo float64
+	//foam:units Sensible=W/m^2
 	Sensible float64 // upward W/m^2
-	Evap     float64 // upward kg/m^2/s
-	TauX     float64 // stress opposing the wind, N/m^2
-	TauY     float64
-	Runoff   float64 // kg/m^2/s to the river model
+	//foam:units Evap=kg/m^2/s
+	Evap float64 // upward kg/m^2/s
+	//foam:units TauX=N/m^2
+	TauX float64 // stress opposing the wind, N/m^2
+	//foam:units TauY=N/m^2
+	TauY float64
+	//foam:units Runoff=kg/m^2/s
+	Runoff float64 // kg/m^2/s to the river model
+	//foam:units SnowShed=kg/m^2/s
 	SnowShed float64 // kg/m^2/s to the river model from deep snow
 }
 
@@ -55,9 +78,12 @@ type Model struct {
 	mask  []bool
 
 	// Per-cell state.
-	T     [][4]float64 // soil layer temperatures, K
-	Water []float64    // bucket soil moisture, m
-	Snow  []float64    // snow depth, m liquid water equivalent
+	//foam:units T=K
+	T [][4]float64 // soil layer temperatures, K
+	//foam:units Water=m
+	Water []float64 // bucket soil moisture, m
+	//foam:units Snow=m
+	Snow []float64 // snow depth, m liquid water equivalent
 }
 
 // New builds a land model with soil types and land mask from the synthetic
@@ -120,6 +146,8 @@ func (m *Model) Albedo(c int) float64 {
 }
 
 // Step advances one land cell by dt seconds and returns the fluxes.
+//
+//foam:units dt=s
 func (m *Model) Step(c int, in Input, dt float64) Output {
 	props := data.Soils[m.types[c]]
 	T := &m.T[c]
@@ -184,18 +212,18 @@ func (m *Model) Step(c int, in Input, dt float64) Output {
 
 	// --- Hydrology (the Manabe bucket).
 	// Snow accumulation and melt.
-	m.Snow[c] += in.Snowfall * dt / 1000 // kg/m^2 -> m LWE
+	m.Snow[c] += in.Snowfall * dt / RhoWater // kg/m^2 -> m LWE
 	if T[0] > 273.15 && m.Snow[c] > 0 {
 		// Melt energy limited by the surface excess above freezing.
-		meltCap := (T[0] - 273.15) * heatCap / (1000 * atmos.LFus) // m LWE
+		meltCap := (T[0] - 273.15) * heatCap / (RhoWater * atmos.LFus) // m LWE
 		melt := math.Min(m.Snow[c], meltCap)
 		m.Snow[c] -= melt
 		m.Water[c] += melt
-		T[0] -= melt * 1000 * atmos.LFus / heatCap
+		T[0] -= melt * RhoWater * atmos.LFus / heatCap
 	}
 	// Rain into the bucket; evaporation out (snow sublimates first).
-	m.Water[c] += in.Rain * dt / 1000
-	ev := evap * dt / 1000
+	m.Water[c] += in.Rain * dt / RhoWater
+	ev := evap * dt / RhoWater
 	if m.Snow[c] > 0 {
 		sub := math.Min(m.Snow[c], ev)
 		m.Snow[c] -= sub
@@ -204,7 +232,7 @@ func (m *Model) Step(c int, in Input, dt float64) Output {
 	if ev > m.Water[c] {
 		// Cannot evaporate more than is there: reduce the reported flux.
 		short := ev - m.Water[c]
-		evap -= short * 1000 / dt
+		evap -= short * RhoWater / dt
 		ev = m.Water[c]
 	}
 	m.Water[c] -= ev
@@ -213,12 +241,12 @@ func (m *Model) Step(c int, in Input, dt float64) Output {
 
 	// Runoff: bucket overflow.
 	if m.Water[c] > BucketCapacity {
-		out.Runoff = (m.Water[c] - BucketCapacity) * 1000 / dt
+		out.Runoff = (m.Water[c] - BucketCapacity) * RhoWater / dt
 		m.Water[c] = BucketCapacity
 	}
 	// Ice-sheet mimic: shed deep snow to the rivers.
 	if m.Snow[c] > SnowShedDepth {
-		out.SnowShed = (m.Snow[c] - SnowShedDepth) * 1000 / dt
+		out.SnowShed = (m.Snow[c] - SnowShedDepth) * RhoWater / dt
 		m.Snow[c] = SnowShedDepth
 	}
 	out.TSurf = T[0]

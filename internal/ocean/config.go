@@ -25,11 +25,25 @@ import (
 )
 
 // Physical constants.
+//
+//foam:units Rho0=kg/m^3 CpOcean=J/kg/K TFreeze=degC GravOc=m/s^2
 const (
 	Rho0    = 1025.0  // Boussinesq reference density, kg/m^3
 	CpOcean = 3990.0  // seawater heat capacity, J/(kg K)
 	TFreeze = -1.92   // sea water freezing clamp, deg C (paper Section 4.3)
 	GravOc  = 9.80616 // m/s^2
+)
+
+// Expansion coefficients of the simplified UNESCO-like equation of state
+// rho' = Rho0*(EosAlpha*(T-10) + EosAlpha2*(T-10)^2 + EosBeta*(S-35)):
+// each term is a dimensionless density fraction, so the coefficients carry
+// the inverse powers of the temperature and salinity anomalies.
+//
+//foam:units EosAlpha=1/K EosAlpha2=1/K^2 EosBeta=1/psu
+const (
+	EosAlpha  = -1.67e-4 // linear thermal expansion about 10 degC
+	EosAlpha2 = -0.78e-5 // quadratic thermal expansion (cabbeling)
+	EosBeta   = 7.6e-4   // haline contraction about 35 psu
 )
 
 // Config describes an ocean configuration.

@@ -125,7 +125,7 @@ func (m *Model) density(j0, j1 int) {
 					continue
 				}
 				td := tk[c] - 10
-				rk[c] = Rho0 * (-1.67e-4*td - 0.78e-5*td*td + 7.6e-4*(sk[c]-35))
+				rk[c] = Rho0 * (EosAlpha*td + EosAlpha2*td*td + EosBeta*(sk[c]-35))
 			}
 		}
 	}

@@ -11,8 +11,11 @@ import (
 
 // Forcing is the surface forcing the coupler supplies each tracer step.
 type Forcing struct {
+	//foam:units TauX=N/m^2 TauY=N/m^2
 	TauX, TauY []float64 // surface wind stress on the ocean, N/m^2
-	Heat       []float64 // net heat flux into the ocean, W/m^2
+	//foam:units Heat=W/m^2
+	Heat []float64 // net heat flux into the ocean, W/m^2
+	//foam:units FreshWater=kg/m^2/s
 	FreshWater []float64 // net freshwater flux into the ocean, kg/m^2/s (P-E+runoff-ice)
 }
 
@@ -24,29 +27,42 @@ func NewForcing(n int) *Forcing {
 	}
 }
 
-// Diagnostics are per-step global numbers.
+// Diagnostics are per-step global numbers. The unit annotations double as
+// the source of the printed column headers: diag.Units must agree with them
+// (enforced by TestDiagUnitsMatchAnnotations in internal/analysis).
 type Diagnostics struct {
-	MeanSST   float64 // deg C over ocean
-	MeanEta   float64 // m
-	MaxSpeed  float64 // m/s (surface)
-	MeanKE    float64 // surface kinetic energy per unit mass
-	IceFlux   float64 // area-mean freezing water-equivalent flux, kg/m^2/s
+	//foam:units MeanSST=degC
+	MeanSST float64 // deg C over ocean
+	//foam:units MeanEta=m
+	MeanEta float64 // m
+	//foam:units MaxSpeed=m/s
+	MaxSpeed float64 // m/s (surface)
+	//foam:units MeanKE=m^2/s^2
+	MeanKE float64 // surface kinetic energy per unit mass
+	//foam:units IceFlux=kg/m^2/s
+	IceFlux float64 // area-mean freezing water-equivalent flux, kg/m^2/s
+	//foam:units TotalHeat=degC*m^3
 	TotalHeat float64 // volume integral of temperature (conservation checks)
+	//foam:units TotalSalt=psu*m^3
 	TotalSalt float64
 }
 
 // Model is the FOAM ocean. All fields are full-domain, row-major
 // [k*ncell + j*nlon + i] flattened per level as [][]float64 for clarity.
 type Model struct {
+	//foam:transient cfg run configuration, fixed after construction; Restore requires a model of identical configuration
 	cfg  Config
 	grid *sphere.Grid
 
 	// Metrics per row.
+	//foam:units dx=m dy=m
 	dx, dy []float64 // cell spacing, m
 	cosLat []float64
-	fcor   []float64 // Coriolis per row
+	//foam:units fcor=1/s
+	fcor []float64 // Coriolis per row
 
 	// Vertical grid.
+	//foam:units zh=m zf=m dz=m
 	zh, zf, dz []float64 // half depths (nlev+1), full depths, thickness
 
 	// Bathymetry: number of active levels per cell (0 = land).
@@ -54,37 +70,56 @@ type Model struct {
 	mask []float64 // 1 over ocean, 0 over land (surface)
 
 	// Prognostic state.
-	u, v     [][]float64 // full 3-D velocity, m/s
-	t, s     [][]float64 // potential temperature (deg C), salinity (psu)
-	eta      []float64   // free surface, m
-	ubt, vbt []float64   // barotropic (depth-mean) velocity, m/s
+	//foam:units u=m/s v=m/s
+	u, v [][]float64 // full 3-D velocity, m/s
+	//foam:units t=degC s=psu
+	t, s [][]float64 // potential temperature (deg C), salinity (psu)
+	//foam:units eta=m
+	eta []float64 // free surface, m
+	//foam:units ubt=m/s vbt=m/s
+	ubt, vbt []float64 // barotropic (depth-mean) velocity, m/s
 
 	// Work arrays.
-	rho          [][]float64 // density anomaly
-	pbc          [][]float64 // baroclinic pressure / rho0
+	rho [][]float64 // density anomaly
+	pbc [][]float64 // baroclinic pressure / rho0
+	//foam:transient slowU recomputed from the prognostic state at the top of every tracer step, before the subcycles read it
+	//foam:transient slowV recomputed from the prognostic state at the top of every tracer step, before the subcycles read it
+	//foam:units slowU=m/s^2 slowV=m/s^2
 	slowU, slowV [][]float64 // slow momentum tendencies carried through subcycles
-	wVel         [][]float64 // vertical velocity at half levels (nlev+1)
-	scr          []float64
-	scr2         []float64
+	//foam:transient wVel diagnosed from continuity each step before any read
+	wVel [][]float64 // vertical velocity at half levels (nlev+1)
+	//foam:transient scr per-step scratch, fully rewritten before every read
+	scr []float64
+	//foam:transient scr2 per-step scratch, fully rewritten before every read
+	scr2 []float64
 
+	//foam:units iceFlux=kg/m^2/s
 	iceFlux []float64 // freezing flux diagnosed this step, kg/m^2/s
 
-	step            int
-	diag            Diagnostics
+	step int
+	diag Diagnostics
+	//foam:transient lastStepSeconds wall-clock diagnostic for the load-balance harness, never simulation state
 	lastStepSeconds float64
 
+	//foam:transient fft polar-filter FFT workspace; holds no state between rows
 	fft *rowFilter
+	//foam:transient mix vertical-mixing tridiagonal scratch, refilled per column
 	mix *mixScratch // serial-driver vertical-mixing scratch
 
 	// Shared-memory parallel execution (pool.Serial = serial). The
 	// per-worker scratch replaces scr/scr2/fft where concurrent phases
 	// would collide.
-	pool  pool.Runner
-	wscr  [][]float64   // per-worker full-domain scratch (biharmonic lap, tracer tend)
-	wcol  [][]float64   // per-worker column flux buffers (NLev entries)
-	wfilt []*rowFilter  // per-worker polar-filter FFT workspaces
-	wmix  []*mixScratch // per-worker vertical-mixing scratch
-	shPh  *sharedPhases // pre-bound pool phases (see shared.go)
+	pool pool.Runner
+	//foam:transient wscr per-worker scratch, fully rewritten inside each pool phase
+	wscr [][]float64 // per-worker full-domain scratch (biharmonic lap, tracer tend)
+	//foam:transient wcol per-worker column flux buffers, refilled per column
+	wcol [][]float64 // per-worker column flux buffers (NLev entries)
+	//foam:transient wfilt per-worker FFT workspaces; hold no state between rows
+	wfilt []*rowFilter // per-worker polar-filter FFT workspaces
+	//foam:transient wmix per-worker tridiagonal scratch, refilled per column
+	wmix []*mixScratch // per-worker vertical-mixing scratch
+	//foam:transient shPh pre-bound phase closures and their per-step forcing staging, rebound by bindSharedPhases
+	shPh *sharedPhases // pre-bound pool phases (see shared.go)
 }
 
 // New builds an ocean model with the given bathymetry (kmt: active levels

@@ -17,20 +17,31 @@ import (
 )
 
 // FlowVelocity is the constant effective river flow velocity, m/s.
+//
+//foam:units FlowVelocity=m/s
 const FlowVelocity = 0.35
+
+// RhoWater converts runoff mass flux (kg/m^2/s) to the volume (m^3) the
+// routing stores.
+//
+//foam:units RhoWater=kg/m^3
+const RhoWater = 1000.0
 
 // Model routes runoff on the atmosphere grid.
 type Model struct {
 	net  *data.RiverNetwork
 	grid *sphere.Grid
 
+	//foam:units Volume=m^3
 	// Volume is the stored river water per land cell, m^3.
 	Volume []float64
 
+	//foam:units outflux=kg/m^2/s
 	// outflux accumulates freshwater delivered to ocean cells (on the same
 	// grid) during the last step, kg/m^2/s.
 	outflux []float64
 
+	//foam:units out=m^3
 	// out is the per-step outflow scratch (m^3 shipped per cell).
 	out []float64
 }
@@ -55,6 +66,7 @@ func (m *Model) Network() *data.RiverNetwork { return m.net }
 // at ocean cells of the atmosphere grid.
 //
 //foam:hotpath
+//foam:units runoff=kg/m^2/s dt=s
 func (m *Model) Step(runoff []float64, dt float64) []float64 {
 	g := m.grid
 	n := g.Size()
@@ -75,7 +87,7 @@ func (m *Model) Step(runoff []float64, dt float64) []float64 {
 				m.outflux[c] += runoff[c]
 				continue
 			}
-			m.Volume[c] += runoff[c] * g.Area(j, i) * dt / 1000
+			m.Volume[c] += runoff[c] * g.Area(j, i) * dt / RhoWater
 		}
 	}
 	// Outflow F = V*u/d, applied synchronously (explicit step); the factor
@@ -104,7 +116,7 @@ func (m *Model) Step(runoff []float64, dt float64) []float64 {
 		if m.net.Dir[c] == data.DirMouth {
 			j := dst / g.NLon()
 			i := dst % g.NLon()
-			m.outflux[dst] += out[c] * 1000 / (g.Area(j, i) * dt)
+			m.outflux[dst] += out[c] * RhoWater / (g.Area(j, i) * dt)
 		} else {
 			m.Volume[dst] += out[c]
 		}

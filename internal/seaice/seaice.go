@@ -14,6 +14,12 @@ import (
 	"foam/internal/atmos"
 )
 
+// Dimensional constants of the ice column. FormationDepth is deliberately
+// not annotated: the growth law uses FormationDepth/2 as a dimensionless
+// acceleration factor (the paper's immediate 2 m formation recast as a
+// rate multiplier), not as a length.
+//
+//foam:units IceRoughness=m IceConductivity=W/m/K FreezePoint=K MinThickness=m LatentFusion=J/kg
 const (
 	// Albedo of bare sea ice.
 	IceAlbedo = 0.60
@@ -36,12 +42,34 @@ const (
 	LatentFusion = 3.34e5
 )
 
+// Conversion and bulk-exchange constants, named so the unit checker can
+// prove each flux conversion instead of trusting bare factors.
+//
+//foam:units RhoWater=kg/m^3 CpIce=J/kg/K RhoSeawater=kg/m^3 CpSeawater=J/kg/K BasalExchangeVelocity=m/s
+const (
+	// RhoWater converts water-equivalent ice thickness (m) to mass per
+	// area (kg/m^2).
+	RhoWater = 1000.0
+	// CpIce is the specific heat of sea ice.
+	CpIce = 2100.0
+	// RhoSeawater and CpSeawater set the heat content of the basal
+	// boundary layer.
+	RhoSeawater = 1025.0
+	CpSeawater  = 3990.0
+	// BasalExchangeVelocity is the bulk heat-transfer piston velocity
+	// between the mixed layer and the ice underside.
+	BasalExchangeVelocity = 5e-6
+)
+
 // Model holds sea ice state on the ocean grid.
 type Model struct {
-	n     int
+	n int
+	//foam:units Thick=m
 	Thick []float64 // ice thickness, m (water equivalent)
+	//foam:units TSurf=K
 	TSurf []float64 // ice surface temperature, K
-	tend  []float64 // advection tendency scratch, reused every call
+	//foam:transient tend advection tendency scratch, fully rewritten by each Advect call
+	tend []float64 // advection tendency scratch, reused every call
 }
 
 // New creates an ice-free model for n cells.
@@ -70,11 +98,16 @@ func (m *Model) Coverage() float64 {
 
 // Input is the per-cell atmospheric state over ice.
 type Input struct {
+	//foam:units SWDown=W/m^2 LWDown=W/m^2
 	SWDown, LWDown float64
-	TAir, QAir     float64
-	UAir, VAir     float64
-	Ps, ZRef       float64
-	Snowfall       float64 // kg/m^2/s, accretes onto the ice
+	//foam:units TAir=K
+	TAir, QAir float64
+	//foam:units UAir=m/s VAir=m/s
+	UAir, VAir float64
+	//foam:units Ps=Pa ZRef=m
+	Ps, ZRef float64
+	//foam:units Snowfall=kg/m^2/s
+	Snowfall float64 // kg/m^2/s, accretes onto the ice
 
 	// OceanFreeze is the ocean's diagnosed freezing flux for this cell,
 	// kg/m^2/s of water equivalent (from the -1.92 C clamp).
@@ -83,26 +116,34 @@ type Input struct {
 
 // Output carries the fluxes back to the coupler.
 type Output struct {
-	TSurf, Albedo        float64
-	Sensible, Evap       float64 // upward, over the ice surface
+	//foam:units TSurf=K
+	TSurf, Albedo float64
+	//foam:units Sensible=W/m^2 Evap=kg/m^2/s
+	Sensible, Evap float64 // upward, over the ice surface
+	//foam:units TauXOcean=N/m^2 TauYOcean=N/m^2
 	TauXOcean, TauYOcean float64 // stress passed to the ocean (already divided)
-	TauXAtm, TauYAtm     float64 // stress opposing the atmosphere
-	OceanHeat            float64 // conductive heat flux into the ocean, W/m^2
-	MeltWater            float64 // kg/m^2/s of fresh water released to the ocean
+	//foam:units TauXAtm=N/m^2 TauYAtm=N/m^2
+	TauXAtm, TauYAtm float64 // stress opposing the atmosphere
+	//foam:units OceanHeat=W/m^2
+	OceanHeat float64 // conductive heat flux into the ocean, W/m^2
+	//foam:units MeltWater=kg/m^2/s
+	MeltWater float64 // kg/m^2/s of fresh water released to the ocean
 }
 
 // Step advances one cell by dt seconds.
+//
+//foam:units dt=s
 func (m *Model) Step(c int, in Input, dt float64) Output {
 	var out Output
 	// Growth from the ocean clamp.
-	m.Thick[c] += in.OceanFreeze * dt / 1000 * (FormationDepth / 2) // accelerate to the paper's 2 m formation scale
+	m.Thick[c] += in.OceanFreeze * dt / RhoWater * (FormationDepth / 2) // accelerate to the paper's 2 m formation scale
 	if in.OceanFreeze > 0 && m.Thick[c] < 2*MinThickness {
 		// New ice consolidates quickly to a workable thickness (the paper
 		// treats formation as an immediate 2 m water flux; we are gentler
 		// but keep the same idea of a finite starting thickness).
 		m.Thick[c] = 2 * MinThickness
 	}
-	m.Thick[c] += in.Snowfall * dt / 1000
+	m.Thick[c] += in.Snowfall * dt / RhoWater
 
 	if !m.Present(c) {
 		out.TSurf = FreezePoint
@@ -125,7 +166,7 @@ func (m *Model) Step(c int, in Input, dt float64) Output {
 	lv := atmos.LVap + atmos.LFus
 	cond := IceConductivity / math.Max(m.Thick[c], MinThickness)
 	const emit = 0.97
-	heatCap := 1000.0 * 2100 * math.Min(m.Thick[c], 0.5) // ice heat capacity of the active layer
+	heatCap := RhoWater * CpIce * math.Min(m.Thick[c], 0.5) // ice heat capacity of the active layer
 	net := in.SWDown*(1-out.Albedo) + emit*in.LWDown -
 		emit*atmos.StefBo*math.Pow(ts, 4) -
 		rho*atmos.Cp*ce*wEff*(ts-in.TAir) -
@@ -136,10 +177,10 @@ func (m *Model) Step(c int, in Input, dt float64) Output {
 
 	// Surface melt when above freezing.
 	if ts > 273.15 {
-		meltCap := (ts - 273.15) * heatCap / (1000 * LatentFusion)
+		meltCap := (ts - 273.15) * heatCap / (RhoWater * LatentFusion)
 		melt := math.Min(m.Thick[c], meltCap)
 		m.Thick[c] -= melt
-		out.MeltWater = melt * 1000 / dt
+		out.MeltWater = melt * RhoWater / dt
 		ts = 273.15
 	}
 	m.TSurf[c] = ts
@@ -147,7 +188,7 @@ func (m *Model) Step(c int, in Input, dt float64) Output {
 	out.Sensible = rho * atmos.Cp * ce * wEff * (ts - in.TAir)
 	out.Evap = evap
 	// Sublimation consumes ice.
-	m.Thick[c] -= evap * dt / 1000
+	m.Thick[c] -= evap * dt / RhoWater
 	if m.Thick[c] < 0 {
 		m.Thick[c] = 0
 	}
@@ -168,15 +209,17 @@ func (m *Model) Step(c int, in Input, dt float64) Output {
 // BasalMelt removes ice from below when the ocean is warmer than freezing,
 // returning the freshwater flux (kg/m^2/s). sstC is the ocean temperature
 // in Celsius.
+//
+//foam:units sstC=degC dt=s return=kg/m^2/s
 func (m *Model) BasalMelt(c int, sstC, dt float64) float64 {
 	if !m.Present(c) || sstC <= -1.92 {
 		return 0
 	}
 	// Bulk basal heat transfer.
-	q := 1025.0 * 3990 * 5e-6 * (sstC + 1.92) // W/m^2
-	melt := math.Min(m.Thick[c], q*dt/(1000*LatentFusion))
+	q := RhoSeawater * CpSeawater * BasalExchangeVelocity * (sstC + 1.92) // W/m^2
+	melt := math.Min(m.Thick[c], q*dt/(RhoWater*LatentFusion))
 	m.Thick[c] -= melt
-	return melt * 1000 / dt
+	return melt * RhoWater / dt
 }
 
 // Advect drifts the ice thickness with the given surface velocity field
