@@ -7,8 +7,12 @@
 //
 //	foam-load [-addr http://127.0.0.1:8870] [-members 100] [-advances 4]
 //	          [-steps N] [-concurrency 16] [-preset reduced]
-//	          [-out BENCH_serve.json] [-timeout 60s]
+//	          [-scenario name] [-out BENCH_serve.json] [-timeout 60s]
 //	foam-load -verify BENCH_serve.json
+//
+// With -scenario, members are created from the named registry scenario via
+// POST /v1/scenarios/{name}/members instead of the preset, and the report
+// records the scenario name.
 //
 // The -verify form validates a previously written report and exits; the CI
 // smoke job uses it to gate on well-formedness.
@@ -38,6 +42,7 @@ func main() {
 	steps := flag.Int("steps", 0, "atmosphere steps per advance (0 = one coupling interval)")
 	concurrency := flag.Int("concurrency", 16, "concurrent client connections")
 	preset := flag.String("preset", "reduced", "member preset (reduced | default)")
+	scen := flag.String("scenario", "", "create members from this named scenario instead of the preset")
 	out := flag.String("out", "BENCH_serve.json", "report output path")
 	timeout := flag.Duration("timeout", 60*time.Second, "readiness wait for the server")
 	verify := flag.String("verify", "", "validate an existing report and exit")
@@ -56,7 +61,7 @@ func main() {
 		log.Fatalf("foam-load: %v", err)
 	}
 
-	serve, err := runLoad(c, *preset, *members, *advances, *steps, *concurrency)
+	serve, err := runLoad(c, *preset, *scen, *members, *advances, *steps, *concurrency)
 	if err != nil {
 		log.Fatalf("foam-load: %v", err)
 	}
@@ -147,7 +152,7 @@ func (c *client) waitReady(timeout time.Duration) error {
 // runLoad drives the three phases — create all members, advance them
 // advances times each from concurrent clients, then fetch every member's
 // diagnostics — timing each request.
-func runLoad(c *client, preset string, members, advances, steps, concurrency int) (*benchjson.Serve, error) {
+func runLoad(c *client, preset, scen string, members, advances, steps, concurrency int) (*benchjson.Serve, error) {
 	if concurrency < 1 {
 		concurrency = 1
 	}
@@ -161,10 +166,14 @@ func runLoad(c *client, preset string, members, advances, steps, concurrency int
 	ids := make([]string, members)
 	createMs := make([]float64, members)
 	var coupleEvery atomic.Int64
+	createPath, createBody := "/v1/members", any(ensemble.CreateRequest{Preset: preset})
+	if scen != "" {
+		createPath, createBody = "/v1/scenarios/"+scen+"/members", nil
+	}
 	err := forEach(members, concurrency, func(i int) error {
 		var info ensemble.Info
 		t0 := time.Now()
-		_, err := c.do("POST", "/v1/members", ensemble.CreateRequest{Preset: preset}, &info)
+		_, err := c.do("POST", createPath, createBody, &info)
 		if err != nil {
 			return err
 		}
@@ -224,6 +233,7 @@ func runLoad(c *client, preset string, members, advances, steps, concurrency int
 		Workers:           stats.Workers,
 		Members:           members,
 		Preset:            preset,
+		Scenario:          scen,
 		Concurrency:       concurrency,
 		AdvancesPerMember: advances,
 		StepsPerAdvance:   stepsPer,

@@ -2,25 +2,69 @@
 //
 // Usage:
 //
-//	foam [-config full|reduced] [-exec serial|pooled|ranked] [-days N]
-//	     [-record sst.csv] [-quiet]
+//	foam [-config full|reduced] [-scenario name|file.json] [-list-scenarios]
+//	     [-exec serial|pooled|ranked] [-days N] [-record sst.csv] [-quiet]
 //
-// With -record, monthly mean SST fields are appended to a CSV (one row per
-// month) for later analysis with foam-analyze. The -exec flag selects the
-// executor backend; all backends are bit-identical, so it only changes how
-// the program's ticks are executed (see DESIGN.md section 12).
+// With -scenario, the model is compiled from a named registry scenario (see
+// -list-scenarios for the table) or from a JSON spec file (internal/scenario,
+// DESIGN.md section 17), overriding -config. With -record, monthly mean SST
+// fields are appended to a CSV (one row per month) for later analysis with
+// foam-analyze. The -exec flag selects the executor backend; all backends
+// are bit-identical, so it only changes how the program's ticks are executed
+// (see DESIGN.md section 12).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"foam"
 	"foam/internal/diag"
+	"foam/internal/scenario"
 )
+
+// listScenarios prints the registry table the -list-scenarios flag asks for.
+func listScenarios(w io.Writer) error {
+	rows, err := scenario.Rows()
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tGRID\tPHYSICS\tOCEAN\tWORLD\tDESCRIPTION")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", r.Name, r.Grid, r.Physics, r.Ocean, r.World, r.Description)
+	}
+	return tw.Flush()
+}
+
+// scenarioConfig resolves the -scenario argument: a registered name, or a
+// path to a JSON spec file (tried as a file first when it looks like one).
+func scenarioConfig(arg string) (foam.Config, string, error) {
+	if sp, ok := scenario.Lookup(arg); ok {
+		cfg, err := scenario.Build(sp)
+		return cfg, sp.Name, err
+	}
+	blob, err := os.ReadFile(arg)
+	if err != nil {
+		return foam.Config{}, "", fmt.Errorf("scenario %q is not a registered name (have %v) and not a readable spec file: %v",
+			arg, scenario.Names(), err)
+	}
+	sp, err := scenario.Decode(blob)
+	if err != nil {
+		return foam.Config{}, "", err
+	}
+	name := sp.Name
+	if name == "" {
+		name = arg
+	}
+	cfg, err := scenario.Build(sp)
+	return cfg, name, err
+}
 
 func main() {
 	configName := flag.String("config", "reduced", "model configuration: full (paper R15+128x128) or reduced")
@@ -35,19 +79,50 @@ func main() {
 	atmRanks := flag.Int("atm-ranks", 4, "ranked executor: atmosphere (+ coupler) ranks")
 	ocnRanks := flag.Int("ocn-ranks", 1, "ranked executor: ocean ranks")
 	lag := flag.Int("lag", 0, "ocean coupling lag: 0 = synchronous, 1 = the paper's lagged coupling (lets ranked overlap the ocean with atmosphere steps)")
+	scen := flag.String("scenario", "", "compile the model from a named scenario or a JSON spec file (overrides -config)")
+	list := flag.Bool("list-scenarios", false, "print the scenario registry table and exit")
 	flag.Parse()
 
-	var cfg foam.Config
-	switch *configName {
-	case "full":
-		cfg = foam.DefaultConfig()
-	case "reduced":
-		cfg = foam.ReducedConfig()
-	default:
-		fmt.Fprintln(os.Stderr, "unknown -config (want full or reduced)")
-		os.Exit(2)
+	if *list {
+		if err := listScenarios(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "foam:", err)
+			os.Exit(1)
+		}
+		return
 	}
-	cfg.OceanLag = *lag
+
+	lagSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "lag" {
+			lagSet = true
+		}
+	})
+
+	var cfg foam.Config
+	runName := *configName
+	if *scen != "" {
+		var err error
+		cfg, runName, err = scenarioConfig(*scen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "foam:", err)
+			os.Exit(2)
+		}
+		// The scenario owns the coupling mode; an explicit -lag still wins.
+		if lagSet {
+			cfg.OceanLag = *lag
+		}
+	} else {
+		switch *configName {
+		case "full":
+			cfg = foam.DefaultConfig()
+		case "reduced":
+			cfg = foam.ReducedConfig()
+		default:
+			fmt.Fprintln(os.Stderr, "unknown -config (want full or reduced)")
+			os.Exit(2)
+		}
+		cfg.OceanLag = *lag
+	}
 	switch *execName {
 	case "serial":
 		cfg.Workers = 1
@@ -86,7 +161,7 @@ func main() {
 			*resume, m.StepCount(), m.SimTime()/86400)
 	}
 	fmt.Printf("FOAM-Go %s: R%d atmosphere %dx%dx%d dt=%.0fs; ocean %dx%dx%d dt=%.0fs; coupling every %d steps\n",
-		*configName, cfg.Atm.Trunc.M, cfg.Atm.NLat, cfg.Atm.NLon, cfg.Atm.NLev, cfg.Atm.Dt,
+		runName, cfg.Atm.Trunc.M, cfg.Atm.NLat, cfg.Atm.NLon, cfg.Atm.NLev, cfg.Atm.Dt,
 		cfg.Ocn.NLat, cfg.Ocn.NLon, cfg.Ocn.NLev, cfg.Ocn.DtTracer, cfg.OceanEvery)
 
 	var rec *os.File

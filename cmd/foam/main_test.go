@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"foam/internal/scenario"
+)
+
+// TestListScenarios: the -list-scenarios table must carry a header and one
+// complete row per registry entry.
+func TestListScenarios(t *testing.T) {
+	var sb strings.Builder
+	if err := listScenarios(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(scenario.Names())+1 {
+		t.Fatalf("table has %d lines, want %d (header + one per scenario):\n%s",
+			len(lines), len(scenario.Names())+1, out)
+	}
+	for _, col := range []string{"NAME", "GRID", "PHYSICS", "OCEAN", "WORLD", "DESCRIPTION"} {
+		if !strings.Contains(lines[0], col) {
+			t.Fatalf("header %q is missing column %s", lines[0], col)
+		}
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("table is missing scenario %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestScenarioConfigByName: a registered name compiles without touching the
+// filesystem.
+func TestScenarioConfigByName(t *testing.T) {
+	cfg, name, err := scenarioConfig("r5-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "r5-quick" || cfg.Atm.Trunc.M != 5 {
+		t.Fatalf("resolved %q with truncation R%d, want r5-quick at R5", name, cfg.Atm.Trunc.M)
+	}
+}
+
+// TestScenarioConfigFromFile: a JSON spec file compiles, and its Name field
+// labels the run.
+func TestScenarioConfigFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	spec := `{"name":"my-aqua","rung":"r5","world":"aquaplanet"}` + "\n"
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, name, err := scenarioConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "my-aqua" || cfg.World != "aquaplanet" {
+		t.Fatalf("resolved %q with world %q, want my-aqua on aquaplanet", name, cfg.World)
+	}
+}
+
+// TestScenarioConfigUnknown: an argument that is neither a registered name
+// nor a readable file must error, listing the registry.
+func TestScenarioConfigUnknown(t *testing.T) {
+	_, _, err := scenarioConfig("nonesuch")
+	if err == nil {
+		t.Fatal("scenarioConfig accepted an unknown argument")
+	}
+	if !strings.Contains(err.Error(), "paper-foam") {
+		t.Fatalf("error does not list the registry: %v", err)
+	}
+}

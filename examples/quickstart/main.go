@@ -1,6 +1,7 @@
-// Quickstart: build the coupled model at the reduced resolution, run a
-// simulated month, and print global diagnostics plus an ASCII map of the
-// sea surface temperature.
+// Quickstart: compile the r5-quick scenario (the cheap rung of the model
+// hierarchy, identical to the reduced configuration), run a simulated
+// month, and print global diagnostics plus an ASCII map of the sea surface
+// temperature.
 package main
 
 import (
@@ -12,7 +13,11 @@ import (
 )
 
 func main() {
-	cfg := foam.ReducedConfig()
+	cfg, err := foam.ScenarioConfig("r5-quick")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "foam:", err)
+		os.Exit(1)
+	}
 	m, err := foam.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "foam:", err)

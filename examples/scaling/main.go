@@ -17,7 +17,11 @@ import (
 )
 
 func main() {
-	cfg := foam.ReducedConfig()
+	cfg, err := foam.ScenarioConfig("r5-quick")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Println("=== Figure 2: time allocation, 8 atmosphere ranks + 1 ocean rank ===")
 	res, _, err := foam.RunTraced(cfg, 1.0, foam.ParallelSpec{AtmRanks: 8, OcnRanks: 1, Link: foam.SPLink})
 	if err != nil {

@@ -54,8 +54,37 @@ type Config struct {
 	// resolution-scaling cost experiments).
 	Adiabatic bool
 
-	// OrographyScale multiplies the synthetic orography (0 flattens it).
+	// OrographyScale multiplies the world's orography at core assembly
+	// (0 means 1, unscaled; flattening is core.Config.Flat).
 	OrographyScale float64
+
+	// RotationScale multiplies the planetary rotation rate in the Coriolis
+	// parameter (0 means 1, the physical rate). The scenario engine uses it
+	// for doubled/slowed-rotation experiments.
+	RotationScale float64
+
+	// YearDays overrides the orbital period (days per year) used by the
+	// solar declination cycle; 0 means the calendar default (360).
+	YearDays float64
+}
+
+// rotation returns the effective rotation multiplier (RotationScale with
+// the zero value meaning the physical rate).
+func (c Config) rotation() float64 {
+	//foam:allow floatcmp the unset zero value is an exact literal 0, not a computed quantity
+	if c.RotationScale == 0 {
+		return 1
+	}
+	return c.RotationScale
+}
+
+// yearDays returns the effective orbital period in days.
+func (c Config) yearDays() float64 {
+	//foam:allow floatcmp the unset zero value is an exact literal 0, not a computed quantity
+	if c.YearDays == 0 {
+		return sphere.DaysPerYear
+	}
+	return c.YearDays
 }
 
 // DefaultConfig returns the paper's R15 configuration: 48x40x18, 30-minute
@@ -104,6 +133,15 @@ func (c Config) Validate() error {
 	}
 	if c.RadiationEvery < 1 {
 		return fmt.Errorf("atmos: RadiationEvery must be >= 1")
+	}
+	if c.Diff4 < 0 {
+		return fmt.Errorf("atmos: negative hyperdiffusion coefficient %g", c.Diff4)
+	}
+	if c.RotationScale < 0 {
+		return fmt.Errorf("atmos: negative rotation scale %g", c.RotationScale)
+	}
+	if c.YearDays < 0 {
+		return fmt.Errorf("atmos: negative year length %g", c.YearDays)
 	}
 	return nil
 }
@@ -280,9 +318,10 @@ func NewShared(cfg Config, boundary Boundary, sh Shared) (*Model, error) {
 		mu := m.tr.Mu(j)
 		m.geom.mu[j] = mu
 		m.geom.oneMu2[j] = 1 - mu*mu
+		f0 := 2 * sphere.Omega * cfg.rotation()
 		for i := 0; i < cfg.NLon; i++ {
 			c := j*cfg.NLon + i
-			m.fcor[c] = 2 * sphere.Omega * mu
+			m.fcor[c] = f0 * mu
 			m.cosl[c] = math.Sqrt(1 - mu*mu)
 		}
 	}

@@ -260,9 +260,10 @@ func (m *Model) physicsStep(plus *specState) {
 		phy.ps[c] = math.Exp(w.lnpsG[c])
 	}
 
-	// Time of day/year for the solar geometry (360-day year).
+	// Time of day/year for the solar geometry (360-day year unless the
+	// scenario overrides the orbital period).
 	tdays := float64(m.step) * dt / sphere.SecondsPerDay
-	w.decl = -23.44 * sphere.Deg2Rad * math.Cos(2*math.Pi*(tdays+10)/sphere.DaysPerYear)
+	w.decl = -23.44 * sphere.Deg2Rad * math.Cos(2*math.Pi*(tdays+10)/cfg.yearDays())
 	w.frac = tdays - math.Floor(tdays)
 
 	// Radiation on its own (longer) interval.

@@ -53,7 +53,8 @@ type Serve struct {
 
 	Members           int    `json:"members"`
 	Preset            string `json:"preset"`
-	Concurrency       int    `json:"concurrency"` // load-generator clients
+	Scenario          string `json:"scenario,omitempty"` // named scenario, when driven by one
+	Concurrency       int    `json:"concurrency"`        // load-generator clients
 	AdvancesPerMember int    `json:"advances_per_member"`
 	StepsPerAdvance   int    `json:"steps_per_advance"` // atmosphere steps
 

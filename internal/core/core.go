@@ -12,11 +12,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
-	"math"
 
 	"foam/internal/atmos"
 	"foam/internal/coupler"
+	"foam/internal/data"
 	"foam/internal/exec"
 	"foam/internal/ocean"
 	"foam/internal/sched"
@@ -35,6 +36,12 @@ type Config struct {
 
 	// Flat disables the synthetic orography.
 	Flat bool
+
+	// World names the boundary-condition set (data.WorldByName): land
+	// mask, orography, soils, bathymetry and river routing. Empty means
+	// "earth". The scenario engine switches aquaplanet/ice-world/paleo
+	// runs through this single field.
+	World string
 
 	// OceanLag selects the coupling style (sched.Schedule.Lag): 0 couples
 	// synchronously at the coupling tick — the original serial semantics —
@@ -80,12 +87,34 @@ func ReducedConfig() Config {
 	return c
 }
 
-// Normalize applies the derived time-step defaults New applies before
-// validating: the ocean tracer step matches the coupling interval and the
-// internal and barotropic steps are clamped to it. Callers that need to
-// Validate a config themselves (the ensemble scheduler, before building
-// shared tables) must Normalize first, as New does.
-func (c Config) Normalize() Config {
+// ErrConfig tags every configuration rejection, so callers (the scenario
+// compiler, the ensemble HTTP layer, tests) can match rejected specs with
+// errors.Is regardless of which layer found the fault.
+var ErrConfig = errors.New("core: invalid configuration")
+
+// Normalize is the single validation and canonicalization gate for a
+// coupled configuration: it derives the dependent time steps (the ocean
+// tracer step matches the coupling interval, the internal and barotropic
+// steps are clamped to it), canonicalizes the world and ocean-mode names,
+// and validates everything — both component configs and the cross-component
+// cadence. Every construction path (New, NewWithTables, the ensemble
+// scheduler, scenario.Build) goes through it; there is no separate
+// Validate. All rejections wrap ErrConfig.
+func (c Config) Normalize() (Config, error) {
+	if c.OceanEvery < 1 {
+		return c, fmt.Errorf("%w: OceanEvery must be >= 1 (got %d)", ErrConfig, c.OceanEvery)
+	}
+	if c.OceanLag < 0 || c.OceanLag > 1 {
+		return c, fmt.Errorf("%w: OceanLag must be 0 or 1 (got %d)", ErrConfig, c.OceanLag)
+	}
+	w, err := data.WorldByName(c.World)
+	if err != nil {
+		return c, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	c.World = w.Name
+	if c.Ocn.Mode == "" {
+		c.Ocn.Mode = ocean.ModeFull
+	}
 	c.Ocn.DtTracer = float64(c.OceanEvery) * c.Atm.Dt
 	if c.Ocn.DtInternal > c.Ocn.DtTracer {
 		c.Ocn.DtInternal = c.Ocn.DtTracer
@@ -93,28 +122,21 @@ func (c Config) Normalize() Config {
 	if c.Ocn.DtBaro > c.Ocn.DtInternal {
 		c.Ocn.DtBaro = c.Ocn.DtInternal
 	}
-	return c
-}
-
-// Validate checks cross-component consistency.
-func (c Config) Validate() error {
 	if err := c.Atm.Validate(); err != nil {
-		return err
+		return c, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
 	if err := c.Ocn.Validate(); err != nil {
-		return err
+		return c, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
-	if c.OceanEvery < 1 {
-		return fmt.Errorf("core: OceanEvery must be >= 1")
+	// The multi-rate cadence must nest: radiation recomputation aligns
+	// with coupling boundaries so every coupling interval replays one op
+	// pattern and members forked at interval boundaries agree on the
+	// radiation phase.
+	if c.Atm.RadiationEvery%c.OceanEvery != 0 {
+		return c, fmt.Errorf("%w: RadiationEvery %d is not a multiple of OceanEvery %d",
+			ErrConfig, c.Atm.RadiationEvery, c.OceanEvery)
 	}
-	if c.OceanLag < 0 || c.OceanLag > 1 {
-		return fmt.Errorf("core: OceanLag must be 0 or 1")
-	}
-	if math.Abs(float64(c.OceanEvery)*c.Atm.Dt-c.Ocn.DtTracer) > 1 {
-		return fmt.Errorf("core: ocean call interval %.0f s does not match the ocean tracer step %.0f s",
-			float64(c.OceanEvery)*c.Atm.Dt, c.Ocn.DtTracer)
-	}
-	return nil
+	return c, nil
 }
 
 // Model is the coupled FOAM model: the component wrappers, the compiled
@@ -150,8 +172,8 @@ func New(cfg Config) (*Model, error) {
 // bit-identical either way: BuildTables runs the same constructions New
 // always ran, just once per resolution instead of once per model.
 func NewWithTables(cfg Config, tb *Tables) (*Model, error) {
-	cfg = cfg.Normalize()
-	if err := cfg.Validate(); err != nil {
+	cfg, err := cfg.Normalize()
+	if err != nil {
 		return nil, err
 	}
 	if tb == nil {
@@ -170,6 +192,8 @@ func NewWithTables(cfg Config, tb *Tables) (*Model, error) {
 	cp := coupler.NewShared(tb.AtmGrid, oc.Grid(), oc.Mask(), coupler.Shared{
 		Overlap: tb.Overlap,
 		Rivers:  tb.Rivers,
+		Land:    tb.AtmLand,
+		Soil:    tb.AtmSoil,
 	})
 	m.Cpl = cp
 
@@ -178,7 +202,16 @@ func NewWithTables(cfg Config, tb *Tables) (*Model, error) {
 		return nil, err
 	}
 	if !cfg.Flat {
-		at.SetOrography(tb.Orography)
+		//foam:allow floatcmp 0 (unset) and 1 (neutral) are exact literal sentinels; any other value scales
+		if s := cfg.Atm.OrographyScale; s != 0 && s != 1 {
+			scaled := make([]float64, len(tb.Orography))
+			for i, v := range tb.Orography {
+				scaled[i] = s * v
+			}
+			at.SetOrography(scaled)
+		} else {
+			at.SetOrography(tb.Orography)
+		}
 	}
 	m.Atm = at
 	// Give the coupler the initial ocean state.

@@ -40,30 +40,57 @@ type Tables struct {
 
 	// Rivers is the river-routing network on AtmGrid.
 	Rivers *data.RiverNetwork
+
+	// World is the boundary-condition world (data.WorldByName) the masks
+	// above were built from; AtmLand and AtmSoil are its land mask and
+	// soil classes on AtmGrid, adopted read-only by each member's coupler.
+	World   string
+	AtmLand []bool
+	AtmSoil []int
 }
 
-// TableKey returns the resolution signature of the configuration: two
-// configs with equal keys can share one *Tables. Scheduling fields (steps,
-// lag, workers) are deliberately excluded — tables depend on geometry only.
+// worldName returns the canonical world name ("" means earth).
+func (c Config) worldName() string {
+	if c.World == "" {
+		return data.Earth().Name
+	}
+	return c.World
+}
+
+// TableKey returns the resolution-and-world signature of the configuration:
+// two configs with equal keys can share one *Tables. Scheduling fields
+// (steps, lag, workers) and physics parameters are deliberately excluded —
+// tables depend on geometry and boundary conditions only, which is what
+// lets a perturbed-physics ensemble of one scenario share a single set.
 func (c Config) TableKey() string {
-	return fmt.Sprintf("a:R%d.%d/%dx%dx%d o:%dx%dx%d@%g:%g",
+	return fmt.Sprintf("a:R%d.%d/%dx%dx%d o:%dx%dx%d@%g:%g w:%s",
 		c.Atm.Trunc.M, c.Atm.Trunc.K, c.Atm.NLat, c.Atm.NLon, c.Atm.NLev,
-		c.Ocn.NLat, c.Ocn.NLon, c.Ocn.NLev, c.Ocn.LatSouth, c.Ocn.LatNorth)
+		c.Ocn.NLat, c.Ocn.NLon, c.Ocn.NLev, c.Ocn.LatSouth, c.Ocn.LatNorth,
+		c.worldName())
 }
 
 // BuildTables constructs the shared table set for a configuration. The
-// result depends only on the fields TableKey covers.
+// result depends only on the fields TableKey covers. The configuration
+// must have passed Normalize (every construction path does); an unknown
+// world name here is a programming error, not an input error.
 func BuildTables(cfg Config) *Tables {
+	w, err := data.WorldByName(cfg.World)
+	if err != nil {
+		panic(fmt.Sprintf("core: BuildTables on unnormalized config: %v", err))
+	}
 	atmGrid := sphere.NewGaussianGrid(cfg.Atm.NLat, cfg.Atm.NLon)
 	ocnGrid := sphere.NewMercatorGrid(cfg.Ocn.NLat, cfg.Ocn.NLon, cfg.Ocn.LatSouth, cfg.Ocn.LatNorth)
 	return &Tables{
 		AtmGrid:   atmGrid,
 		OcnGrid:   ocnGrid,
 		Spectral:  spectral.NewTransform(cfg.Atm.Trunc, cfg.Atm.NLat, cfg.Atm.NLon),
-		KMT:       data.OceanKMT(ocnGrid, cfg.Ocn.NLev),
-		Orography: data.Orography(atmGrid),
+		KMT:       w.OceanKMT(ocnGrid, cfg.Ocn.NLev),
+		Orography: w.Orography(atmGrid),
 		Overlap:   coupler.BuildOverlap(atmGrid, ocnGrid),
-		Rivers:    data.BuildRivers(atmGrid),
+		Rivers:    w.BuildRivers(atmGrid),
+		World:     w.Name,
+		AtmLand:   w.LandMask(atmGrid),
+		AtmSoil:   w.SoilTypes(atmGrid),
 	}
 }
 
@@ -83,6 +110,9 @@ func (tb *Tables) check(cfg Config) error {
 	}
 	if len(tb.KMT) != tb.OcnGrid.Size() {
 		return fmt.Errorf("core: shared KMT has %d cells, ocean grid has %d", len(tb.KMT), tb.OcnGrid.Size())
+	}
+	if tb.World != "" && tb.World != cfg.worldName() {
+		return fmt.Errorf("core: shared tables were built for world %q, config wants %q", tb.World, cfg.worldName())
 	}
 	return nil
 }

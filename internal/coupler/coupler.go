@@ -115,13 +115,17 @@ func New(atmGrid, ocnGrid *sphere.Grid, ocnMask []float64) *Coupler {
 }
 
 // Shared carries prebuilt immutable inputs a coupler may adopt instead of
-// rebuilding: the conservative overlap remap between the two grids and the
-// river-routing network on the atmosphere grid. Both are read-only after
+// rebuilding: the conservative overlap remap between the two grids, the
+// river-routing network on the atmosphere grid, and the world's land mask
+// and soil classification on the atmosphere grid. All are read-only after
 // construction, so any number of couplers (one per ensemble member) may
-// hold the same instances. Either field may be nil to build fresh.
+// hold the same instances. Any field may be nil to build fresh from the
+// synthetic Earth.
 type Shared struct {
 	Overlap *Overlap
 	Rivers  *data.RiverNetwork
+	Land    []bool // land mask at atmosphere cell centers
+	Soil    []int  // soil classes at atmosphere cell centers
 }
 
 // NewShared builds a coupler over prebuilt shared tables (see Shared). The
@@ -136,20 +140,31 @@ func NewShared(atmGrid, ocnGrid *sphere.Grid, ocnMask []float64, sh Shared) *Cou
 	cp.ocnMask = append([]float64(nil), ocnMask...)
 	cp.initOcnGeometry()
 
-	// Land cells on the atmosphere grid: synthetic-Earth land, plus any
-	// cell with no wet-ocean overlap (polar caps beyond the ocean domain
-	// become ice-type land, standing in for the crude Arctic treatment the
-	// paper acknowledges).
+	// Land cells on the atmosphere grid: the world's land, plus any cell
+	// with no wet-ocean overlap (polar caps beyond the ocean domain become
+	// ice-type land, standing in for the crude Arctic treatment the paper
+	// acknowledges).
 	oceanFrac := cp.Overlap.OceanFraction(cp.ocnMask)
 	n := atmGrid.Size()
 	mask := make([]bool, n)
-	types := data.SoilTypes(atmGrid)
+	var types []int
+	if sh.Soil != nil {
+		// The polar-cap override below mutates the slice; never write
+		// through to a shared table.
+		types = append([]int(nil), sh.Soil...)
+	} else {
+		types = data.SoilTypes(atmGrid)
+	}
+	worldLand := sh.Land
+	if worldLand == nil {
+		worldLand = data.LandMask(atmGrid)
+	}
 	cp.landFrac = make([]float64, n)
 	for j := 0; j < atmGrid.NLat(); j++ {
 		for i := 0; i < atmGrid.NLon(); i++ {
 			c := atmGrid.Index(j, i)
 			cp.landFrac[c] = 1 - oceanFrac[c]
-			isLand := data.IsLand(atmGrid.Lats[j], atmGrid.Lons[i])
+			isLand := worldLand[c]
 			if isLand {
 				cp.landFrac[c] = math.Max(cp.landFrac[c], 0.5)
 			}

@@ -93,13 +93,7 @@ func IsLand(lat, lon float64) bool {
 
 // LandMask evaluates IsLand at each cell center of a grid.
 func LandMask(g *sphere.Grid) []bool {
-	mask := make([]bool, g.Size())
-	for j := 0; j < g.NLat(); j++ {
-		for i := 0; i < g.NLon(); i++ {
-			mask[g.Index(j, i)] = IsLand(g.Lats[j], g.Lons[i])
-		}
-	}
-	return mask
+	return Earth().LandMask(g)
 }
 
 // ridge is a Gaussian mountain ridge.
@@ -126,10 +120,15 @@ func Elevation(lat, lon float64) float64 {
 	if !IsLand(lat, lon) {
 		return 0
 	}
+	return heightOver(ridges, lat, lon)
+}
+
+// heightOver sums a ridge inventory over the continental base elevation.
+func heightOver(rs []ridge, lat, lon float64) float64 {
 	latD := lat * sphere.Rad2Deg
 	lonD := wrapDeg(lon * sphere.Rad2Deg)
 	h := 220.0 // continental base elevation
-	for _, r := range ridges {
+	for _, r := range rs {
 		dlat := (latD - r.lat) / r.sLat
 		dlon := wrapDeg(lonD-r.lon) / r.sLon
 		h += r.amp * math.Exp(-(dlat*dlat + dlon*dlon))
@@ -140,13 +139,7 @@ func Elevation(lat, lon float64) float64 {
 // Orography returns g*height (m^2/s^2) at each cell, zero over ocean —
 // the field the atmosphere's SetOrography consumes.
 func Orography(g *sphere.Grid) []float64 {
-	o := make([]float64, g.Size())
-	for j := 0; j < g.NLat(); j++ {
-		for i := 0; i < g.NLon(); i++ {
-			o[g.Index(j, i)] = sphere.Gravity * Elevation(g.Lats[j], g.Lons[i])
-		}
-	}
-	return o
+	return Earth().Orography(g)
 }
 
 // Soil types (paper: "5 distinct types derived from the vegetation data").
@@ -204,13 +197,7 @@ func inRange(x, lo, hi float64) bool { return x >= lo && x <= hi }
 
 // SoilTypes evaluates SoilType over a grid (value meaningful only on land).
 func SoilTypes(g *sphere.Grid) []int {
-	s := make([]int, g.Size())
-	for j := 0; j < g.NLat(); j++ {
-		for i := 0; i < g.NLon(); i++ {
-			s[g.Index(j, i)] = SoilType(g.Lats[j], g.Lons[i])
-		}
-	}
-	return s
+	return Earth().SoilTypes(g)
 }
 
 // OceanKMT builds the ocean bathymetry (active levels per cell) on the
@@ -219,44 +206,7 @@ func SoilTypes(g *sphere.Grid) []int {
 // is "somewhat tuned to preserve basin topology" — here topology comes from
 // the analytic continents directly.
 func OceanKMT(g *sphere.Grid, nlev int) []int {
-	kmt := make([]int, g.Size())
-	for j := 0; j < g.NLat(); j++ {
-		for i := 0; i < g.NLon(); i++ {
-			c := g.Index(j, i)
-			if IsLand(g.Lats[j], g.Lons[i]) {
-				kmt[c] = 0
-				continue
-			}
-			// Distance to the nearest land among the 8 neighbours decides
-			// shelf shoaling.
-			minD := math.Inf(1)
-			for dj := -1; dj <= 1; dj++ {
-				for di := -1; di <= 1; di++ {
-					jj := j + dj
-					if jj < 0 || jj >= g.NLat() {
-						continue
-					}
-					ii := (i + di + g.NLon()) % g.NLon()
-					if IsLand(g.Lats[jj], g.Lons[ii]) {
-						d := sphere.GreatCircle(g.Lats[j], g.Lons[i], g.Lats[jj], g.Lons[ii])
-						if d < minD {
-							minD = d
-						}
-					}
-				}
-			}
-			switch {
-			case minD < 2.0e5:
-				kmt[c] = nlev * 2 / 3 // shelf/slope
-			default:
-				kmt[c] = nlev
-			}
-			if kmt[c] < 2 {
-				kmt[c] = 2
-			}
-		}
-	}
-	return kmt
+	return Earth().OceanKMT(g, nlev)
 }
 
 // SSTClimatology is the analytic monthly "observed" sea surface temperature

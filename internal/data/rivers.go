@@ -37,15 +37,20 @@ type RiverNetwork struct {
 // to the ocean. The paper set many directions by hand to match observed
 // basins; pit-filling plays that role here.
 func BuildRivers(g *sphere.Grid) *RiverNetwork {
+	return Earth().BuildRivers(g)
+}
+
+// buildRiversFrom runs the pit-filling steepest-descent routing over an
+// arbitrary land mask and elevation function (one World's boundary set).
+func buildRiversFrom(g *sphere.Grid, land []bool, elevAt func(lat, lon float64) float64) *RiverNetwork {
 	nlat, nlon := g.NLat(), g.NLon()
 	n := g.Size()
-	land := LandMask(g)
 	elev := make([]float64, n)
 	for j := 0; j < nlat; j++ {
 		for i := 0; i < nlon; i++ {
 			c := g.Index(j, i)
 			if land[c] {
-				elev[c] = Elevation(g.Lats[j], g.Lons[i])
+				elev[c] = elevAt(g.Lats[j], g.Lons[i])
 			} else {
 				elev[c] = -100 // ocean is always downhill
 			}

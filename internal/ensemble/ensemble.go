@@ -36,6 +36,7 @@ import (
 
 	"foam/internal/core"
 	"foam/internal/coupler"
+	"foam/internal/scenario"
 	"foam/internal/sphere"
 )
 
@@ -96,11 +97,12 @@ type Scheduler struct {
 // member is one ensemble run. The model is touched only by the goroutine
 // that holds busy; every other field is guarded by Scheduler.mu.
 type member struct {
-	id     string
-	key    string // table key — worker batching affinity
-	parent string
-	cfg    core.Config
-	model  *core.Model
+	id       string
+	key      string // table key — worker batching affinity
+	parent   string
+	scenario string // registry name the member was created from, if any
+	cfg      core.Config
+	model    *core.Model
 
 	busy   bool // an operation owns the model
 	queued bool // sitting in Scheduler.pending
@@ -148,6 +150,7 @@ func (s *Scheduler) Workers() int { return s.workers }
 type Info struct {
 	ID          string  `json:"id"`
 	Parent      string  `json:"parent,omitempty"`
+	Scenario    string  `json:"scenario,omitempty"`
 	TableKey    string  `json:"table_key"`
 	Step        int     `json:"step"`
 	SimDays     float64 `json:"sim_days"`
@@ -164,6 +167,7 @@ func (m *member) infoLocked() Info {
 	in := Info{
 		ID:              m.id,
 		Parent:          m.parent,
+		Scenario:        m.scenario,
 		TableKey:        m.key,
 		Step:            m.steps,
 		SimDays:         float64(m.steps) * m.cfg.Atm.Dt / sphere.SecondsPerDay,
@@ -185,15 +189,31 @@ func (m *member) infoLocked() Info {
 // goroutines stepping many serial members beats every member spawning its
 // own — so cfg.Workers is forced to 1.
 func (s *Scheduler) Create(cfg core.Config, chk *core.Checkpoint) (Info, error) {
-	return s.create(cfg, chk, "")
+	return s.create(cfg, chk, "", "")
 }
 
-func (s *Scheduler) create(cfg core.Config, chk *core.Checkpoint, parent string) (Info, error) {
+// CreateScenario builds a member from a named registry scenario
+// (scenario.Lookup + scenario.Build), labelling it so member info and the
+// stats endpoint report the ensemble's composition by scenario. An unknown
+// name maps to ErrNotFound; a spec that fails to compile maps to ErrInvalid.
+func (s *Scheduler) CreateScenario(name string, chk *core.Checkpoint) (Info, error) {
+	sp, ok := scenario.Lookup(name)
+	if !ok {
+		return Info{}, fmt.Errorf("%w: unknown scenario %q (have %v)", ErrNotFound, name, scenario.Names())
+	}
+	cfg, err := scenario.Build(sp)
+	if err != nil {
+		return Info{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return s.create(cfg, chk, "", name)
+}
+
+func (s *Scheduler) create(cfg core.Config, chk *core.Checkpoint, parent, scen string) (Info, error) {
 	cfg.Workers = 1
-	cfg = cfg.Normalize()
-	// Reject bad configs before table construction: BuildTables assumes a
-	// validated geometry (New validates for the same reason).
-	if err := cfg.Validate(); err != nil {
+	// Normalize is the single validation gate; reject bad configs before
+	// table construction (BuildTables assumes a validated geometry).
+	cfg, err := cfg.Normalize()
+	if err != nil {
 		return Info{}, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	key := cfg.TableKey()
@@ -236,13 +256,14 @@ func (s *Scheduler) create(cfg core.Config, chk *core.Checkpoint, parent string)
 	}
 
 	m := &member{
-		id:     id,
-		key:    key,
-		parent: parent,
-		cfg:    model.Config(),
-		model:  model,
-		steps:  model.StepCount(),
-		done:   make(chan struct{}, 1),
+		id:       id,
+		key:      key,
+		parent:   parent,
+		scenario: scen,
+		cfg:      model.Config(),
+		model:    model,
+		steps:    model.StepCount(),
+		done:     make(chan struct{}, 1),
 	}
 	s.mu.Lock()
 	if s.closed || len(s.members) >= s.maxMembers {
@@ -485,8 +506,9 @@ func (s *Scheduler) Fork(id string) (Info, error) {
 	}
 	chk := m.model.Checkpoint()
 	cfg := m.cfg
+	scen := m.scenario
 	s.release(m)
-	return s.create(cfg, chk, id)
+	return s.create(cfg, chk, id, scen)
 }
 
 // acquire marks an idle member busy so the caller may touch its model.
@@ -541,12 +563,25 @@ type Stats struct {
 	QueuedMembers int   `json:"queued_members"`
 	TotalSteps    int64 `json:"total_steps"`
 	TotalAdvances int64 `json:"total_advances"`
+	// Scenarios counts live members per registry scenario name; members
+	// created from a raw config are not counted.
+	Scenarios map[string]int `json:"scenarios,omitempty"`
 }
 
 // Stats returns scheduler-wide counters.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var byScenario map[string]int
+	for _, m := range s.members {
+		if m.scenario == "" {
+			continue
+		}
+		if byScenario == nil {
+			byScenario = make(map[string]int)
+		}
+		byScenario[m.scenario]++
+	}
 	return Stats{
 		Members:       len(s.members),
 		Workers:       s.workers,
@@ -554,6 +589,7 @@ func (s *Scheduler) Stats() Stats {
 		QueuedMembers: len(s.pending),
 		TotalSteps:    s.totalSteps,
 		TotalAdvances: s.totalAdvance,
+		Scenarios:     byScenario,
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"foam/internal/core"
+	"foam/internal/scenario"
 )
 
 // The HTTP/JSON API of foam-serve. All bodies are JSON; checkpoints travel
@@ -24,6 +25,8 @@ import (
 //	GET    /v1/members/{id}/sst     SST map on the ocean grid
 //	POST   /v1/members/{id}/snapshot checkpoint + config (resume body)
 //	POST   /v1/members/{id}/fork    clone via the checkpoint round-trip
+//	GET    /v1/scenarios            the named scenario registry (table rows)
+//	POST   /v1/scenarios/{name}/members create a member from a named scenario
 //	GET    /v1/stats                scheduler counters
 //	GET    /v1/healthz              liveness
 //
@@ -77,6 +80,8 @@ func NewHandler(s *Scheduler) http.Handler {
 	mux.HandleFunc("GET /v1/members/{id}/sst", h.sst)
 	mux.HandleFunc("POST /v1/members/{id}/snapshot", h.snapshot)
 	mux.HandleFunc("POST /v1/members/{id}/fork", h.fork)
+	mux.HandleFunc("GET /v1/scenarios", h.scenarios)
+	mux.HandleFunc("POST /v1/scenarios/{name}/members", h.createScenario)
 	return mux
 }
 
@@ -266,6 +271,43 @@ func (h *handler) snapshot(w http.ResponseWriter, r *http.Request) {
 
 func (h *handler) fork(w http.ResponseWriter, r *http.Request) {
 	info, err := h.s.Fork(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (h *handler) scenarios(w http.ResponseWriter, r *http.Request) {
+	rows, err := scenario.Rows()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+// createScenario creates a member from a named registry scenario. The body
+// is optional; when present, only its checkpoint is used (a resume), so a
+// SnapshotResponse of a scenario member POSTs back verbatim.
+func (h *handler) createScenario(w http.ResponseWriter, r *http.Request) {
+	var chk *core.Checkpoint
+	if r.ContentLength != 0 {
+		var req CreateRequest
+		if err := decodeBody(r, &req); err != nil {
+			writeErr(w, err)
+			return
+		}
+		if len(req.Checkpoint) > 0 {
+			var err error
+			chk, err = core.LoadCheckpoint(bytes.NewReader(req.Checkpoint))
+			if err != nil {
+				writeErr(w, fmt.Errorf("%w: bad checkpoint: %v", ErrInvalid, err))
+				return
+			}
+		}
+	}
+	info, err := h.s.CreateScenario(r.PathValue("name"), chk)
 	if err != nil {
 		writeErr(w, err)
 		return

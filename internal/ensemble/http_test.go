@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"foam/internal/ensemble"
+	"foam/internal/scenario"
 )
 
 // newTestServer boots a handler over a small scheduler.
@@ -179,6 +180,88 @@ func TestHandlerConcurrentAdvance(t *testing.T) {
 	// Afterwards the member advances normally again.
 	if code := doJSON(t, srv, "POST", "/v1/members/"+m.ID+"/advance", `{"steps":1}`, nil); code != http.StatusOK {
 		t.Fatalf("post-conflict advance: status %d", code)
+	}
+}
+
+// TestHandlerScenarios drives the scenario surface of the API: the registry
+// listing, creation by name (labelled in member info and stats), label
+// inheritance through fork, resume onto the same scenario, and the 404/400
+// contract for unknown names and bad checkpoints.
+func TestHandlerScenarios(t *testing.T) {
+	srv, _ := newTestServer(t, 2)
+
+	var rows []scenario.Row
+	if code := doJSON(t, srv, "GET", "/v1/scenarios", "", &rows); code != http.StatusOK {
+		t.Fatalf("scenarios: status %d", code)
+	}
+	if len(rows) < 8 {
+		t.Fatalf("scenario registry lists %d rows, want >= 8", len(rows))
+	}
+	found := false
+	for _, r := range rows {
+		if r.Name == "r5-quick" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registry listing is missing r5-quick")
+	}
+
+	if code := doJSON(t, srv, "POST", "/v1/scenarios/nonesuch/members", "", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown scenario: status %d, want 404", code)
+	}
+	if code := doJSON(t, srv, "POST", "/v1/scenarios/r5-quick/members", `{"checkpoint":"AAAA"}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad checkpoint: status %d, want 400", code)
+	}
+
+	var m ensemble.Info
+	if code := doJSON(t, srv, "POST", "/v1/scenarios/r5-quick/members", "", &m); code != http.StatusCreated {
+		t.Fatalf("create by scenario: status %d", code)
+	}
+	if m.Scenario != "r5-quick" {
+		t.Fatalf("member scenario %q, want r5-quick", m.Scenario)
+	}
+	if code := doJSON(t, srv, "POST", "/v1/members/"+m.ID+"/advance", `{"intervals":1}`, &m); code != http.StatusOK {
+		t.Fatalf("advance: status %d", code)
+	}
+
+	// A fork inherits the parent's scenario label.
+	var fork ensemble.Info
+	if code := doJSON(t, srv, "POST", "/v1/members/"+m.ID+"/fork", "", &fork); code != http.StatusCreated {
+		t.Fatalf("fork: status %d", code)
+	}
+	if fork.Scenario != "r5-quick" || fork.Parent != m.ID {
+		t.Fatalf("fork info: %+v", fork)
+	}
+
+	// Resume a snapshot onto the same scenario name.
+	var snap ensemble.SnapshotResponse
+	if code := doJSON(t, srv, "POST", "/v1/members/"+m.ID+"/snapshot", "", &snap); code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", code)
+	}
+	body, err := json.Marshal(ensemble.CreateRequest{Checkpoint: snap.Checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumed ensemble.Info
+	if code := doJSON(t, srv, "POST", "/v1/scenarios/r5-quick/members", string(body), &resumed); code != http.StatusCreated {
+		t.Fatalf("resume by scenario: status %d", code)
+	}
+	if resumed.Scenario != "r5-quick" || resumed.Step != m.Step {
+		t.Fatalf("resumed info: %+v (want step %d)", resumed, m.Step)
+	}
+
+	// A raw-config member carries no label; stats count only labelled ones.
+	createMember(t, srv)
+	var st ensemble.Stats
+	if code := doJSON(t, srv, "GET", "/v1/stats", "", &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st.Members != 4 || st.Scenarios["r5-quick"] != 3 {
+		t.Fatalf("stats: %+v, want 4 members with 3 x r5-quick", st)
+	}
+	if st.TableSets != 1 {
+		t.Fatalf("stats: %d table sets, want 1 (r5-quick shares the reduced tables)", st.TableSets)
 	}
 }
 

@@ -70,6 +70,46 @@ type Config struct {
 	// Ablation switches (experiment E10): disable individual slow terms.
 	NoMomentumAdvection bool
 	NoBiharmonic        bool
+
+	// Mode selects the ocean representation the scenario engine composes:
+	// "" or ModeFull is the full primitive-equation model above; ModeSlab
+	// is a motionless mixed layer that stores heat and fresh water and
+	// freezes (the classic slab ocean of sensitivity studies); ModeOff
+	// prescribes the initial surface state and evolves nothing.
+	Mode string
+
+	// SlabDepth is the slab mixed-layer depth in m (0 means 50).
+	SlabDepth float64
+
+	// RotationScale multiplies the planetary rotation rate in the Coriolis
+	// parameter (0 means 1, the physical rate).
+	RotationScale float64
+}
+
+// Ocean representation modes (Config.Mode).
+const (
+	ModeFull = "full"
+	ModeSlab = "slab"
+	ModeOff  = "off"
+)
+
+// rotation returns the effective rotation multiplier (RotationScale with
+// the zero value meaning the physical rate).
+func (c Config) rotation() float64 {
+	//foam:allow floatcmp the unset zero value is an exact literal 0, not a computed quantity
+	if c.RotationScale == 0 {
+		return 1
+	}
+	return c.RotationScale
+}
+
+// slabDepth returns the effective slab mixed-layer depth, m.
+func (c Config) slabDepth() float64 {
+	//foam:allow floatcmp the unset zero value is an exact literal 0, not a computed quantity
+	if c.SlabDepth == 0 {
+		return 50
+	}
+	return c.SlabDepth
 }
 
 // DefaultConfig is the paper's configuration: 128 x 128 Mercator grid
@@ -131,6 +171,26 @@ func (c Config) Validate() error {
 	}
 	if c.LatSouth >= c.LatNorth {
 		return fmt.Errorf("ocean: bad latitude range")
+	}
+	switch c.Mode {
+	case "", ModeFull, ModeSlab, ModeOff:
+	default:
+		return fmt.Errorf("ocean: unknown mode %q (want %q, %q or %q)", c.Mode, ModeFull, ModeSlab, ModeOff)
+	}
+	if c.SlabDepth < 0 {
+		return fmt.Errorf("ocean: negative slab depth %g", c.SlabDepth)
+	}
+	if c.RotationScale < 0 {
+		return fmt.Errorf("ocean: negative rotation scale %g", c.RotationScale)
+	}
+	if c.AH < 0 || c.AM < 0 {
+		return fmt.Errorf("ocean: negative horizontal diffusivity (AH=%g, AM=%g)", c.AH, c.AM)
+	}
+	if c.KappaB < 0 || c.Kappa0 < 0 {
+		return fmt.Errorf("ocean: negative vertical diffusivity (KappaB=%g, Kappa0=%g)", c.KappaB, c.Kappa0)
+	}
+	if c.BiharmCoef < 0 {
+		return fmt.Errorf("ocean: negative biharmonic damping %g", c.BiharmCoef)
 	}
 	return nil
 }

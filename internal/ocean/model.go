@@ -154,7 +154,7 @@ func NewOnGrid(cfg Config, kmt []int, grid *sphere.Grid) (*Model, error) {
 		lat := m.grid.Lats[j]
 		m.cosLat[j] = math.Cos(lat)
 		m.dx[j] = sphere.Radius * m.cosLat[j] * dlon
-		m.fcor[j] = sphere.Coriolis(lat)
+		m.fcor[j] = sphere.Coriolis(lat) * cfg.rotation()
 	}
 	for j := 0; j < cfg.NLat; j++ {
 		switch {
@@ -374,10 +374,17 @@ func (m *Model) SetPool(p pool.Runner) {
 func (m *Model) Step(f *Forcing) {
 	//foam:allow nondeterminism wall-clock cost trace feeds the load-balance diagnostic, never the simulation state
 	t0 := time.Now()
-	if m.wscr != nil {
-		m.stepShared(f)
-	} else {
-		m.stepRows(f, 1, m.cfg.NLat-1, nil)
+	switch m.cfg.Mode {
+	case ModeSlab:
+		m.stepSlab(f)
+	case ModeOff:
+		// Prescribed surface: the initial state is the forever state.
+	default:
+		if m.wscr != nil {
+			m.stepShared(f)
+		} else {
+			m.stepRows(f, 1, m.cfg.NLat-1, nil)
+		}
 	}
 	//foam:allow nondeterminism wall-clock cost trace feeds the load-balance diagnostic, never the simulation state
 	m.lastStepSeconds = time.Since(t0).Seconds()

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The named scenario registry: the model hierarchy the CLI and foam-serve
+// expose, from the paper's full coupled configuration down to idealized
+// aquaplanet and slab-ocean rungs. Order is presentation order.
+var registry = []Spec{
+	{
+		Name:        "paper-foam",
+		Description: "the paper's FOAM: R15 atmosphere over the 128x128x16 ocean, synchronous coupling",
+		Rung:        "r15",
+	},
+	{
+		Name:        "paper-foam-lag1",
+		Description: "paper FOAM with lagged coupling, so the ocean overlaps the next atmosphere interval",
+		Rung:        "r15",
+		OceanLag:    1,
+	},
+	{
+		Name:        "r5-quick",
+		Description: "cheap R5 rung over a 48x48x8 ocean — the test and long-variability workhorse",
+		Rung:        "r5",
+	},
+	{
+		Name:        "aquaplanet",
+		Description: "no continents: zonally symmetric boundary, ice caps only beyond the ocean grid",
+		Rung:        "r5",
+		World:       "aquaplanet",
+	},
+	{
+		Name:        "slab-ocean",
+		Description: "motionless 50 m mixed layer instead of the dynamic ocean",
+		Rung:        "r5",
+		Ocean:       OceanSpec{Mode: "slab"},
+	},
+	{
+		Name:        "ice-world",
+		Description: "Earth's continents under glacial albedo: every land cell is ice",
+		Rung:        "r5",
+		World:       "ice-world",
+	},
+	{
+		Name:        "paleo",
+		Description: "Pangaea-like supercontinent with a single superocean",
+		Rung:        "r5",
+		World:       "paleo",
+	},
+	{
+		Name:          "doubled-rotation",
+		Description:   "planetary rotation rate doubled in both components' Coriolis terms",
+		Rung:          "r5",
+		RotationScale: 2,
+	},
+	{
+		Name:        "adiabatic-core",
+		Description: "dynamical core only: no column physics, no moisture",
+		Rung:        "r5",
+		Physics:     "adiabatic",
+	},
+	{
+		Name:        "perturbed-physics",
+		Description: "perturbed-physics template: scaled hyperdiffusion and vertical mixing over r5",
+		Rung:        "r5",
+		Deltas: []Delta{
+			{Param: "atm.diff4", Scale: 1.5},
+			{Param: "ocn.kappa0", Scale: 0.5},
+		},
+	},
+}
+
+// Names lists the registered scenario names in presentation order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, sp := range registry {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+// Lookup returns the named registered scenario.
+func Lookup(name string) (Spec, bool) {
+	for _, sp := range registry {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return Spec{}, false
+}
+
+// All returns the registered scenarios in presentation order.
+func All() []Spec {
+	return append([]Spec(nil), registry...)
+}
+
+// Row is one line of the registry table the CLI prints.
+type Row struct {
+	Name        string `json:"name"`
+	Grid        string `json:"grid"`
+	Physics     string `json:"physics"`
+	Ocean       string `json:"ocean"`
+	World       string `json:"world"`
+	Description string `json:"description"`
+}
+
+// RowFor summarizes a spec by compiling it (no tables are built).
+func RowFor(sp Spec) (Row, error) {
+	cfg, err := Build(sp)
+	if err != nil {
+		return Row{}, err
+	}
+	phys := strings.ToLower(cfg.Atm.Physics.String())
+	if cfg.Atm.Adiabatic {
+		phys = "adiabatic"
+	}
+	oc := cfg.Ocn.Mode
+	if cfg.OceanLag == 1 {
+		oc += "+lag1"
+	}
+	return Row{
+		Name: sp.Name,
+		Grid: fmt.Sprintf("R%d %dx%dx%d / %dx%dx%d",
+			cfg.Atm.Trunc.M, cfg.Atm.NLat, cfg.Atm.NLon, cfg.Atm.NLev,
+			cfg.Ocn.NLat, cfg.Ocn.NLon, cfg.Ocn.NLev),
+		Physics:     phys,
+		Ocean:       oc,
+		World:       cfg.World,
+		Description: sp.Description,
+	}, nil
+}
+
+// Rows summarizes the whole registry for the CLI table.
+func Rows() ([]Row, error) {
+	rows := make([]Row, 0, len(registry))
+	for _, sp := range registry {
+		row, err := RowFor(sp)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: registry entry %q does not compile: %v", sp.Name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,25 @@
+package foam
+
+import (
+	"fmt"
+
+	"foam/internal/scenario"
+)
+
+// ScenarioNames lists the named scenarios of the registry — the model
+// hierarchy from the paper's full coupled FOAM down to aquaplanet and
+// slab-ocean idealizations (internal/scenario, DESIGN.md section 17).
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioConfig compiles a named registry scenario into a Config. It is
+// the declarative way to pick a model from the hierarchy:
+//
+//	cfg, err := foam.ScenarioConfig("aquaplanet")
+//	m, err := foam.New(cfg)
+func ScenarioConfig(name string) (Config, error) {
+	sp, ok := scenario.Lookup(name)
+	if !ok {
+		return Config{}, fmt.Errorf("foam: unknown scenario %q (have %v)", name, scenario.Names())
+	}
+	return scenario.Build(sp)
+}
